@@ -1,0 +1,17 @@
+"""Benchmark: ablation over the batch size."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.ablation import run_batch_size_ablation
+
+
+def test_ablation_batch_size(benchmark, bench_settings):
+    rows = run_once(benchmark, run_batch_size_ablation, bench_settings)
+    assert len(rows) >= 3
+
+    # Shape check: larger batches mean fewer LLM calls and a lower API bill.
+    ordered = sorted(rows, key=lambda row: row["Batch size"])
+    assert ordered[0]["LLM calls"] > ordered[-1]["LLM calls"]
+    assert ordered[0]["API ($)"] >= ordered[-1]["API ($)"]
+
+    print_rows("Ablation — batch size (WA)", rows)

@@ -1,0 +1,17 @@
+"""Benchmark: ablation over the covering distance threshold percentile."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.ablation import run_threshold_ablation
+
+
+def test_ablation_covering_threshold(benchmark, bench_settings):
+    rows = run_once(benchmark, run_threshold_ablation, bench_settings)
+    assert len(rows) >= 3
+
+    # Shape check: a tighter covering radius (smaller percentile) labels at
+    # least as many demonstrations as a looser one.
+    ordered = sorted(rows, key=lambda row: row["Threshold percentile"])
+    assert ordered[0]["Labeled demos"] >= ordered[-1]["Labeled demos"]
+
+    print_rows("Ablation — covering threshold percentile (WA)", rows)

@@ -1,0 +1,19 @@
+"""Benchmark: Exp-1, Figure 6 — precision/recall detail on WA and AB."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp1_standard_vs_batch import run_figure6_precision_recall
+
+
+def test_figure6_precision_recall(benchmark, bench_settings):
+    rows = run_once(benchmark, run_figure6_precision_recall, bench_settings)
+    assert len(rows) == 4  # two datasets x two methods
+
+    # Shape check: batch prompting's precision is at least standard prompting's
+    # on these datasets (the paper attributes its F1 gain to precision).
+    for dataset in ("WA", "AB"):
+        standard = next(r for r in rows if r["Dataset"] == dataset and r["Method"] == "Standard")
+        batch = next(r for r in rows if r["Dataset"] == dataset and r["Method"] == "Batch")
+        assert batch["Precision"] >= standard["Precision"] - 5.0
+
+    print_rows("Figure 6 — Precision / Recall / F1 on WA and AB", rows)

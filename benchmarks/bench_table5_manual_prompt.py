@@ -1,0 +1,16 @@
+"""Benchmark: Exp-4, Table V — BatchER vs ManualPrompt."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp4_manual_prompt import run_exp4_manual_prompt
+
+
+def test_table5_manual_prompt(benchmark, bench_settings):
+    rows = run_once(benchmark, run_exp4_manual_prompt, bench_settings)
+    assert rows, "expected at least one dataset row"
+
+    # Shape check (paper Finding 4): batch prompting needs a fraction of
+    # ManualPrompt's API budget (the paper reports roughly 20%).
+    assert all(row["API saving (x)"] > 2.0 for row in rows)
+
+    print_rows("Table V — ManualPrompt vs Batch Prompting", rows)

@@ -1,0 +1,20 @@
+"""Benchmark: Exp-5, Table VI — different underlying LLMs."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp5_llms import run_exp5_llms
+
+
+def test_table6_underlying_llms(benchmark, bench_settings):
+    rows = run_once(benchmark, run_exp5_llms, bench_settings)
+    assert len(rows) == len(bench_settings.datasets)
+
+    # Shape check (paper Finding 5): GPT-4's API cost is roughly 10x GPT-3.5's,
+    # and GPT-4 / GPT-3.5-03 dominate GPT-3.5-06 on accuracy overall.
+    for row in rows:
+        assert row["gpt-4 API ($)"] >= 5.0 * row["gpt-3.5-03 API ($)"]
+    mean = lambda key: sum(row[key] for row in rows) / len(rows)
+    assert mean("gpt-3.5-03 F1") >= mean("gpt-3.5-06 F1") - 2.0
+    assert mean("gpt-4 F1") >= mean("gpt-3.5-06 F1") - 2.0
+
+    print_rows("Table VI — Underlying LLMs", rows)

@@ -1,0 +1,18 @@
+"""Benchmark: Exp-6, Table VII — feature extractors."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.exp6_feature_extractors import run_exp6_feature_extractors
+
+
+def test_table7_feature_extractors(benchmark, bench_settings):
+    rows = run_once(benchmark, run_exp6_feature_extractors, bench_settings)
+    assert len(rows) == len(bench_settings.datasets)
+
+    # Shape check (paper Finding 6): the structure-aware LR extractor is at
+    # least competitive with the other variants on average.
+    mean = lambda key: sum(row[key] for row in rows) / len(rows)
+    assert mean("BatchER-LR") >= mean("BatchER-SEM") - 3.0
+    assert mean("BatchER-LR") >= mean("BatchER-JAC") - 3.0
+
+    print_rows("Table VII — Feature extractors", rows)

@@ -1,0 +1,64 @@
+"""Cost planning: estimate the monetary cost of an ER campaign before running it.
+
+The paper's introduction motivates batch prompting with a back-of-the-envelope
+calculation: resolving 500,000 candidate pairs with GPT-4 standard prompting
+(3 demonstrations per question) costs about $1,800.  This example reproduces
+that style of estimate with the library's tokenizer and pricing tables, and
+contrasts standard prompting, batch prompting, and different models.
+
+Run with:  python examples/cost_planning.py
+"""
+
+from repro import BatcherConfig, load_dataset
+from repro.evaluation.report import format_table
+from repro.llm.pricing import get_pricing
+from repro.prompting.batch import BatchPromptBuilder
+from repro.prompting.standard import StandardPromptBuilder
+from repro.text.tokenizer import ApproxTokenizer
+
+#: Size of the hypothetical ER campaign (number of candidate pairs to resolve).
+CAMPAIGN_PAIRS = 500_000
+
+
+def main() -> None:
+    # Use a small generated dataset just to obtain realistic prompt sizes.
+    dataset = load_dataset("wa", seed=7, scale=0.02)
+    questions = list(dataset.splits.test)[:8]
+    demonstrations = list(dataset.splits.train)[:8]
+    tokenizer = ApproxTokenizer()
+
+    standard_prompt = StandardPromptBuilder(dataset.attributes).build(questions[0], demonstrations)
+    batch_prompt = BatchPromptBuilder(dataset.attributes).build(questions, demonstrations)
+    tokens_per_question_standard = tokenizer.count(standard_prompt.text)
+    tokens_per_question_batch = tokenizer.count(batch_prompt.text) / len(questions)
+
+    rows = []
+    for model in ("gpt-3.5-03", "gpt-4"):
+        pricing = get_pricing(model)
+        for style, tokens_per_question in (
+            ("standard", tokens_per_question_standard),
+            ("batch (8 per call)", tokens_per_question_batch),
+        ):
+            total_tokens = tokens_per_question * CAMPAIGN_PAIRS
+            cost = pricing.cost(prompt_tokens=int(total_tokens), completion_tokens=0)
+            rows.append(
+                {
+                    "model": model,
+                    "prompting": style,
+                    "tokens / question": round(tokens_per_question, 1),
+                    "campaign cost ($)": round(cost, 2),
+                }
+            )
+
+    print(f"Estimated API cost of resolving {CAMPAIGN_PAIRS:,} candidate pairs:\n")
+    print(format_table(rows))
+    config = BatcherConfig()
+    print(
+        f"\n(Default framework configuration: batching={config.batching!r}, "
+        f"selection={config.selection!r}, batch_size={config.batch_size}, "
+        f"{config.num_demonstrations} demonstrations per batch.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

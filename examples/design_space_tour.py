@@ -1,0 +1,45 @@
+"""Design-space tour: compare every batching x selection combination.
+
+Reproduces a single-dataset slice of the paper's Table IV on the Walmart-Amazon
+benchmark (scaled down for speed): all 12 combinations of question batching
+(random / similarity / diversity) and demonstration selection (fixed /
+top-k-batch / top-k-question / covering), reporting F1, API cost and labeling
+cost — the accuracy/cost trade-off the paper explores.
+
+Run with:  python examples/design_space_tour.py
+"""
+
+from repro import BatchER, BatcherConfig, load_dataset
+from repro.evaluation.report import format_table
+
+
+def main() -> None:
+    dataset = load_dataset("wa", seed=7, scale=0.06)
+    print(f"Dataset: {dataset.full_name}, test questions: {len(dataset.splits.test)}\n")
+
+    rows = []
+    for batching in ("random", "similar", "diverse"):
+        for selection in ("fixed", "topk-batch", "topk-question", "covering"):
+            config = BatcherConfig(batching=batching, selection=selection, seed=1)
+            result = BatchER(config).run(dataset)
+            rows.append(
+                {
+                    "batching": batching,
+                    "selection": selection,
+                    "F1": round(result.metrics.f1, 2),
+                    "API ($)": round(result.cost.api_cost, 3),
+                    "Label ($)": round(result.cost.labeling_cost, 3),
+                    "labeled demos": result.cost.num_labeled_pairs,
+                }
+            )
+
+    print(format_table(rows))
+    best = max(rows, key=lambda row: row["F1"])
+    cheapest = min(rows, key=lambda row: row["API ($)"] + row["Label ($)"])
+    print(f"\nHighest F1: {best['batching']} + {best['selection']} ({best['F1']})")
+    print(f"Lowest total cost: {cheapest['batching']} + {cheapest['selection']} "
+          f"(${cheapest['API ($)'] + cheapest['Label ($)']:.3f})")
+
+
+if __name__ == "__main__":
+    main()

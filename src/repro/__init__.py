@@ -1,0 +1,52 @@
+"""BatchER reproduction: cost-effective in-context learning for entity resolution.
+
+This package reproduces the system described in "Cost-Effective In-Context
+Learning for Entity Resolution: A Design Space Exploration" (ICDE 2024).
+It provides:
+
+* a data substrate with synthetic Magellan-style ER benchmarks
+  (:mod:`repro.data`),
+* string similarity, tokenization and embedding substrates (:mod:`repro.text`),
+* clustering (:mod:`repro.clustering`) and feature extraction
+  (:mod:`repro.features`),
+* the BatchER design space: question batching (:mod:`repro.batching`) and
+  demonstration selection (:mod:`repro.selection`) including the covering-based
+  strategy built on greedy set cover,
+* prompt construction and answer parsing (:mod:`repro.prompting`),
+* a simulated LLM substrate with usage/pricing accounting (:mod:`repro.llm`),
+* supervised PLM-style baselines and the ManualPrompt baseline
+  (:mod:`repro.baselines`),
+* the end-to-end :class:`repro.core.BatchER` framework, and
+* experiment runners reproducing every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import BatchER, BatcherConfig, load_dataset
+>>> dataset = load_dataset("beer", seed=7)
+>>> config = BatcherConfig(batching="diverse", selection="covering")
+>>> framework = BatchER(config)
+>>> result = framework.run(dataset)
+>>> 0.0 <= result.metrics.f1 <= 1.0
+True
+"""
+
+from repro.core.config import BatcherConfig
+from repro.core.batcher import BatchER
+from repro.core.result import RunResult
+from repro.data.registry import available_datasets, load_dataset
+from repro.evaluation.metrics import MatchingMetrics, evaluate_predictions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchER",
+    "BatcherConfig",
+    "RunResult",
+    "MatchingMetrics",
+    "available_datasets",
+    "evaluate_predictions",
+    "load_dataset",
+    "__version__",
+]

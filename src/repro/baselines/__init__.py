@@ -1,0 +1,19 @@
+"""Baselines the paper compares BatchER against.
+
+* :mod:`repro.baselines.plm` — supervised, fine-tuned PLM-style matchers
+  (Ditto, JointBERT, RobEM) simulated as trainable feature-based classifiers
+  with learning-curve behaviour (Exp-3 / Figure 7);
+* :mod:`repro.baselines.manual_prompt` — the ManualPrompt LLM baseline: standard
+  prompting with hand-designed demonstrations (Exp-4 / Table V).
+"""
+
+from repro.baselines.manual_prompt import ManualPromptBaseline
+from repro.baselines.plm import DittoMatcher, JointBertMatcher, RobEMMatcher, PLMMatcher
+
+__all__ = [
+    "DittoMatcher",
+    "JointBertMatcher",
+    "ManualPromptBaseline",
+    "PLMMatcher",
+    "RobEMMatcher",
+]

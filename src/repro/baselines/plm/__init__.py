@@ -1,0 +1,26 @@
+"""Simulated PLM-based matchers (Ditto, JointBERT, RobEM).
+
+The paper fine-tunes Transformer PLMs on hundreds to thousands of labeled
+pairs.  Offline we substitute trainable matchers that share the property
+Exp-3 actually measures: accuracy grows with the number of labeled training
+pairs and saturates, while small training sets overfit (see DESIGN.md).  Each
+matcher is a logistic-regression head over a high-dimensional random non-linear
+feature expansion of per-attribute similarity signals — high capacity relative
+to small training sets, which is what makes the baselines *data hungry* like
+their PLM counterparts.
+"""
+
+from repro.baselines.plm.base import PLMMatcher
+from repro.baselines.plm.classifier import LogisticRegressionClassifier, RandomFeatureMap
+from repro.baselines.plm.ditto import DittoMatcher
+from repro.baselines.plm.jointbert import JointBertMatcher
+from repro.baselines.plm.robem import RobEMMatcher
+
+__all__ = [
+    "DittoMatcher",
+    "JointBertMatcher",
+    "LogisticRegressionClassifier",
+    "PLMMatcher",
+    "RandomFeatureMap",
+    "RobEMMatcher",
+]

@@ -1,0 +1,137 @@
+"""Base class of the simulated PLM matchers (Ditto / JointBERT / RobEM).
+
+A matcher is trained on ``num_training_samples`` labeled pairs from the train
+split and evaluated on the test split.  Its cost is the labeling cost of those
+training pairs (no API cost), which is what Exp-3 compares against BatchER's
+API-plus-labeling cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+
+import numpy as np
+
+from repro.baselines.plm.classifier import LogisticRegressionClassifier, RandomFeatureMap
+from repro.core.result import RunResult
+from repro.cost.labeling_cost import labeling_cost
+from repro.cost.tracker import CostBreakdown
+from repro.data.schema import Dataset, EntityPair, MatchLabel
+from repro.evaluation.metrics import evaluate_predictions
+from repro.features.structure_aware import StructureAwareExtractor
+
+#: Similarity functions stacked into the raw feature vector of each pair.
+RAW_SIMILARITIES = ("levenshtein_ratio", "jaccard", "overlap")
+
+
+class PLMMatcher(ABC):
+    """Trainable matcher with a learning curve, standing in for a fine-tuned PLM.
+
+    Subclasses set the class attributes below to model the (mild) behavioural
+    differences between Ditto, JointBERT and RobEM.
+
+    Args:
+        seed: controls the training subset, the random feature map and the
+            classifier initialisation.
+    """
+
+    #: Human-readable method name recorded on results.
+    name: str = "plm"
+    #: Dimension of the random non-linear feature expansion (capacity).
+    expansion_dimension: int = 192
+    #: L2 regularisation of the logistic head.
+    l2_regularization: float = 1e-3
+    #: Class weighting mode (``"none"`` or ``"balanced"``).
+    class_weighting: str = "none"
+    #: Gradient-descent epochs.
+    epochs: int = 300
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._extractors: list[StructureAwareExtractor] | None = None
+        self._feature_map: RandomFeatureMap | None = None
+        self._classifier: LogisticRegressionClassifier | None = None
+
+    # -- featurisation -------------------------------------------------------
+
+    def _build_extractors(self, attributes: tuple[str, ...]) -> list[StructureAwareExtractor]:
+        return [
+            StructureAwareExtractor(attributes, similarity=similarity)
+            for similarity in RAW_SIMILARITIES
+        ]
+
+    def _raw_features(self, pairs: list[EntityPair]) -> np.ndarray:
+        if self._extractors is None:
+            raise RuntimeError("matcher must be fitted before featurising pairs")
+        blocks = [extractor.extract_matrix(pairs) for extractor in self._extractors]
+        return np.hstack(blocks)
+
+    # -- training / prediction -----------------------------------------------
+
+    def fit(self, dataset: Dataset, num_training_samples: int) -> "PLMMatcher":
+        """Fine-tune the matcher on the first ``num_training_samples`` train pairs.
+
+        Raises:
+            ValueError: if the requested sample count is not positive.
+        """
+        if num_training_samples < 1:
+            raise ValueError(
+                f"num_training_samples must be >= 1, got {num_training_samples}"
+            )
+        train_pairs = list(dataset.splits.train)
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(train_pairs))
+        chosen = [train_pairs[index] for index in order[:num_training_samples]]
+        self.num_training_samples = len(chosen)
+
+        self._extractors = self._build_extractors(dataset.attributes)
+        raw = self._raw_features(chosen)
+        self._feature_map = RandomFeatureMap(
+            input_dimension=raw.shape[1],
+            output_dimension=self.expansion_dimension,
+            seed=self.seed + 1,
+        )
+        expanded = self._feature_map.transform(raw)
+        labels = np.array([int(pair.label) for pair in chosen])
+        self._classifier = LogisticRegressionClassifier(
+            l2_regularization=self.l2_regularization,
+            epochs=self.epochs,
+            class_weighting=self.class_weighting,
+            seed=self.seed + 2,
+        ).fit(expanded, labels)
+        return self
+
+    def predict(self, pairs: list[EntityPair]) -> list[MatchLabel]:
+        """Predict match / non-match for each pair.
+
+        Raises:
+            RuntimeError: if the matcher has not been fitted.
+        """
+        if self._classifier is None or self._feature_map is None:
+            raise RuntimeError("matcher must be fitted before predicting")
+        raw = self._raw_features(pairs)
+        expanded = self._feature_map.transform(raw)
+        predictions = self._classifier.predict(expanded)
+        return [MatchLabel(int(value)) for value in predictions]
+
+    def evaluate(self, dataset: Dataset, num_training_samples: int) -> RunResult:
+        """Train on ``num_training_samples`` pairs and evaluate on the test split."""
+        self.fit(dataset, num_training_samples)
+        test_pairs = list(dataset.splits.test)
+        predictions = self.predict(test_pairs)
+        gold = [pair.label for pair in test_pairs]
+        metrics = evaluate_predictions(gold, predictions)
+        cost = CostBreakdown(
+            api_cost=0.0,
+            labeling_cost=labeling_cost(self.num_training_samples),
+            num_labeled_pairs=self.num_training_samples,
+        )
+        return RunResult(
+            dataset=dataset.name,
+            method=self.name,
+            metrics=metrics,
+            cost=cost,
+            num_questions=len(test_pairs),
+            predictions=tuple(predictions),
+            config={"num_training_samples": self.num_training_samples, "seed": self.seed},
+        )

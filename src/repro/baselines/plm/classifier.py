@@ -1,0 +1,156 @@
+"""Numpy building blocks of the simulated PLM matchers.
+
+* :class:`RandomFeatureMap` — a fixed random non-linear feature expansion
+  (random projection + cosine activation, in the spirit of random Fourier
+  features).  It gives the classifier enough capacity to overfit small
+  training sets, which is what makes the baselines data hungry like fine-tuned
+  PLMs.
+* :class:`LogisticRegressionClassifier` — L2-regularised logistic regression
+  trained with full-batch gradient descent, optional class weighting (used by
+  the RobEM variant to correct class imbalance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RandomFeatureMap:
+    """Fixed random non-linear feature expansion.
+
+    Args:
+        input_dimension: dimensionality of the raw feature vectors.
+        output_dimension: dimensionality of the expanded representation.
+        bandwidth: scale of the random projection (larger = smoother features).
+        seed: RNG seed; the map is frozen at construction.
+    """
+
+    input_dimension: int
+    output_dimension: int = 192
+    bandwidth: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_dimension < 1:
+            raise ValueError("input_dimension must be >= 1")
+        if self.output_dimension < 1:
+            raise ValueError("output_dimension must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        self._projection = rng.normal(
+            scale=self.bandwidth, size=(self.input_dimension, self.output_dimension)
+        )
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=self.output_dimension)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Expand raw features into the random non-linear representation."""
+        data = np.atleast_2d(np.asarray(features, dtype=float))
+        if data.shape[1] != self.input_dimension:
+            raise ValueError(
+                f"expected {self.input_dimension} input features, got {data.shape[1]}"
+            )
+        projected = data @ self._projection + self._phase
+        expanded = np.sqrt(2.0 / self.output_dimension) * np.cos(projected)
+        # Keep the raw features alongside the expansion so the classifier can
+        # still find the simple signal once it has enough data.
+        return np.hstack([data, expanded])
+
+
+class LogisticRegressionClassifier:
+    """L2-regularised logistic regression trained with gradient descent.
+
+    Args:
+        l2_regularization: weight of the L2 penalty.
+        learning_rate: gradient-descent step size.
+        epochs: number of full-batch passes.
+        class_weighting: ``"none"`` or ``"balanced"`` (inverse-frequency class
+            weights, the RobEM-style imbalance correction).
+        seed: seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        l2_regularization: float = 1e-3,
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+        class_weighting: str = "none",
+        seed: int = 0,
+    ) -> None:
+        if class_weighting not in ("none", "balanced"):
+            raise ValueError("class_weighting must be 'none' or 'balanced'")
+        self.l2_regularization = l2_regularization
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.class_weighting = class_weighting
+        self.seed = seed
+        self._weights: np.ndarray | None = None
+        self._bias: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._weights is not None
+
+    @staticmethod
+    def _sigmoid(values: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(values, -35.0, 35.0)))
+
+    def _sample_weights(self, labels: np.ndarray) -> np.ndarray:
+        if self.class_weighting == "none":
+            return np.ones_like(labels, dtype=float)
+        positives = float(np.sum(labels == 1))
+        negatives = float(np.sum(labels == 0))
+        total = positives + negatives
+        weights = np.where(
+            labels == 1,
+            total / (2.0 * positives) if positives > 0 else 1.0,
+            total / (2.0 * negatives) if negatives > 0 else 1.0,
+        )
+        return weights
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegressionClassifier":
+        """Fit the classifier on ``features`` / binary ``labels``."""
+        data = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(labels, dtype=float).ravel()
+        if data.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"features have {data.shape[0]} rows but labels have {targets.shape[0]}"
+            )
+        if data.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(scale=0.01, size=data.shape[1])
+        bias = 0.0
+        sample_weights = self._sample_weights(targets)
+        normaliser = float(np.sum(sample_weights))
+
+        for _ in range(self.epochs):
+            logits = data @ weights + bias
+            probabilities = self._sigmoid(logits)
+            errors = (probabilities - targets) * sample_weights
+            gradient_weights = data.T @ errors / normaliser + self.l2_regularization * weights
+            gradient_bias = float(np.sum(errors)) / normaliser
+            weights -= self.learning_rate * gradient_weights
+            bias -= self.learning_rate * gradient_bias
+
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return the probability of the matching class for each row.
+
+        Raises:
+            RuntimeError: if the classifier has not been fitted.
+        """
+        if self._weights is None:
+            raise RuntimeError("classifier must be fitted before predicting")
+        data = np.atleast_2d(np.asarray(features, dtype=float))
+        return self._sigmoid(data @ self._weights + self._bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Return binary match predictions for each row."""
+        return (self.predict_proba(features) >= threshold).astype(int)

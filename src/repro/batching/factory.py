@@ -1,0 +1,34 @@
+"""Factory for question batching strategies keyed by the paper's names."""
+
+from __future__ import annotations
+
+from repro.batching.base import QuestionBatcher
+from repro.batching.diversity_batching import DiversityQuestionBatcher
+from repro.batching.random_batching import RandomQuestionBatcher
+from repro.batching.similarity_batching import SimilarityQuestionBatcher
+
+#: Canonical batching strategy names accepted by :func:`create_batcher`.
+BATCHING_STRATEGIES = ("random", "similar", "diverse")
+
+
+def create_batcher(strategy: str, batch_size: int = 8, seed: int = 0) -> QuestionBatcher:
+    """Create a question batcher for one of the paper's strategies.
+
+    Args:
+        strategy: ``"random"``, ``"similar"`` (similarity-based) or
+            ``"diverse"`` (diversity-based); a few aliases are accepted.
+        batch_size: maximum questions per batch (paper default 8).
+        seed: RNG seed for randomised decisions.
+
+    Raises:
+        KeyError: for unknown strategies.
+    """
+    key = strategy.strip().lower()
+    if key in ("random", "rand"):
+        return RandomQuestionBatcher(batch_size=batch_size, seed=seed)
+    if key in ("similar", "similarity", "similarity-based", "sim"):
+        return SimilarityQuestionBatcher(batch_size=batch_size, seed=seed)
+    if key in ("diverse", "diversity", "diversity-based", "div"):
+        return DiversityQuestionBatcher(batch_size=batch_size, seed=seed)
+    known = ", ".join(BATCHING_STRATEGIES)
+    raise KeyError(f"unknown batching strategy {strategy!r}; expected one of: {known}")

@@ -1,0 +1,22 @@
+"""Blocking substrate: candidate-pair generation from two tables.
+
+The paper treats the blocker as a given component (Section II-A): an end-to-end
+ER system first applies blocking to prune the ``|TA| x |TB|`` cross product to
+a manageable candidate set, then the matcher (BatchER) labels candidates.  Our
+benchmark generator produces candidate sets directly, but a real deployment
+needs a blocker, so this package provides standard token-overlap and
+similarity-threshold blockers plus blocking-quality metrics (pair recall and
+reduction ratio).
+"""
+
+from repro.blocking.base import Blocker, BlockingResult, evaluate_blocking
+from repro.blocking.overlap import TokenOverlapBlocker
+from repro.blocking.similarity import SimilarityThresholdBlocker
+
+__all__ = [
+    "Blocker",
+    "BlockingResult",
+    "SimilarityThresholdBlocker",
+    "TokenOverlapBlocker",
+    "evaluate_blocking",
+]

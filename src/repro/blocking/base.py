@@ -1,0 +1,66 @@
+"""Blocker interface and blocking-quality evaluation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.data.schema import CandidateSet, EntityPair, MatchLabel, Record, Table
+
+
+@dataclass(frozen=True)
+class BlockingResult:
+    """Output of a blocker: the surviving candidate pairs and bookkeeping."""
+
+    candidates: CandidateSet
+    total_possible_pairs: int
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of the cross product pruned away (1 = everything pruned)."""
+        if self.total_possible_pairs == 0:
+            return 0.0
+        return 1.0 - len(self.candidates) / self.total_possible_pairs
+
+
+class Blocker(ABC):
+    """Base class for blockers producing candidate pairs from two tables."""
+
+    @abstractmethod
+    def block(self, table_a: Table, table_b: Table) -> BlockingResult:
+        """Produce candidate pairs for the two tables."""
+
+    def _make_pair(self, left: Record, right: Record, index: int) -> EntityPair:
+        return EntityPair(pair_id=f"block-{index}", left=left, right=right, label=None)
+
+
+def evaluate_blocking(
+    result: BlockingResult, gold_matches: CandidateSet
+) -> dict[str, float]:
+    """Evaluate a blocking result against gold matching pairs.
+
+    Pair recall counts how many gold matching record-id pairs survive blocking;
+    the reduction ratio measures how aggressively the cross product was pruned.
+
+    Args:
+        result: the blocker output.
+        gold_matches: a candidate set whose MATCH-labeled pairs define the gold
+            matches (record ids are compared, not record contents).
+    """
+    gold_ids = {
+        (pair.left.record_id, pair.right.record_id)
+        for pair in gold_matches
+        if pair.label is MatchLabel.MATCH
+    }
+    if not gold_ids:
+        recall = 1.0
+    else:
+        surviving = {
+            (pair.left.record_id, pair.right.record_id) for pair in result.candidates
+        }
+        recall = len(gold_ids & surviving) / len(gold_ids)
+    return {
+        "pair_recall": recall,
+        "reduction_ratio": result.reduction_ratio,
+        "num_candidates": float(len(result.candidates)),
+    }

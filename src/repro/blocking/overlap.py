@@ -1,0 +1,81 @@
+"""Token-overlap blocking (inverted-index based).
+
+A candidate pair survives if the two records share at least ``min_overlap``
+tokens across the blocking attributes.  This is the classic cheap blocker used
+by Magellan-style pipelines; it is quadratic-safe because it only compares
+records that co-occur in at least one inverted-index posting list.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.blocking.base import Blocker, BlockingResult
+from repro.data.schema import CandidateSet, Record, Table
+from repro.text.similarity import tokenize_value
+
+#: Tokens shorter than this are ignored (stop-word-ish noise).
+MIN_TOKEN_LENGTH = 2
+
+
+class TokenOverlapBlocker(Blocker):
+    """Inverted-index token overlap blocker.
+
+    Args:
+        attributes: attributes whose tokens are indexed; ``None`` means all
+            attributes of table A's schema.
+        min_overlap: minimum number of shared tokens for a pair to survive.
+        max_posting_length: posting lists longer than this are skipped (they
+            correspond to uninformative, very frequent tokens).
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...] | None = None,
+        min_overlap: int = 2,
+        max_posting_length: int = 200,
+    ) -> None:
+        if min_overlap < 1:
+            raise ValueError(f"min_overlap must be >= 1, got {min_overlap}")
+        self.attributes = attributes
+        self.min_overlap = min_overlap
+        self.max_posting_length = max_posting_length
+
+    def _record_tokens(self, record: Record, attributes: tuple[str, ...]) -> set[str]:
+        tokens: set[str] = set()
+        for attribute in attributes:
+            for token in tokenize_value(record.value(attribute)):
+                if len(token) >= MIN_TOKEN_LENGTH:
+                    tokens.add(token)
+        return tokens
+
+    def block(self, table_a: Table, table_b: Table) -> BlockingResult:
+        attributes = self.attributes or table_a.attributes
+        tokens_b = {
+            record.record_id: self._record_tokens(record, attributes) for record in table_b
+        }
+        index_b: dict[str, list[int]] = defaultdict(list)
+        for position, record in enumerate(table_b):
+            for token in tokens_b[record.record_id]:
+                index_b[token].append(position)
+
+        pairs = []
+        pair_index = 0
+        for record_a in table_a:
+            tokens_a = self._record_tokens(record_a, attributes)
+            overlap_counts: dict[int, int] = defaultdict(int)
+            for token in tokens_a:
+                posting = index_b.get(token, ())
+                if len(posting) > self.max_posting_length:
+                    continue
+                for position in posting:
+                    overlap_counts[position] += 1
+            for position, count in overlap_counts.items():
+                if count >= self.min_overlap:
+                    pairs.append(self._make_pair(record_a, table_b.records[position], pair_index))
+                    pair_index += 1
+
+        return BlockingResult(
+            candidates=CandidateSet(tuple(pairs)),
+            total_possible_pairs=len(table_a) * len(table_b),
+        )

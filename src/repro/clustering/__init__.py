@@ -1,0 +1,19 @@
+"""Clustering substrate used by the question batching module.
+
+The paper clusters questions with DBSCAN (Section III, footnote on clustering
+choice); K-Means is provided as an alternative so the clustering choice itself
+can be ablated.  Both are implemented from scratch on top of numpy.
+"""
+
+from repro.clustering.distance import pairwise_distances, euclidean_distance
+from repro.clustering.dbscan import DBSCAN, DBSCANResult
+from repro.clustering.kmeans import KMeans, KMeansResult
+
+__all__ = [
+    "DBSCAN",
+    "DBSCANResult",
+    "KMeans",
+    "KMeansResult",
+    "euclidean_distance",
+    "pairwise_distances",
+]

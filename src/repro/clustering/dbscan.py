@@ -1,0 +1,146 @@
+"""DBSCAN density clustering (Ester et al., KDD 1996).
+
+The paper clusters question feature vectors with DBSCAN before batching
+(Section III).  This implementation works directly on a precomputed distance
+matrix (or computes one from feature vectors), assigns cluster labels
+``0..k-1`` and marks noise points with ``-1``.  For the batching pipeline the
+downstream code treats every noise point as its own singleton cluster, because
+every question must end up in exactly one batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.distance import pairwise_distances
+
+#: Label assigned by DBSCAN to noise points.
+NOISE_LABEL = -1
+
+
+@dataclass(frozen=True)
+class DBSCANResult:
+    """Outcome of a DBSCAN run.
+
+    Attributes:
+        labels: per-point cluster labels (``-1`` = noise).
+        num_clusters: number of proper (non-noise) clusters found.
+        core_point_mask: boolean mask of core points.
+    """
+
+    labels: np.ndarray
+    num_clusters: int
+    core_point_mask: np.ndarray
+
+    def clusters(self, include_noise_as_singletons: bool = True) -> list[list[int]]:
+        """Group point indices by cluster.
+
+        Args:
+            include_noise_as_singletons: when True (the batching pipeline's
+                behaviour), each noise point becomes its own singleton cluster
+                appended after the proper clusters.
+        """
+        grouped: dict[int, list[int]] = {}
+        for index, label in enumerate(self.labels):
+            if label == NOISE_LABEL:
+                continue
+            grouped.setdefault(int(label), []).append(index)
+        ordered = [grouped[label] for label in sorted(grouped)]
+        if include_noise_as_singletons:
+            ordered.extend(
+                [index] for index, label in enumerate(self.labels) if label == NOISE_LABEL
+            )
+        return ordered
+
+
+class DBSCAN:
+    """Density-based clustering with an epsilon-neighbourhood and min-points rule.
+
+    Args:
+        eps: neighbourhood radius.  When ``None``, the radius is chosen
+            automatically as a percentile of the non-zero pairwise distances,
+            which makes the clusterer robust to the very different feature
+            scales of the structure-aware (low-dimensional, [0,1] entries) and
+            semantics-based (256-d unit vectors) extractors.
+        min_samples: minimum neighbourhood size for a core point.
+        eps_percentile: percentile used by the automatic radius rule.
+        metric: distance metric (``"euclidean"`` or ``"cosine"``).
+    """
+
+    def __init__(
+        self,
+        eps: float | None = None,
+        min_samples: int = 3,
+        eps_percentile: float = 15.0,
+        metric: str = "euclidean",
+    ) -> None:
+        if eps is not None and eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if not 0.0 < eps_percentile < 100.0:
+            raise ValueError("eps_percentile must be in (0, 100)")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.eps_percentile = eps_percentile
+        self.metric = metric
+
+    def _resolve_eps(self, distances: np.ndarray) -> float:
+        if self.eps is not None:
+            return self.eps
+        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
+        positive = off_diagonal[off_diagonal > 0.0]
+        if positive.size == 0:
+            return 1.0
+        return float(np.percentile(positive, self.eps_percentile))
+
+    def fit(self, features: np.ndarray, distances: np.ndarray | None = None) -> DBSCANResult:
+        """Cluster the row vectors of ``features``.
+
+        Args:
+            features: ``(n, d)`` feature matrix (ignored when ``distances`` is
+                supplied, except for its row count).
+            distances: optional precomputed ``(n, n)`` distance matrix.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+        n = features.shape[0]
+        if n == 0:
+            return DBSCANResult(
+                labels=np.empty(0, dtype=int),
+                num_clusters=0,
+                core_point_mask=np.empty(0, dtype=bool),
+            )
+        if distances is None:
+            distances = pairwise_distances(features, metric=self.metric)
+        eps = self._resolve_eps(distances)
+
+        neighbour_lists = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+        core_mask = np.array(
+            [len(neighbours) >= self.min_samples for neighbours in neighbour_lists]
+        )
+
+        labels = np.full(n, NOISE_LABEL, dtype=int)
+        cluster_id = 0
+        for point in range(n):
+            if labels[point] != NOISE_LABEL or not core_mask[point]:
+                continue
+            # Breadth-first expansion from this unassigned core point.
+            labels[point] = cluster_id
+            frontier = list(neighbour_lists[point])
+            while frontier:
+                neighbour = int(frontier.pop())
+                if labels[neighbour] == NOISE_LABEL:
+                    labels[neighbour] = cluster_id
+                    if core_mask[neighbour]:
+                        frontier.extend(
+                            int(candidate)
+                            for candidate in neighbour_lists[neighbour]
+                            if labels[candidate] == NOISE_LABEL
+                        )
+            cluster_id += 1
+
+        return DBSCANResult(labels=labels, num_clusters=cluster_id, core_point_mask=core_mask)

@@ -1,0 +1,112 @@
+"""Distance utilities shared by clustering, batching and demonstration selection.
+
+The paper measures relevance between questions (and between questions and
+demonstrations) with the Euclidean distance over feature vectors (Section
+III-B); cosine distance is provided as an alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def euclidean_distance(left: np.ndarray, right: np.ndarray) -> float:
+    """Euclidean distance between two 1-D feature vectors."""
+    return float(np.linalg.norm(np.asarray(left, dtype=float) - np.asarray(right, dtype=float)))
+
+
+def cosine_distance(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine distance (1 - cosine similarity) between two 1-D feature vectors.
+
+    Zero vectors are treated as maximally distant from everything except other
+    zero vectors.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    norm_left = float(np.linalg.norm(left))
+    norm_right = float(np.linalg.norm(right))
+    if norm_left == 0.0 and norm_right == 0.0:
+        return 0.0
+    if norm_left == 0.0 or norm_right == 0.0:
+        return 1.0
+    return 1.0 - float(np.dot(left, right)) / (norm_left * norm_right)
+
+
+DISTANCE_FUNCTIONS = {
+    "euclidean": euclidean_distance,
+    "cosine": cosine_distance,
+}
+"""Registry of named distance functions."""
+
+
+def get_distance_function(name: str):
+    """Look up a distance function by name.
+
+    Raises:
+        KeyError: if ``name`` is not registered.
+    """
+    try:
+        return DISTANCE_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(DISTANCE_FUNCTIONS))
+        raise KeyError(f"unknown distance function {name!r}; expected one of: {known}") from None
+
+
+def pairwise_distances(matrix: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Compute the full pairwise distance matrix of row vectors in ``matrix``.
+
+    Args:
+        matrix: an ``(n, d)`` array of feature vectors.
+        metric: ``"euclidean"`` or ``"cosine"``.
+
+    Returns:
+        An ``(n, n)`` symmetric matrix of distances with a zero diagonal.
+    """
+    data = np.asarray(matrix, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+    if metric == "euclidean":
+        squared_norms = np.sum(data * data, axis=1)
+        squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * data @ data.T
+        np.maximum(squared, 0.0, out=squared)
+        distances = np.sqrt(squared)
+    elif metric == "cosine":
+        norms = np.linalg.norm(data, axis=1)
+        safe_norms = np.where(norms == 0.0, 1.0, norms)
+        normalised = data / safe_norms[:, None]
+        similarity = normalised @ normalised.T
+        similarity = np.clip(similarity, -1.0, 1.0)
+        distances = 1.0 - similarity
+        zero_rows = norms == 0.0
+        if np.any(zero_rows):
+            distances[zero_rows, :] = 1.0
+            distances[:, zero_rows] = 1.0
+            distances[np.ix_(zero_rows, zero_rows)] = 0.0
+    else:
+        raise KeyError(f"unknown metric {metric!r}; expected 'euclidean' or 'cosine'")
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def cross_distances(
+    left: np.ndarray, right: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """Compute the ``(n, m)`` distance matrix between two sets of row vectors."""
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    if left.ndim != 2 or right.ndim != 2:
+        raise ValueError("both inputs must be 2-D matrices")
+    if metric == "euclidean":
+        left_norms = np.sum(left * left, axis=1)
+        right_norms = np.sum(right * right, axis=1)
+        squared = left_norms[:, None] + right_norms[None, :] - 2.0 * left @ right.T
+        np.maximum(squared, 0.0, out=squared)
+        return np.sqrt(squared)
+    if metric == "cosine":
+        left_norm = np.linalg.norm(left, axis=1)
+        right_norm = np.linalg.norm(right, axis=1)
+        safe_left = np.where(left_norm == 0.0, 1.0, left_norm)
+        safe_right = np.where(right_norm == 0.0, 1.0, right_norm)
+        similarity = (left / safe_left[:, None]) @ (right / safe_right[:, None]).T
+        return 1.0 - np.clip(similarity, -1.0, 1.0)
+    raise KeyError(f"unknown metric {metric!r}; expected 'euclidean' or 'cosine'")

@@ -1,0 +1,115 @@
+"""K-Means clustering (Lloyd's algorithm with k-means++ initialisation).
+
+The paper mentions K-Means as an alternative to DBSCAN for grouping questions
+before batching.  We ship it so the clustering choice can be ablated; the
+batching strategies only require a list of clusters, not a particular
+clustering algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a K-Means run."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+    def clusters(self) -> list[list[int]]:
+        """Group point indices by cluster (empty clusters are dropped)."""
+        grouped: dict[int, list[int]] = {}
+        for index, label in enumerate(self.labels):
+            grouped.setdefault(int(label), []).append(index)
+        return [grouped[label] for label in sorted(grouped)]
+
+
+class KMeans:
+    """Lloyd's K-Means with k-means++ seeding and a fixed RNG seed.
+
+    Args:
+        num_clusters: target number of clusters (clamped to the number of
+            points at fit time).
+        max_iterations: iteration cap.
+        tolerance: centroid-movement convergence threshold.
+        seed: RNG seed for the k-means++ initialisation.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int = 8,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+
+    def _init_centroids(self, data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ initialisation: spread the initial centroids apart."""
+        n = data.shape[0]
+        centroids = np.empty((k, data.shape[1]), dtype=float)
+        first = int(rng.integers(n))
+        centroids[0] = data[first]
+        closest_squared = np.sum((data - centroids[0]) ** 2, axis=1)
+        for i in range(1, k):
+            total = float(np.sum(closest_squared))
+            if total <= 0.0:
+                centroids[i] = data[int(rng.integers(n))]
+            else:
+                probabilities = closest_squared / total
+                choice = int(rng.choice(n, p=probabilities))
+                centroids[i] = data[choice]
+            distances = np.sum((data - centroids[i]) ** 2, axis=1)
+            np.minimum(closest_squared, distances, out=closest_squared)
+        return centroids
+
+    def fit(self, features: np.ndarray) -> KMeansResult:
+        """Cluster the row vectors of ``features``."""
+        data = np.asarray(features, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {data.shape}")
+        n = data.shape[0]
+        if n == 0:
+            return KMeansResult(
+                labels=np.empty(0, dtype=int),
+                centroids=np.empty((0, data.shape[1] if data.ndim == 2 else 0)),
+                inertia=0.0,
+                iterations=0,
+            )
+        k = min(self.num_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(data, k, rng)
+
+        labels = np.zeros(n, dtype=int)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(k):
+                members = data[labels == cluster]
+                if len(members) > 0:
+                    new_centroids[cluster] = members.mean(axis=0)
+            movement = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if movement <= self.tolerance:
+                break
+
+        final_distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
+        inertia = float(np.sum(np.min(final_distances, axis=1) ** 2))
+        return KMeansResult(
+            labels=labels, centroids=centroids, inertia=inertia, iterations=iterations
+        )

@@ -1,0 +1,13 @@
+"""Core framework: configuration, the BatchER orchestrator and run results."""
+
+from repro.core.config import BatcherConfig
+from repro.core.batcher import BatchER
+from repro.core.standard import StandardPromptingER
+from repro.core.result import RunResult
+
+__all__ = [
+    "BatchER",
+    "BatcherConfig",
+    "RunResult",
+    "StandardPromptingER",
+]

@@ -1,0 +1,132 @@
+"""The BatchER framework orchestrator (paper Figure 2).
+
+``BatchER.run`` wires the whole batch-prompting pipeline together:
+
+1. take the dataset's test split as the *question set* and its train split as
+   the *unlabeled demonstration pool*;
+2. extract feature vectors for questions and pool pairs;
+3. group questions into batches with the configured batching strategy;
+4. select (and "manually label") demonstrations per batch with the configured
+   selection strategy;
+5. render one batch prompt per batch, query the LLM, parse the answers;
+6. evaluate F1 against the gold labels and account API + labeling cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.batching.base import validate_batching
+from repro.batching.factory import create_batcher
+from repro.core.config import BatcherConfig
+from repro.core.result import RunResult
+from repro.cost.tracker import CostTracker
+from repro.data.schema import Dataset, EntityPair, MatchLabel
+from repro.evaluation.metrics import evaluate_predictions
+from repro.features.factory import create_feature_extractor
+from repro.llm.base import LLMClient
+from repro.llm.registry import create_llm
+from repro.prompting.batch import BatchPromptBuilder
+from repro.prompting.parser import parse_batch_answers
+from repro.selection.factory import create_selector
+
+
+class BatchER:
+    """Cost-effective batch prompting framework for entity resolution.
+
+    Args:
+        config: the design-space point to run.
+        llm: optional pre-built LLM client (useful for injecting a different
+            seed or a custom client in tests); by default one is created from
+            the config.
+    """
+
+    def __init__(self, config: BatcherConfig | None = None, llm: LLMClient | None = None) -> None:
+        self.config = config or BatcherConfig()
+        self._llm = llm
+
+    # -- question / pool preparation ----------------------------------------
+
+    def _questions(self, dataset: Dataset) -> list[EntityPair]:
+        questions = list(dataset.splits.test)
+        if self.config.max_questions is not None:
+            questions = questions[: self.config.max_questions]
+        return questions
+
+    def _pool(self, dataset: Dataset) -> list[EntityPair]:
+        return list(dataset.splits.train)
+
+    def _build_llm(self) -> LLMClient:
+        if self._llm is not None:
+            self._llm.reset_usage()
+            return self._llm
+        return create_llm(
+            self.config.model, seed=self.config.seed, temperature=self.config.temperature
+        )
+
+    # -- main entry point -----------------------------------------------------
+
+    def run(self, dataset: Dataset) -> RunResult:
+        """Run the framework on ``dataset`` and return the evaluated result."""
+        config = self.config
+        questions = self._questions(dataset)
+        if not questions:
+            raise ValueError(f"dataset {dataset.name!r} has an empty test split")
+        pool = self._pool(dataset)
+        if not pool:
+            raise ValueError(f"dataset {dataset.name!r} has an empty train split")
+
+        extractor = create_feature_extractor(config.feature_extractor, dataset.attributes)
+        question_features = extractor.extract_matrix(questions)
+        pool_features = extractor.extract_matrix(pool)
+
+        batcher = create_batcher(config.batching, batch_size=config.batch_size, seed=config.seed)
+        batches = batcher.create_batches(questions, question_features)
+        validate_batching(batches, len(questions), config.batch_size)
+
+        selector = create_selector(
+            config.selection,
+            num_demonstrations=config.num_demonstrations,
+            metric=config.metric,
+            seed=config.seed,
+            threshold_percentile=config.threshold_percentile,
+        )
+        selection = selector.select(batches, question_features, pool, pool_features)
+
+        llm = self._build_llm()
+        cost = CostTracker(config.model)
+        cost.attach_usage(llm.usage)
+        cost.record_labeled_pairs(selection.num_labeled)
+
+        builder = BatchPromptBuilder(attributes=dataset.attributes)
+        predictions: list[MatchLabel | None] = [None] * len(questions)
+        num_unanswered = 0
+        for batch, batch_demos in zip(batches, selection.per_batch):
+            prompt = builder.build(batch.pairs, batch_demos.demonstrations)
+            response = llm.complete(prompt.text)
+            parsed = parse_batch_answers(response.text, num_questions=len(batch))
+            num_unanswered += parsed.num_unanswered
+            for question_index, label in zip(batch.indices, parsed.resolved()):
+                predictions[question_index] = label
+
+        resolved = tuple(
+            label if label is not None else MatchLabel.NON_MATCH for label in predictions
+        )
+        gold = [question.label for question in questions]
+        metrics = evaluate_predictions(gold, resolved)
+
+        return RunResult(
+            dataset=dataset.name,
+            method=f"batcher/{config.batching}+{config.selection}",
+            metrics=metrics,
+            cost=cost.breakdown(),
+            num_questions=len(questions),
+            num_batches=len(batches),
+            num_unanswered=num_unanswered,
+            predictions=resolved,
+            config=config.to_dict(),
+        )
+
+    def run_many(self, datasets: Sequence[Dataset]) -> list[RunResult]:
+        """Run the framework on several datasets and return all results."""
+        return [self.run(dataset) for dataset in datasets]

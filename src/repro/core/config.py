@@ -1,0 +1,107 @@
+"""Configuration of the BatchER framework: one point in the paper's design space.
+
+A :class:`BatcherConfig` fixes the question batching strategy, the
+demonstration selection strategy, the feature extractor, the batch /
+demonstration budgets, the underlying LLM and the seeds — i.e. everything the
+paper varies across its experiments (Table I plus Sections VI-E to VI-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.batching.factory import BATCHING_STRATEGIES
+from repro.features.factory import EXTRACTOR_VARIANTS
+from repro.llm.profiles import available_models
+from repro.selection.factory import SELECTION_STRATEGIES
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """One design-space point of the BatchER framework.
+
+    Attributes:
+        batching: question batching strategy (``"random"``, ``"similar"``,
+            ``"diverse"``); the paper's best choice is ``"diverse"``.
+        selection: demonstration selection strategy (``"fixed"``,
+            ``"topk-batch"``, ``"topk-question"``, ``"covering"``); the paper's
+            proposal is ``"covering"``.
+        feature_extractor: ``"lr"`` (structure-aware Levenshtein ratio, the
+            paper's best), ``"jaccard"`` or ``"semantic"``.
+        batch_size: questions per batch (paper: 8).
+        num_demonstrations: per-batch demonstration budget K (paper: 8).
+        model: underlying LLM profile name (paper default: GPT-3.5-03).
+        metric: feature-space distance (paper: Euclidean).
+        threshold_percentile: covering radius percentile (paper: 8).
+        temperature: LLM sampling temperature (paper: 0.01).
+        seed: seed driving batching/selection randomness and the simulated LLM.
+        max_questions: optional cap on the number of test questions evaluated
+            (useful for fast examples and tests); ``None`` evaluates the whole
+            test split.
+    """
+
+    batching: str = "diverse"
+    selection: str = "covering"
+    feature_extractor: str = "lr"
+    batch_size: int = 8
+    num_demonstrations: int = 8
+    model: str = "gpt-3.5-03"
+    metric: str = "euclidean"
+    threshold_percentile: float = 8.0
+    temperature: float = 0.01
+    seed: int = 0
+    max_questions: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.num_demonstrations < 1:
+            raise ValueError(
+                f"num_demonstrations must be >= 1, got {self.num_demonstrations}"
+            )
+        if self.max_questions is not None and self.max_questions < 1:
+            raise ValueError(f"max_questions must be >= 1, got {self.max_questions}")
+        if self.batching.lower() not in _normalised(BATCHING_STRATEGIES):
+            raise ValueError(
+                f"unknown batching strategy {self.batching!r}; "
+                f"expected one of {BATCHING_STRATEGIES}"
+            )
+        if self.selection.lower().replace("_", "-") not in _normalised(SELECTION_STRATEGIES):
+            raise ValueError(
+                f"unknown selection strategy {self.selection!r}; "
+                f"expected one of {SELECTION_STRATEGIES}"
+            )
+        if self.feature_extractor.lower() not in _normalised(EXTRACTOR_VARIANTS):
+            raise ValueError(
+                f"unknown feature extractor {self.feature_extractor!r}; "
+                f"expected one of {EXTRACTOR_VARIANTS}"
+            )
+        if self.model.lower() not in available_models():
+            raise ValueError(
+                f"unknown model {self.model!r}; expected one of {available_models()}"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "BatcherConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain-dict snapshot of the configuration (for reports)."""
+        return {
+            "batching": self.batching,
+            "selection": self.selection,
+            "feature_extractor": self.feature_extractor,
+            "batch_size": self.batch_size,
+            "num_demonstrations": self.num_demonstrations,
+            "model": self.model,
+            "metric": self.metric,
+            "threshold_percentile": self.threshold_percentile,
+            "temperature": self.temperature,
+            "seed": self.seed,
+            "max_questions": self.max_questions,
+        }
+
+
+def _normalised(options: tuple[str, ...]) -> set[str]:
+    return {option.lower() for option in options}

@@ -1,0 +1,56 @@
+"""Run result value objects returned by the framework and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cost.tracker import CostBreakdown
+from repro.data.schema import MatchLabel
+from repro.evaluation.metrics import MatchingMetrics
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of evaluating one matcher configuration on one dataset.
+
+    Attributes:
+        dataset: dataset code (e.g. ``"WA"``).
+        method: human-readable method label (e.g. ``"batcher/diverse+covering"``).
+        metrics: precision / recall / F1 on the evaluated questions.
+        cost: monetary cost breakdown (API + labeling).
+        num_questions: number of evaluated questions.
+        num_batches: number of LLM calls made in batch mode (0 for non-LLM
+            baselines).
+        num_unanswered: questions the LLM failed to answer (resolved with the
+            fallback label before evaluation).
+        predictions: per-question predicted labels, aligned with the question
+            order used by the run.
+        config: snapshot of the configuration that produced this result.
+    """
+
+    dataset: str
+    method: str
+    metrics: MatchingMetrics
+    cost: CostBreakdown
+    num_questions: int
+    num_batches: int = 0
+    num_unanswered: int = 0
+    predictions: tuple[MatchLabel, ...] = field(default=(), repr=False)
+    config: Mapping[str, Any] = field(default_factory=dict, repr=False)
+
+    def summary(self) -> dict[str, object]:
+        """Return a flat summary row (handy for tables and benchmark output)."""
+        return {
+            "dataset": self.dataset,
+            "method": self.method,
+            "f1": round(self.metrics.f1, 2),
+            "precision": round(self.metrics.precision, 2),
+            "recall": round(self.metrics.recall, 2),
+            "api_cost": round(self.cost.api_cost, 4),
+            "label_cost": round(self.cost.labeling_cost, 4),
+            "total_cost": round(self.cost.total_cost, 4),
+            "questions": self.num_questions,
+            "llm_calls": self.cost.num_llm_calls,
+            "unanswered": self.num_unanswered,
+        }

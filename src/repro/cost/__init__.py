@@ -1,0 +1,22 @@
+"""Monetary cost model (paper Section VI-A).
+
+Two cost components are tracked:
+
+* **API cost** — dollars paid per token to the LLM provider, computed from the
+  usage tracker of the LLM client and the model's pricing entry;
+* **labeling cost** — dollars paid to crowd workers to label the selected
+  demonstrations ($0.008 per pair, derived from the paper's AMT estimate of
+  $0.08 per ten-pair labeling task).
+"""
+
+from repro.cost.labeling_cost import LABEL_COST_PER_PAIR, labeling_cost
+from repro.cost.api_cost import api_cost
+from repro.cost.tracker import CostBreakdown, CostTracker
+
+__all__ = [
+    "CostBreakdown",
+    "CostTracker",
+    "LABEL_COST_PER_PAIR",
+    "api_cost",
+    "labeling_cost",
+]

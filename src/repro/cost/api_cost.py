@@ -1,0 +1,12 @@
+"""API cost: dollars paid to the LLM provider for token usage."""
+
+from __future__ import annotations
+
+from repro.llm.base import UsageTracker
+from repro.llm.pricing import get_pricing
+
+
+def api_cost(model: str, usage: UsageTracker) -> float:
+    """Dollar cost of all calls accumulated in ``usage`` under ``model``'s pricing."""
+    pricing = get_pricing(model)
+    return pricing.cost(usage.prompt_tokens, usage.completion_tokens)

@@ -1,0 +1,27 @@
+"""Demonstration labeling cost (crowdsourced annotation).
+
+The paper prices labeling at the AMT rate of $0.08 per labeling task and groups
+ten entity pairs per task (following CrowdER), i.e. $0.008 per labeled pair.
+"""
+
+from __future__ import annotations
+
+#: Dollar cost of labeling one entity pair.
+LABEL_COST_PER_PAIR = 0.008
+
+#: Number of pairs grouped into one crowdsourcing task (CrowdER-style batching).
+PAIRS_PER_LABELING_TASK = 10
+
+#: Dollar cost of one crowdsourcing labeling task.
+COST_PER_LABELING_TASK = 0.08
+
+
+def labeling_cost(num_labeled_pairs: int) -> float:
+    """Dollar cost of labeling ``num_labeled_pairs`` entity pairs.
+
+    Raises:
+        ValueError: if the count is negative.
+    """
+    if num_labeled_pairs < 0:
+        raise ValueError(f"num_labeled_pairs must be >= 0, got {num_labeled_pairs}")
+    return num_labeled_pairs * LABEL_COST_PER_PAIR

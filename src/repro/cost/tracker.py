@@ -1,0 +1,64 @@
+"""Cost tracking across a run: API cost + labeling cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.labeling_cost import labeling_cost
+from repro.llm.base import UsageTracker
+from repro.llm.pricing import get_pricing
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Monetary cost of one run, split by component (all in dollars)."""
+
+    api_cost: float
+    labeling_cost: float
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    num_llm_calls: int = 0
+    num_labeled_pairs: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        """API cost plus labeling cost."""
+        return self.api_cost + self.labeling_cost
+
+
+class CostTracker:
+    """Accumulates the monetary cost of one framework run.
+
+    Args:
+        model: LLM model name, used to price token usage.
+    """
+
+    def __init__(self, model: str) -> None:
+        self.model = model
+        self._pricing = get_pricing(model)
+        self._num_labeled_pairs = 0
+        self._usage: UsageTracker | None = None
+
+    def record_labeled_pairs(self, count: int) -> None:
+        """Record that ``count`` additional demonstrations were manually labeled."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._num_labeled_pairs += count
+
+    def attach_usage(self, usage: UsageTracker) -> None:
+        """Attach the LLM client's usage tracker (read at report time)."""
+        self._usage = usage
+
+    def breakdown(self) -> CostBreakdown:
+        """Return the current cost breakdown."""
+        prompt_tokens = self._usage.prompt_tokens if self._usage else 0
+        completion_tokens = self._usage.completion_tokens if self._usage else 0
+        num_calls = self._usage.num_calls if self._usage else 0
+        return CostBreakdown(
+            api_cost=self._pricing.cost(prompt_tokens, completion_tokens),
+            labeling_cost=labeling_cost(self._num_labeled_pairs),
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            num_llm_calls=num_calls,
+            num_labeled_pairs=self._num_labeled_pairs,
+        )

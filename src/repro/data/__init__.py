@@ -1,0 +1,35 @@
+"""Data substrate: ER data model, serialization, synthetic Magellan-style benchmarks.
+
+The paper evaluates on eight Magellan benchmark datasets (Table II).  Those
+datasets are not available offline, so :mod:`repro.data.generator` synthesises
+datasets with the same schemas, sizes and match rates, and with realistic
+dirtiness injected by :mod:`repro.data.corruption`.  The public entry point is
+:func:`repro.data.registry.load_dataset`.
+"""
+
+from repro.data.schema import (
+    CandidateSet,
+    Dataset,
+    DatasetSplits,
+    EntityPair,
+    MatchLabel,
+    Record,
+    Table,
+)
+from repro.data.serialization import serialize_pair, serialize_record
+from repro.data.registry import available_datasets, dataset_statistics, load_dataset
+
+__all__ = [
+    "CandidateSet",
+    "Dataset",
+    "DatasetSplits",
+    "EntityPair",
+    "MatchLabel",
+    "Record",
+    "Table",
+    "available_datasets",
+    "dataset_statistics",
+    "load_dataset",
+    "serialize_pair",
+    "serialize_record",
+]

@@ -1,0 +1,157 @@
+"""Dirtiness operators used when synthesising Magellan-style ER benchmarks.
+
+Real ER benchmarks are hard because the two tables describe the same entity
+*differently*: typos, abbreviations, re-ordered or dropped tokens, missing
+values, different number formats, added noise words ("[Explicit]", "NEW").
+This module implements those corruption operators as small pure functions over
+strings plus a :class:`CorruptionPipeline` that applies a configurable mixture
+of them with a seeded RNG, so that generated datasets are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+
+
+def introduce_typo(value: str, rng: random.Random) -> str:
+    """Introduce a single character-level typo (swap, drop, duplicate or replace)."""
+    if len(value) < 2:
+        return value
+    index = rng.randrange(len(value) - 1)
+    operation = rng.choice(("swap", "drop", "duplicate", "replace"))
+    if operation == "swap":
+        chars = list(value)
+        chars[index], chars[index + 1] = chars[index + 1], chars[index]
+        return "".join(chars)
+    if operation == "drop":
+        return value[:index] + value[index + 1:]
+    if operation == "duplicate":
+        return value[:index] + value[index] + value[index:]
+    replacement = rng.choice(string.ascii_lowercase)
+    return value[:index] + replacement + value[index + 1:]
+
+
+def abbreviate_tokens(value: str, rng: random.Random) -> str:
+    """Abbreviate one multi-character token to its leading characters plus a dot."""
+    tokens = value.split()
+    candidates = [i for i, token in enumerate(tokens) if len(token) > 4 and token.isalpha()]
+    if not candidates:
+        return value
+    index = rng.choice(candidates)
+    tokens[index] = tokens[index][:3] + "."
+    return " ".join(tokens)
+
+
+def drop_token(value: str, rng: random.Random) -> str:
+    """Drop one token (keeps at least one token)."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    index = rng.randrange(len(tokens))
+    del tokens[index]
+    return " ".join(tokens)
+
+
+def shuffle_tokens(value: str, rng: random.Random) -> str:
+    """Swap two adjacent tokens (mild word-order change)."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    index = rng.randrange(len(tokens) - 1)
+    tokens[index], tokens[index + 1] = tokens[index + 1], tokens[index]
+    return " ".join(tokens)
+
+
+def change_case(value: str, rng: random.Random) -> str:
+    """Change casing of the whole value (upper / lower / title)."""
+    transform = rng.choice((str.upper, str.lower, str.title))
+    return transform(value)
+
+
+def append_noise_token(value: str, rng: random.Random) -> str:
+    """Append a marketplace-style noise token, e.g. ``[Explicit]`` or ``NEW``."""
+    noise = rng.choice(("[Explicit]", "(New)", "- Import", "(Deluxe Edition)", "NEW", "OEM"))
+    return f"{value} {noise}"
+
+
+def perturb_number(value: str, rng: random.Random) -> str:
+    """Perturb a numeric value slightly (price rounding, cents differences)."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return value
+    delta = rng.choice((-1.0, -0.05, 0.0, 0.05, 1.0))
+    perturbed = max(0.0, number + delta)
+    return f"{perturbed:.2f}"
+
+
+#: Operators applicable to free-text attribute values.
+TEXT_OPERATORS = (
+    introduce_typo,
+    abbreviate_tokens,
+    drop_token,
+    shuffle_tokens,
+    change_case,
+    append_noise_token,
+)
+
+
+@dataclass
+class CorruptionPipeline:
+    """Applies a randomised mixture of corruption operators to attribute values.
+
+    Args:
+        corruption_probability: probability that a given attribute value gets at
+            least one corruption applied.
+        missing_probability: probability that a value is dropped entirely
+            (becomes ``None``), simulating missing data.
+        max_operations: maximum number of corruption operators applied to a
+            single value.
+        seed: RNG seed for reproducibility.
+    """
+
+    corruption_probability: float = 0.45
+    missing_probability: float = 0.08
+    max_operations: int = 2
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corruption_probability <= 1.0:
+            raise ValueError("corruption_probability must be in [0, 1]")
+        if not 0.0 <= self.missing_probability <= 1.0:
+            raise ValueError("missing_probability must be in [0, 1]")
+        if self.max_operations < 1:
+            raise ValueError("max_operations must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def corrupt_value(self, value: str | None, numeric: bool = False) -> str | None:
+        """Return a corrupted copy of ``value`` (possibly ``None`` for missing)."""
+        if value is None:
+            return None
+        if self._rng.random() < self.missing_probability:
+            return None
+        if self._rng.random() >= self.corruption_probability:
+            return value
+        corrupted = value
+        operations = self._rng.randint(1, self.max_operations)
+        for _ in range(operations):
+            if numeric:
+                corrupted = perturb_number(corrupted, self._rng)
+            else:
+                operator = self._rng.choice(TEXT_OPERATORS)
+                corrupted = operator(corrupted, self._rng)
+        return corrupted
+
+    def corrupt_record_values(
+        self,
+        values: dict[str, str | None],
+        numeric_attributes: frozenset[str] = frozenset(),
+    ) -> dict[str, str | None]:
+        """Corrupt every value of a record's attribute dictionary."""
+        return {
+            name: self.corrupt_value(value, numeric=name in numeric_attributes)
+            for name, value in values.items()
+        }

@@ -1,0 +1,205 @@
+"""Synthetic Magellan-style benchmark generator.
+
+The generator turns a :class:`repro.data.specs.DatasetSpec` into a full
+:class:`repro.data.schema.Dataset`:
+
+1. sample ``n`` clean *world entities* from the spec's ``entity_factory``;
+2. materialise every world entity as a record in table A and (independently
+   corrupted) a record in table B, simulating the two data sources describing
+   the same object differently;
+3. build **matched candidate pairs** from (A-view, B-view) of the same world
+   entity;
+4. build **non-matched candidate pairs** as a mixture of *hard negatives*
+   (the spec's ``variant_factory`` modifies an entity into a different but
+   similar one, e.g. a different model number or a different paper by the same
+   authors) and *easy negatives* (two unrelated world entities);
+5. split the labeled candidate set 3:1:1 into train/validation/test.
+
+Everything is driven by a single seed, so datasets are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.corruption import CorruptionPipeline
+from repro.data.schema import (
+    CandidateSet,
+    Dataset,
+    EntityPair,
+    MatchLabel,
+    Record,
+    Table,
+)
+from repro.data.specs import DatasetSpec, get_spec
+from repro.data.splits import split_candidate_set
+from repro.utils import stable_seed
+
+#: Fraction of non-matching candidate pairs that are hard negatives.
+HARD_NEGATIVE_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic benchmark generator.
+
+    Args:
+        seed: base RNG seed; every derived stream (entities, corruption for A,
+            corruption for B, pairing) uses an offset of this seed.
+        scale: multiplier applied to the spec's pair / match counts.  ``1.0``
+            reproduces the paper's Table II sizes; smaller values generate
+            proportionally smaller datasets for fast tests and examples.
+        hard_negative_fraction: fraction of non-matches generated via the
+            spec's ``variant_factory`` (similar-looking different entities);
+            ``None`` uses the per-dataset fraction from the spec.
+    """
+
+    seed: int = 0
+    scale: float = 1.0
+    hard_negative_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.hard_negative_fraction is not None and not 0.0 <= self.hard_negative_fraction <= 1.0:
+            raise ValueError("hard_negative_fraction must be in [0, 1]")
+
+
+class MagellanStyleGenerator:
+    """Generates one synthetic benchmark dataset from a :class:`DatasetSpec`."""
+
+    def __init__(self, spec: DatasetSpec, config: GeneratorConfig | None = None) -> None:
+        self.spec = spec
+        self.config = config or GeneratorConfig()
+
+    # -- sizing ------------------------------------------------------------
+
+    def target_num_matches(self) -> int:
+        """Number of matching pairs to generate after applying ``scale``."""
+        return max(8, round(self.spec.num_matches * self.config.scale))
+
+    def target_num_pairs(self) -> int:
+        """Total number of candidate pairs to generate after applying ``scale``."""
+        scaled = max(20, round(self.spec.num_pairs * self.config.scale))
+        # Keep at least as many pairs as matches plus a handful of negatives.
+        return max(scaled, self.target_num_matches() + 12)
+
+    # -- generation --------------------------------------------------------
+
+    def generate(self) -> Dataset:
+        """Generate the full dataset (tables, labeled candidate pairs, splits)."""
+        spec = self.spec
+        config = self.config
+        entity_rng = random.Random(stable_seed(config.seed, spec.code, "entities"))
+        pair_rng = random.Random(stable_seed(config.seed, spec.code, "pairs"))
+
+        num_matches = self.target_num_matches()
+        num_pairs = self.target_num_pairs()
+        num_non_matches = num_pairs - num_matches
+        hard_fraction = (
+            config.hard_negative_fraction
+            if config.hard_negative_fraction is not None
+            else spec.hard_negative_fraction
+        )
+        num_hard_negatives = round(num_non_matches * hard_fraction)
+        num_easy_negatives = num_non_matches - num_hard_negatives
+
+        # Every matched pair consumes one world entity; easy negatives consume
+        # two; hard negatives consume one (plus its generated variant).  Add a
+        # small surplus so sampling without replacement never starves.
+        num_entities = num_matches + num_hard_negatives + 2 * num_easy_negatives + 16
+        world_entities = [
+            spec.entity_factory(entity_rng, index) for index in range(num_entities)
+        ]
+
+        corrupt_a = CorruptionPipeline(
+            corruption_probability=spec.corruption_probability * 0.3,
+            missing_probability=spec.missing_probability * 0.5,
+            max_operations=1,
+            seed=config.seed * 7919 + 11,
+        )
+        corrupt_b = CorruptionPipeline(
+            corruption_probability=spec.corruption_probability,
+            missing_probability=spec.missing_probability,
+            max_operations=2,
+            seed=config.seed * 7919 + 23,
+        )
+
+        records_a: list[Record] = []
+        records_b: list[Record] = []
+        pairs: list[EntityPair] = []
+
+        def add_record(side: str, values: dict[str, str | None]) -> Record:
+            storage = records_a if side == "A" else records_b
+            pipeline = corrupt_a if side == "A" else corrupt_b
+            corrupted = pipeline.corrupt_record_values(values, spec.numeric_attributes)
+            record = Record(record_id=f"{side}-{len(storage)}", values=corrupted)
+            storage.append(record)
+            return record
+
+        def add_pair(left: Record, right: Record, label: MatchLabel) -> None:
+            pairs.append(
+                EntityPair(
+                    pair_id=f"{spec.code}-{len(pairs)}",
+                    left=left,
+                    right=right,
+                    label=label,
+                )
+            )
+
+        entity_cursor = 0
+
+        # Matching pairs: two corrupted views of the same world entity.
+        for _ in range(num_matches):
+            entity = world_entities[entity_cursor]
+            entity_cursor += 1
+            add_pair(add_record("A", entity), add_record("B", entity), MatchLabel.MATCH)
+
+        # Hard negatives: an entity versus a near-duplicate variant of it.
+        for _ in range(num_hard_negatives):
+            entity = world_entities[entity_cursor]
+            entity_cursor += 1
+            variant = spec.variant_factory(entity, pair_rng)
+            add_pair(add_record("A", entity), add_record("B", variant), MatchLabel.NON_MATCH)
+
+        # Easy negatives: two unrelated world entities.
+        for _ in range(num_easy_negatives):
+            entity_left = world_entities[entity_cursor]
+            entity_right = world_entities[entity_cursor + 1]
+            entity_cursor += 2
+            add_pair(
+                add_record("A", entity_left),
+                add_record("B", entity_right),
+                MatchLabel.NON_MATCH,
+            )
+
+        pair_rng.shuffle(pairs)
+        candidate_set = CandidateSet(tuple(pairs))
+        splits = split_candidate_set(candidate_set, seed=config.seed)
+
+        return Dataset(
+            name=spec.code,
+            full_name=spec.full_name,
+            domain=spec.domain,
+            table_a=Table(name="A", attributes=spec.attributes, records=tuple(records_a)),
+            table_b=Table(name="B", attributes=spec.attributes, records=tuple(records_b)),
+            candidate_pairs=candidate_set,
+            splits=splits,
+        )
+
+
+def generate_dataset(
+    name: str, seed: int = 0, scale: float = 1.0
+) -> Dataset:
+    """Generate the named benchmark dataset.
+
+    Args:
+        name: dataset code from Table II (``"wa"``, ``"ab"``, ..., ``"beer"``),
+            case-insensitive.
+        seed: RNG seed controlling entities, corruption and pairing.
+        scale: size multiplier relative to the paper's pair counts.
+    """
+    spec = get_spec(name)
+    generator = MagellanStyleGenerator(spec, GeneratorConfig(seed=seed, scale=scale))
+    return generator.generate()

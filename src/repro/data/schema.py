@@ -1,0 +1,197 @@
+"""Core ER data model: records, tables, entity pairs, datasets and splits.
+
+The paper's setting (Section II-A): two relational tables ``TA`` and ``TB``
+with the same ``m`` attributes; a blocker produces candidate pairs
+``(a, b) in TA x TB``; a matcher labels each candidate pair matching /
+non-matching.  This module holds the immutable value objects used throughout
+the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Iterator, Mapping
+
+
+class MatchLabel(IntEnum):
+    """Binary matching label for an entity pair."""
+
+    NON_MATCH = 0
+    MATCH = 1
+
+    @classmethod
+    def from_bool(cls, is_match: bool) -> "MatchLabel":
+        """Convert a boolean match indicator into a :class:`MatchLabel`."""
+        return cls.MATCH if is_match else cls.NON_MATCH
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single tuple of a relational table.
+
+    Attributes:
+        record_id: identifier unique within its table (e.g. ``"A-17"``).
+        values: mapping from attribute name to (possibly missing) string value.
+            Missing values are represented as ``None``.
+    """
+
+    record_id: str
+    values: Mapping[str, str | None]
+
+    def value(self, attribute: str) -> str | None:
+        """Return the value of ``attribute`` (``None`` if missing)."""
+        return self.values.get(attribute)
+
+    def non_missing_attributes(self) -> list[str]:
+        """Return the attribute names whose value is present and non-empty."""
+        return [name for name, value in self.values.items() if value]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A relational table: a named, ordered schema plus its records."""
+
+    name: str
+    attributes: tuple[str, ...]
+    records: tuple[Record, ...]
+
+    def __post_init__(self) -> None:
+        attribute_set = set(self.attributes)
+        for record in self.records:
+            unknown = set(record.values) - attribute_set
+            if unknown:
+                raise ValueError(
+                    f"record {record.record_id!r} in table {self.name!r} has "
+                    f"attributes outside the schema: {sorted(unknown)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def record_by_id(self, record_id: str) -> Record:
+        """Return the record with ``record_id``.
+
+        Raises:
+            KeyError: if no record with that id exists in this table.
+        """
+        for record in self.records:
+            if record.record_id == record_id:
+                return record
+        raise KeyError(f"no record {record_id!r} in table {self.name!r}")
+
+
+@dataclass(frozen=True)
+class EntityPair:
+    """A candidate pair of records, optionally carrying a gold label.
+
+    ``label`` is ``None`` for unlabeled pairs (e.g. entries of the unlabeled
+    demonstration pool before manual annotation).
+    """
+
+    pair_id: str
+    left: Record
+    right: Record
+    label: MatchLabel | None = None
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether this pair carries a gold matching label."""
+        return self.label is not None
+
+    def with_label(self, label: MatchLabel) -> "EntityPair":
+        """Return a copy of this pair carrying ``label`` (simulates annotation)."""
+        return EntityPair(pair_id=self.pair_id, left=self.left, right=self.right, label=label)
+
+    def without_label(self) -> "EntityPair":
+        """Return a copy of this pair with the label stripped."""
+        return EntityPair(pair_id=self.pair_id, left=self.left, right=self.right, label=None)
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """An ordered collection of entity pairs (the output of blocking)."""
+
+    pairs: tuple[EntityPair, ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[EntityPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> EntityPair:
+        return self.pairs[index]
+
+    def labeled(self) -> "CandidateSet":
+        """Return the subset of pairs that carry a gold label."""
+        return CandidateSet(tuple(pair for pair in self.pairs if pair.is_labeled))
+
+    def match_count(self) -> int:
+        """Return the number of pairs labeled as matches."""
+        return sum(1 for pair in self.pairs if pair.label is MatchLabel.MATCH)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[EntityPair]) -> "CandidateSet":
+        """Build a candidate set from any iterable of pairs."""
+        return cls(tuple(pairs))
+
+
+@dataclass(frozen=True)
+class DatasetSplits:
+    """Train / validation / test partition of a labeled candidate set.
+
+    The paper uses a 3:1:1 split (Section VI-A).  The *test* split is what the
+    matcher is evaluated on; the *train* split doubles as the unlabeled
+    demonstration pool (labels are hidden until a selection strategy pays the
+    labeling cost for a chosen demonstration).
+    """
+
+    train: CandidateSet
+    validation: CandidateSet
+    test: CandidateSet
+
+    def total_pairs(self) -> int:
+        """Total number of pairs across all three splits."""
+        return len(self.train) + len(self.validation) + len(self.test)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A complete ER benchmark dataset.
+
+    Attributes:
+        name: short code used by the paper (e.g. ``"WA"``).
+        full_name: descriptive name (e.g. ``"Walmart-Amazon"``).
+        domain: domain label from Table II (e.g. ``"Electronics"``).
+        table_a / table_b: the two relational tables being resolved.
+        candidate_pairs: the blocked, labeled candidate set (all pairs).
+        splits: the 3:1:1 train/validation/test partition.
+    """
+
+    name: str
+    full_name: str
+    domain: str
+    table_a: Table
+    table_b: Table
+    candidate_pairs: CandidateSet
+    splits: DatasetSplits = field(repr=False)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The shared attribute schema of the two tables."""
+        return self.table_a.attributes
+
+    def statistics(self) -> dict[str, object]:
+        """Return Table II style statistics for this dataset."""
+        return {
+            "dataset": self.full_name,
+            "code": self.name,
+            "domain": self.domain,
+            "num_attributes": len(self.attributes),
+            "num_pairs": len(self.candidate_pairs),
+            "num_matches": self.candidate_pairs.match_count(),
+        }

@@ -1,0 +1,42 @@
+"""Entity serialization (Eq. 1 of the paper).
+
+A record is serialized as ``attr1: val1, attr2: val2, ...`` and an entity pair
+as ``S(a) [SEP] S(b)``.  The serialized form is used (i) as the textual payload
+of prompts sent to the LLM and (ii) as the input to the semantics-based feature
+extractor.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import EntityPair, Record
+
+#: Separator token between the two entities of a serialized pair (Eq. 1).
+PAIR_SEPARATOR = "[SEP]"
+
+#: Placeholder used for missing attribute values in serialized text.
+MISSING_VALUE_TEXT = ""
+
+
+def serialize_record(record: Record, attributes: tuple[str, ...] | None = None) -> str:
+    """Serialize one record as ``attr1: val1, attr2: val2, ...``.
+
+    Args:
+        record: the record to serialize.
+        attributes: explicit attribute ordering; defaults to the record's own
+            value ordering.  Passing the table schema keeps serialization
+            consistent across records even when some values are missing.
+    """
+    names = attributes if attributes is not None else tuple(record.values.keys())
+    parts = []
+    for name in names:
+        value = record.value(name)
+        rendered = value if value is not None else MISSING_VALUE_TEXT
+        parts.append(f"{name}: {rendered}")
+    return ", ".join(parts)
+
+
+def serialize_pair(pair: EntityPair, attributes: tuple[str, ...] | None = None) -> str:
+    """Serialize an entity pair as ``S(a) [SEP] S(b)`` (Eq. 1)."""
+    left_text = serialize_record(pair.left, attributes)
+    right_text = serialize_record(pair.right, attributes)
+    return f"{left_text} {PAIR_SEPARATOR} {right_text}"

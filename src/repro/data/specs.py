@@ -1,0 +1,416 @@
+"""Per-dataset specifications mirroring the paper's Table II.
+
+Each :class:`DatasetSpec` describes one of the eight Magellan benchmarks:
+schema, domain, target pair/match counts, and two factories:
+
+* ``entity_factory(rng, index)`` produces a *clean* world entity (a dict of
+  attribute values) for the dataset's domain;
+* ``variant_factory(values, rng)`` turns a clean entity into a *different but
+  similar* entity (a hard negative): e.g. the same laptop brand with a
+  different model number, the next album by the same artist, a paper by the
+  same authors at a different venue.
+
+The generator (:mod:`repro.data.generator`) combines these with the corruption
+pipeline to synthesise matched and non-matched candidate pairs at the paper's
+scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data import vocabularies as vocab
+
+EntityFactory = Callable[[random.Random, int], dict[str, str]]
+VariantFactory = Callable[[dict[str, str], random.Random], dict[str, str]]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one benchmark dataset (paper Table II row)."""
+
+    code: str
+    full_name: str
+    domain: str
+    attributes: tuple[str, ...]
+    num_pairs: int
+    num_matches: int
+    entity_factory: EntityFactory = field(repr=False)
+    variant_factory: VariantFactory = field(repr=False)
+    numeric_attributes: frozenset[str] = frozenset()
+    corruption_probability: float = 0.45
+    missing_probability: float = 0.08
+    hard_negative_fraction: float = 0.55
+
+
+# ---------------------------------------------------------------------------
+# Electronics / product domains (WA, AB, AG)
+# ---------------------------------------------------------------------------
+
+def _walmart_amazon_entity(rng: random.Random, index: int) -> dict[str, str]:
+    brand = vocab.pick(rng, vocab.ELECTRONICS_BRANDS)
+    product = vocab.pick(rng, vocab.ELECTRONICS_PRODUCTS)
+    adjective = vocab.pick(rng, vocab.PRODUCT_ADJECTIVES)
+    modelno = vocab.make_model_number(rng)
+    return {
+        "title": f"{brand} {adjective} {product} {modelno}",
+        "category": vocab.pick(rng, vocab.ELECTRONICS_CATEGORIES),
+        "brand": brand,
+        "modelno": modelno,
+        "price": vocab.make_price(rng, 10.0, 1500.0),
+    }
+
+
+def _walmart_amazon_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    new_model = vocab.make_model_number(rng)
+    variant["modelno"] = new_model
+    variant["title"] = values["title"].replace(values["modelno"], new_model)
+    variant["price"] = vocab.make_price(rng, 10.0, 1500.0)
+    if rng.random() < 0.3:
+        variant["category"] = vocab.pick(rng, vocab.ELECTRONICS_CATEGORIES)
+    return variant
+
+
+def _abt_buy_entity(rng: random.Random, index: int) -> dict[str, str]:
+    brand = vocab.pick(rng, vocab.ELECTRONICS_BRANDS)
+    product = vocab.pick(rng, vocab.ELECTRONICS_PRODUCTS)
+    adjective = vocab.pick(rng, vocab.PRODUCT_ADJECTIVES)
+    modelno = vocab.make_model_number(rng)
+    name = f"{brand} {product} {modelno}"
+    description = (
+        f"{adjective} {product.lower()} by {brand} featuring model {modelno}, "
+        f"{vocab.pick(rng, vocab.ELECTRONICS_CATEGORIES)}"
+    )
+    return {
+        "name": name,
+        "description": description,
+        "price": vocab.make_price(rng, 20.0, 1200.0),
+    }
+
+
+def _abt_buy_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    tokens = values["name"].split()
+    new_model = vocab.make_model_number(rng)
+    tokens[-1] = new_model
+    variant["name"] = " ".join(tokens)
+    variant["description"] = values["description"].rsplit("model", 1)[0] + f"model {new_model}"
+    variant["price"] = vocab.make_price(rng, 20.0, 1200.0)
+    return variant
+
+
+def _amazon_google_entity(rng: random.Random, index: int) -> dict[str, str]:
+    publisher = vocab.pick(rng, vocab.SOFTWARE_PUBLISHERS)
+    product = vocab.pick(rng, vocab.SOFTWARE_PRODUCTS)
+    edition = vocab.pick(rng, vocab.SOFTWARE_EDITIONS)
+    return {
+        "title": f"{publisher} {product} {edition}",
+        "manufacturer": publisher,
+        "price": vocab.make_price(rng, 9.0, 600.0),
+    }
+
+
+def _amazon_google_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    new_edition = vocab.pick(rng, vocab.SOFTWARE_EDITIONS)
+    tokens = values["title"].split()
+    variant["title"] = " ".join(tokens[:-1] + [new_edition])
+    variant["price"] = vocab.make_price(rng, 9.0, 600.0)
+    if rng.random() < 0.25:
+        variant["manufacturer"] = vocab.pick(rng, vocab.SOFTWARE_PUBLISHERS)
+        variant["title"] = f"{variant['manufacturer']} " + " ".join(tokens[1:-1] + [new_edition])
+    return variant
+
+
+# ---------------------------------------------------------------------------
+# Citation domains (DS, DA)
+# ---------------------------------------------------------------------------
+
+def _citation_entity(rng: random.Random, index: int) -> dict[str, str]:
+    topic = vocab.pick(rng, vocab.CITATION_TITLE_TOPICS)
+    pattern = vocab.pick(rng, vocab.CITATION_TITLE_PATTERNS)
+    venue = vocab.pick(rng, vocab.CITATION_VENUES_FULL)
+    return {
+        "title": pattern.format(topic=topic),
+        "authors": vocab.make_author_list(rng),
+        "venue": venue,
+        "year": str(rng.randint(1994, 2010)),
+    }
+
+
+def _citation_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    choice = rng.random()
+    if choice < 0.5:
+        # Same authors, a different paper on a related topic.
+        topic = vocab.pick(rng, vocab.CITATION_TITLE_TOPICS)
+        pattern = vocab.pick(rng, vocab.CITATION_TITLE_PATTERNS)
+        variant["title"] = pattern.format(topic=topic)
+        variant["year"] = str(rng.randint(1994, 2010))
+    else:
+        # Different author team writing about the same topic in another venue.
+        variant["authors"] = vocab.make_author_list(rng)
+        variant["venue"] = vocab.pick(rng, vocab.CITATION_VENUES_FULL)
+        variant["year"] = str(rng.randint(1994, 2010))
+    return variant
+
+
+# ---------------------------------------------------------------------------
+# Restaurant domain (FZ)
+# ---------------------------------------------------------------------------
+
+def _restaurant_entity(rng: random.Random, index: int) -> dict[str, str]:
+    name = (
+        f"{vocab.pick(rng, vocab.RESTAURANT_NAME_PARTS_A)} "
+        f"{vocab.pick(rng, vocab.RESTAURANT_NAME_PARTS_B)}"
+    )
+    return {
+        "name": name.lower(),
+        "addr": f"{rng.randint(1, 9999)} {vocab.pick(rng, vocab.STREET_NAMES).lower()}",
+        "city": vocab.pick(rng, vocab.RESTAURANT_CITIES),
+        "phone": vocab.make_phone(rng),
+        "type": vocab.pick(rng, vocab.RESTAURANT_CUISINES),
+        "class": str(rng.randint(0, 800)),
+    }
+
+
+def _restaurant_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    if rng.random() < 0.3:
+        # Another branch of a similarly named restaurant in a different city,
+        # serving a different cuisine.
+        variant["city"] = vocab.pick(rng, vocab.RESTAURANT_CITIES)
+        variant["addr"] = f"{rng.randint(1, 9999)} {vocab.pick(rng, vocab.STREET_NAMES).lower()}"
+        variant["phone"] = vocab.make_phone(rng)
+        variant["type"] = vocab.pick(rng, vocab.RESTAURANT_CUISINES)
+    else:
+        # Different restaurant sharing the first name token.
+        first_token = values["name"].split()[0]
+        variant["name"] = f"{first_token} {vocab.pick(rng, vocab.RESTAURANT_NAME_PARTS_B).lower()}"
+        variant["phone"] = vocab.make_phone(rng)
+        variant["type"] = vocab.pick(rng, vocab.RESTAURANT_CUISINES)
+    variant["class"] = str(rng.randint(0, 800))
+    return variant
+
+
+# ---------------------------------------------------------------------------
+# Music domain (IA)
+# ---------------------------------------------------------------------------
+
+def _music_entity(rng: random.Random, index: int) -> dict[str, str]:
+    artist = vocab.pick(rng, vocab.MUSIC_ARTISTS)
+    song = (
+        f"{vocab.pick(rng, vocab.MUSIC_SONG_WORDS)} "
+        f"{vocab.pick(rng, vocab.MUSIC_SONG_NOUNS)}"
+    )
+    album = (
+        f"{vocab.pick(rng, vocab.MUSIC_SONG_WORDS)} "
+        f"{vocab.pick(rng, vocab.MUSIC_SONG_NOUNS)}"
+    )
+    minutes = rng.randint(2, 6)
+    seconds = rng.randint(0, 59)
+    year = rng.randint(2005, 2017)
+    return {
+        "song_name": song,
+        "artist_name": artist,
+        "album_name": album,
+        "genre": vocab.pick(rng, vocab.MUSIC_GENRES) + ", Music",
+        "price": f"{rng.choice((0.99, 1.29)):.2f}",
+        "copyright": f"(C) {year} {vocab.pick(rng, vocab.MUSIC_COPYRIGHT_HOLDERS)}",
+        "time": f"{minutes}:{seconds:02d}",
+        "released": f"{rng.randint(1, 28)}-{rng.choice(('Jan', 'Mar', 'Jun', 'Sep', 'Nov'))}-{year % 100:02d}",
+    }
+
+
+def _music_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    if rng.random() < 0.5:
+        # Different track on the same album by the same artist.
+        variant["song_name"] = (
+            f"{vocab.pick(rng, vocab.MUSIC_SONG_WORDS)} "
+            f"{vocab.pick(rng, vocab.MUSIC_SONG_NOUNS)}"
+        )
+        variant["time"] = f"{rng.randint(2, 6)}:{rng.randint(0, 59):02d}"
+    else:
+        # The same song title recorded on a different album (live / remix).
+        variant["album_name"] = values["album_name"] + rng.choice((" (Live)", " (Remixes)", " II"))
+        variant["time"] = f"{rng.randint(2, 6)}:{rng.randint(0, 59):02d}"
+        variant["released"] = (
+            f"{rng.randint(1, 28)}-{rng.choice(('Feb', 'Apr', 'Jul', 'Oct'))}-{rng.randint(6, 17):02d}"
+        )
+    return variant
+
+
+# ---------------------------------------------------------------------------
+# Beer domain (Beer)
+# ---------------------------------------------------------------------------
+
+def _beer_entity(rng: random.Random, index: int) -> dict[str, str]:
+    name = (
+        f"{vocab.pick(rng, vocab.BEER_NAME_ADJECTIVES)} "
+        f"{vocab.pick(rng, vocab.BEER_NAME_NOUNS)} "
+        f"{vocab.pick(rng, vocab.BEER_STYLES)}"
+    )
+    return {
+        "beer_name": name,
+        "brew_factory_name": vocab.pick(rng, vocab.BEER_BREWERIES),
+        "style": vocab.pick(rng, vocab.BEER_STYLES),
+        "abv": f"{rng.uniform(3.5, 12.0):.1f}%",
+    }
+
+
+def _beer_variant(values: dict[str, str], rng: random.Random) -> dict[str, str]:
+    variant = dict(values)
+    if rng.random() < 0.5:
+        # Same brewery, a different beer in the same style family.
+        variant["beer_name"] = (
+            f"{vocab.pick(rng, vocab.BEER_NAME_ADJECTIVES)} "
+            f"{vocab.pick(rng, vocab.BEER_NAME_NOUNS)} "
+            f"{values['style']}"
+        )
+        variant["abv"] = f"{rng.uniform(3.5, 12.0):.1f}%"
+    else:
+        # Similarly named beer from a different brewery.
+        variant["brew_factory_name"] = vocab.pick(rng, vocab.BEER_BREWERIES)
+        variant["style"] = vocab.pick(rng, vocab.BEER_STYLES)
+        variant["abv"] = f"{rng.uniform(3.5, 12.0):.1f}%"
+    return variant
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "wa": DatasetSpec(
+        code="WA",
+        full_name="Walmart-Amazon",
+        domain="Electronics",
+        attributes=("title", "category", "brand", "modelno", "price"),
+        num_pairs=10242,
+        num_matches=962,
+        entity_factory=_walmart_amazon_entity,
+        variant_factory=_walmart_amazon_variant,
+        numeric_attributes=frozenset({"price"}),
+        hard_negative_fraction=0.55,
+    ),
+    "ab": DatasetSpec(
+        code="AB",
+        full_name="Abt-Buy",
+        domain="Product",
+        attributes=("name", "description", "price"),
+        num_pairs=9575,
+        num_matches=1028,
+        entity_factory=_abt_buy_entity,
+        variant_factory=_abt_buy_variant,
+        numeric_attributes=frozenset({"price"}),
+        missing_probability=0.12,
+        hard_negative_fraction=0.50,
+    ),
+    "ag": DatasetSpec(
+        code="AG",
+        full_name="Amazon-Google",
+        domain="Software",
+        attributes=("title", "manufacturer", "price"),
+        num_pairs=11460,
+        num_matches=1167,
+        entity_factory=_amazon_google_entity,
+        variant_factory=_amazon_google_variant,
+        numeric_attributes=frozenset({"price"}),
+        corruption_probability=0.50,
+        missing_probability=0.14,
+        hard_negative_fraction=0.60,
+    ),
+    "ds": DatasetSpec(
+        code="DS",
+        full_name="DBLP-Scholar",
+        domain="Citation",
+        attributes=("title", "authors", "venue", "year"),
+        num_pairs=28707,
+        num_matches=5347,
+        entity_factory=_citation_entity,
+        variant_factory=_citation_variant,
+        numeric_attributes=frozenset({"year"}),
+        corruption_probability=0.45,
+        missing_probability=0.12,
+        hard_negative_fraction=0.55,
+    ),
+    "da": DatasetSpec(
+        code="DA",
+        full_name="DBLP-ACM",
+        domain="Citation",
+        attributes=("title", "authors", "venue", "year"),
+        num_pairs=12363,
+        num_matches=2220,
+        entity_factory=_citation_entity,
+        variant_factory=_citation_variant,
+        numeric_attributes=frozenset({"year"}),
+        corruption_probability=0.22,
+        missing_probability=0.03,
+        hard_negative_fraction=0.45,
+    ),
+    "fz": DatasetSpec(
+        code="FZ",
+        full_name="Fodors-Zagats",
+        domain="Restaurant",
+        attributes=("name", "addr", "city", "phone", "type", "class"),
+        num_pairs=946,
+        num_matches=110,
+        entity_factory=_restaurant_entity,
+        variant_factory=_restaurant_variant,
+        numeric_attributes=frozenset({"class"}),
+        corruption_probability=0.25,
+        missing_probability=0.03,
+        hard_negative_fraction=0.35,
+    ),
+    "ia": DatasetSpec(
+        code="IA",
+        full_name="iTunes-Amazon",
+        domain="Music",
+        attributes=(
+            "song_name",
+            "artist_name",
+            "album_name",
+            "genre",
+            "price",
+            "copyright",
+            "time",
+            "released",
+        ),
+        num_pairs=532,
+        num_matches=132,
+        entity_factory=_music_entity,
+        variant_factory=_music_variant,
+        numeric_attributes=frozenset({"price"}),
+        corruption_probability=0.22,
+        missing_probability=0.03,
+        hard_negative_fraction=0.40,
+    ),
+    "beer": DatasetSpec(
+        code="Beer",
+        full_name="BeerAdvo-RateBeer",
+        domain="Beer",
+        attributes=("beer_name", "brew_factory_name", "style", "abv"),
+        num_pairs=450,
+        num_matches=68,
+        entity_factory=_beer_entity,
+        variant_factory=_beer_variant,
+        numeric_attributes=frozenset(),
+        corruption_probability=0.25,
+        missing_probability=0.04,
+        hard_negative_fraction=0.40,
+    ),
+}
+"""Registry of the eight Table II dataset specifications, keyed by lower-case code."""
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for ``name`` (case-insensitive code).
+
+    Raises:
+        KeyError: if the dataset is unknown.
+    """
+    key = name.strip().lower()
+    if key not in DATASET_SPECS:
+        known = ", ".join(sorted(DATASET_SPECS))
+        raise KeyError(f"unknown dataset {name!r}; expected one of: {known}")
+    return DATASET_SPECS[key]

@@ -1,0 +1,232 @@
+"""Domain vocabularies used to synthesise Magellan-style ER benchmarks.
+
+Each of the paper's eight datasets (Table II) covers a distinct domain
+(electronics, generic products, software, bibliographic citations, restaurants,
+music and beer).  This module holds the word banks from which the generator
+composes realistic attribute values.  The banks are intentionally large enough
+that generated entities collide only when the generator *wants* them to (hard
+negatives), yet small enough to stay readable.
+"""
+
+from __future__ import annotations
+
+import random
+
+ELECTRONICS_BRANDS = (
+    "Samsung", "Sony", "LG", "Panasonic", "Toshiba", "Philips", "Sharp", "Canon",
+    "Nikon", "HP", "Dell", "Lenovo", "Asus", "Acer", "Logitech", "Belkin",
+    "Netgear", "Linksys", "Sandisk", "Kingston", "Seagate", "Western Digital",
+    "Garmin", "JVC", "Pioneer", "Kenwood", "Olympus", "Epson", "Brother",
+)
+
+ELECTRONICS_PRODUCTS = (
+    "LCD Monitor", "LED TV", "Wireless Router", "Bluetooth Speaker", "DSLR Camera",
+    "Laptop Battery", "USB Flash Drive", "External Hard Drive", "Memory Card",
+    "Ink Cartridge", "Wireless Mouse", "Mechanical Keyboard", "HDMI Cable",
+    "Surge Protector", "Car Stereo", "GPS Navigator", "Camcorder", "Headphones",
+    "Tablet Case", "Phone Charger", "Webcam", "Printer", "Scanner", "Projector",
+    "Sound Bar", "Docking Station", "Network Switch", "Smart Watch",
+)
+
+ELECTRONICS_CATEGORIES = (
+    "electronics - general", "computers & accessories", "camera & photo",
+    "car electronics", "audio & video", "office electronics", "cell phone accessories",
+    "networking products", "storage devices", "printers & supplies",
+)
+
+PRODUCT_ADJECTIVES = (
+    "Portable", "Compact", "Professional", "Premium", "Ultra", "Slim", "Rugged",
+    "Wireless", "Digital", "Smart", "Classic", "Advanced", "Essential", "Deluxe",
+)
+
+SOFTWARE_PUBLISHERS = (
+    "Microsoft", "Adobe", "Intuit", "Symantec", "McAfee", "Corel", "Autodesk",
+    "Nero", "Roxio", "Sage", "Kaspersky", "Avanquest", "Broderbund", "Encore",
+    "Individual Software", "Nova Development", "Topics Entertainment",
+)
+
+SOFTWARE_PRODUCTS = (
+    "Office Suite", "Photo Editor", "Antivirus", "Tax Preparation", "Video Studio",
+    "Illustration Suite", "CAD Designer", "Backup Utility", "DVD Burner",
+    "Accounting Pro", "Language Learning", "Typing Tutor", "Web Designer",
+    "PDF Converter", "System Optimizer", "Password Manager", "Music Composer",
+    "Genealogy Builder", "Greeting Card Studio", "Home Designer",
+)
+
+SOFTWARE_EDITIONS = (
+    "Standard", "Professional", "Home Edition", "Deluxe", "Premier", "Small Business",
+    "Academic", "Upgrade", "Full Version", "2006", "2007", "2008", "Platinum",
+)
+
+CITATION_TITLE_TOPICS = (
+    "query optimization", "data integration", "entity resolution", "schema matching",
+    "approximate query processing", "stream processing", "transaction management",
+    "index structures", "spatial databases", "graph mining", "information extraction",
+    "data cleaning", "keyword search", "view maintenance", "database security",
+    "parallel joins", "data warehousing", "sensor networks", "web data management",
+    "probabilistic databases", "XML processing", "top-k queries", "record linkage",
+    "column stores", "concurrency control", "data provenance", "crowdsourcing",
+)
+
+CITATION_TITLE_PATTERNS = (
+    "On {topic} in large-scale systems",
+    "Efficient {topic} for relational data",
+    "A survey of {topic}",
+    "Scalable {topic} with distributed processing",
+    "Towards adaptive {topic}",
+    "{topic} revisited: a practical approach",
+    "Optimizing {topic} under uncertainty",
+    "An experimental evaluation of {topic}",
+    "Learning-based {topic}",
+    "Incremental {topic} over evolving data",
+)
+
+AUTHOR_FIRST_NAMES = (
+    "Michael", "David", "Jennifer", "Wei", "Hector", "Divesh", "Surajit", "Rakesh",
+    "Laura", "Peter", "Anhai", "Jeffrey", "Christos", "Jiawei", "Philip", "Susan",
+    "Raghu", "Joseph", "Alon", "Dan", "Magdalena", "Samuel", "Erhard", "Felix",
+    "Xin", "Juan", "Maria", "Andrew", "Daniel", "Yannis",
+)
+
+AUTHOR_LAST_NAMES = (
+    "Stonebraker", "DeWitt", "Widom", "Garcia-Molina", "Srivastava", "Chaudhuri",
+    "Agrawal", "Haas", "Doan", "Naughton", "Faloutsos", "Han", "Bernstein",
+    "Ramakrishnan", "Hellerstein", "Halevy", "Suciu", "Balazinska", "Madden",
+    "Rahm", "Dong", "Ioannidis", "Abadi", "Franklin", "Gehrke", "Kossmann",
+    "Jagadish", "Ives", "Miller", "Ooi",
+)
+
+CITATION_VENUES_FULL = (
+    "SIGMOD Conference", "VLDB", "ICDE", "EDBT", "CIKM", "KDD", "WWW",
+    "SIGMOD Record", "VLDB Journal", "ACM Transactions on Database Systems",
+    "IEEE Transactions on Knowledge and Data Engineering", "Information Systems",
+)
+
+CITATION_VENUES_ABBREV = {
+    "SIGMOD Conference": "SIGMOD",
+    "VLDB": "Very Large Data Bases",
+    "ICDE": "Intl. Conf. on Data Engineering",
+    "EDBT": "Extending Database Technology",
+    "CIKM": "Conf. on Information and Knowledge Management",
+    "KDD": "Knowledge Discovery and Data Mining",
+    "WWW": "World Wide Web Conference",
+    "SIGMOD Record": "ACM SIGMOD Record",
+    "VLDB Journal": "The VLDB Journal",
+    "ACM Transactions on Database Systems": "ACM Trans. Database Syst.",
+    "IEEE Transactions on Knowledge and Data Engineering": "IEEE Trans. Knowl. Data Eng.",
+    "Information Systems": "Inf. Syst.",
+}
+
+RESTAURANT_NAME_PARTS_A = (
+    "Golden", "Blue", "Little", "Grand", "Old Town", "Royal", "Silver", "Rustic",
+    "Sunset", "Harbor", "Garden", "Corner", "Village", "Uptown", "Pacific", "Casa",
+)
+
+RESTAURANT_NAME_PARTS_B = (
+    "Dragon", "Bistro", "Grill", "Kitchen", "Trattoria", "Cantina", "Diner",
+    "Brasserie", "Cafe", "Steakhouse", "Taqueria", "Noodle House", "Oyster Bar",
+    "Pizzeria", "Chophouse", "Tavern",
+)
+
+RESTAURANT_CITIES = (
+    "new york", "los angeles", "san francisco", "chicago", "atlanta", "boston",
+    "seattle", "austin", "denver", "portland", "new orleans", "miami",
+)
+
+RESTAURANT_CUISINES = (
+    "italian", "french", "mexican", "chinese", "japanese", "american (new)",
+    "american (traditional)", "seafood", "steakhouses", "thai", "indian",
+    "mediterranean", "bbq", "cajun", "vegetarian",
+)
+
+STREET_NAMES = (
+    "Main St.", "Broadway", "Sunset Blvd.", "5th Ave.", "Market St.", "Elm St.",
+    "Ocean Dr.", "Peachtree Rd.", "Lake Shore Dr.", "Mission St.", "Melrose Ave.",
+    "Columbus Ave.", "Canal St.", "Union Sq.", "Ventura Blvd.",
+)
+
+MUSIC_ARTISTS = (
+    "The Midnight Owls", "Clara Voss", "DJ Meridian", "The Paper Lanterns",
+    "Ember & Ash", "Silver Creek Band", "Luna Park", "The Brass Monkeys",
+    "Holly Rivers", "静かな海", "Cobalt Sky", "The Wandering Notes", "Maya Solstice",
+    "Neon Harbor", "Red Canyon Choir", "Violet Afternoon", "The Tall Pines",
+)
+
+MUSIC_SONG_WORDS = (
+    "Midnight", "Summer", "Echoes", "Golden", "Falling", "Electric", "Wild",
+    "Silent", "Neon", "Broken", "Dancing", "Lonely", "Burning", "Crystal",
+    "Forever", "Yesterday", "Horizon", "Gravity", "Stardust", "Thunder",
+)
+
+MUSIC_SONG_NOUNS = (
+    "Hearts", "Roads", "Lights", "Dreams", "Rivers", "Nights", "Skies", "Shadows",
+    "Waves", "Fires", "Stories", "Cities", "Wings", "Mirrors", "Echo", "Rain",
+)
+
+MUSIC_GENRES = (
+    "Pop", "Rock", "Hip-Hop/Rap", "Country", "Dance", "R&B/Soul", "Alternative",
+    "Electronic", "Indie Rock", "Folk", "Jazz", "Latin",
+)
+
+MUSIC_COPYRIGHT_HOLDERS = (
+    "Sunbeam Records", "Harborline Music", "Violet Note Entertainment",
+    "Northern Lights Recordings", "Cascade Audio Group", "Bluebird Label Co.",
+)
+
+BEER_BREWERIES = (
+    "Crooked River Brewing", "Iron Anchor Brewery", "Twin Peaks Ales",
+    "Foggy Harbor Brewing Co.", "High Desert Brewers", "Maple Hollow Brewing",
+    "Granite Ridge Beer Works", "Old Mill Brewery", "Copper Kettle Brewing",
+    "Wild Prairie Ales", "Stone Bridge Brewing", "Lakeside Brewing Company",
+    "Thunder Valley Brewery", "Cedar Grove Beer Co.", "Salt Flats Brewing",
+)
+
+BEER_STYLES = (
+    "American IPA", "Imperial Stout", "Pale Ale", "Amber Lager", "Hefeweizen",
+    "Porter", "Belgian Tripel", "Saison", "Pilsner", "Brown Ale", "Double IPA",
+    "Sour Ale", "Barleywine", "Wheat Beer", "Oatmeal Stout",
+)
+
+BEER_NAME_ADJECTIVES = (
+    "Hoppy", "Golden", "Dark", "Rusty", "Wandering", "Crimson", "Frosty", "Burly",
+    "Smoky", "Velvet", "Grumpy", "Lucky", "Howling", "Drifting", "Blazing",
+)
+
+BEER_NAME_NOUNS = (
+    "Trail", "Badger", "Sunset", "Anvil", "Harvest", "Moose", "Lighthouse",
+    "Canyon", "Otter", "Ember", "Summit", "Raven", "Meadow", "Glacier", "Coyote",
+)
+
+
+def pick(rng: random.Random, options: tuple[str, ...]) -> str:
+    """Pick one element of ``options`` uniformly at random."""
+    return options[rng.randrange(len(options))]
+
+
+def make_person_name(rng: random.Random) -> str:
+    """Compose an author name ``First Last``."""
+    return f"{pick(rng, AUTHOR_FIRST_NAMES)} {pick(rng, AUTHOR_LAST_NAMES)}"
+
+
+def make_author_list(rng: random.Random, min_authors: int = 1, max_authors: int = 4) -> str:
+    """Compose a comma-separated author list."""
+    count = rng.randint(min_authors, max_authors)
+    return ", ".join(make_person_name(rng) for _ in range(count))
+
+
+def make_price(rng: random.Random, low: float = 5.0, high: float = 900.0) -> str:
+    """Compose a price string with two decimals."""
+    return f"{rng.uniform(low, high):.2f}"
+
+
+def make_phone(rng: random.Random) -> str:
+    """Compose a US-style phone number."""
+    return f"{rng.randint(200, 989)}-{rng.randint(200, 989)}-{rng.randint(1000, 9999)}"
+
+
+def make_model_number(rng: random.Random) -> str:
+    """Compose an alphanumeric model number such as ``SX-4821B``."""
+    letters = "".join(rng.choice("ABCDEFGHJKLMNPRSTUVWX") for _ in range(2))
+    digits = rng.randint(100, 9999)
+    suffix = rng.choice(("", "A", "B", "X", "S", "Pro"))
+    return f"{letters}-{digits}{suffix}"

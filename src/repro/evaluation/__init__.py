@@ -1,0 +1,18 @@
+"""Evaluation: matching metrics (precision / recall / F1) and report rendering."""
+
+from repro.evaluation.metrics import (
+    ConfusionCounts,
+    MatchingMetrics,
+    confusion_counts,
+    evaluate_predictions,
+)
+from repro.evaluation.report import format_table, format_markdown_table
+
+__all__ = [
+    "ConfusionCounts",
+    "MatchingMetrics",
+    "confusion_counts",
+    "evaluate_predictions",
+    "format_markdown_table",
+    "format_table",
+]

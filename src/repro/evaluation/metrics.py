@@ -1,0 +1,98 @@
+"""Matching accuracy metrics (paper Section VI-A).
+
+The paper evaluates matchers with the F1 score over the matching class:
+``P = TP / (TP + FP)``, ``R = TP / (TP + FN)``, ``F1 = 2PR / (P + R)``.
+F1 values are reported on the paper's 0-100 scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.schema import MatchLabel
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion counts for the matching class."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def total(self) -> int:
+        """Total number of evaluated pairs."""
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+
+@dataclass(frozen=True)
+class MatchingMetrics:
+    """Precision, recall and F1 (0-100 scale) plus the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    counts: ConfusionCounts
+
+    @property
+    def accuracy(self) -> float:
+        """Plain accuracy (0-100 scale), provided for completeness."""
+        if self.counts.total == 0:
+            return 0.0
+        correct = self.counts.true_positives + self.counts.true_negatives
+        return 100.0 * correct / self.counts.total
+
+
+def confusion_counts(
+    gold: Sequence[MatchLabel], predicted: Sequence[MatchLabel]
+) -> ConfusionCounts:
+    """Compute confusion counts between gold and predicted labels.
+
+    Raises:
+        ValueError: if the two sequences have different lengths.
+    """
+    if len(gold) != len(predicted):
+        raise ValueError(
+            f"gold has {len(gold)} labels but predictions have {len(predicted)}"
+        )
+    tp = fp = fn = tn = 0
+    for gold_label, predicted_label in zip(gold, predicted):
+        if predicted_label is MatchLabel.MATCH and gold_label is MatchLabel.MATCH:
+            tp += 1
+        elif predicted_label is MatchLabel.MATCH and gold_label is MatchLabel.NON_MATCH:
+            fp += 1
+        elif predicted_label is MatchLabel.NON_MATCH and gold_label is MatchLabel.MATCH:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionCounts(
+        true_positives=tp, false_positives=fp, false_negatives=fn, true_negatives=tn
+    )
+
+
+def evaluate_predictions(
+    gold: Sequence[MatchLabel], predicted: Sequence[MatchLabel]
+) -> MatchingMetrics:
+    """Compute precision / recall / F1 (0-100) for the matching class."""
+    counts = confusion_counts(gold, predicted)
+    tp = counts.true_positives
+    precision = tp / (tp + counts.false_positives) if (tp + counts.false_positives) else 0.0
+    recall = tp / (tp + counts.false_negatives) if (tp + counts.false_negatives) else 0.0
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return MatchingMetrics(
+        precision=100.0 * precision,
+        recall=100.0 * recall,
+        f1=100.0 * f1,
+        counts=counts,
+    )

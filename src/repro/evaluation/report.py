@@ -1,0 +1,63 @@
+"""Plain-text and markdown table rendering for experiment reports.
+
+The experiment runners and benchmark harnesses print tables shaped like the
+paper's (rows = datasets, columns = methods / metrics).  These helpers keep
+formatting out of the experiment logic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table.
+
+    Args:
+        rows: one mapping per row; missing keys render as empty cells.
+        columns: explicit column ordering; defaults to the keys of the first
+            row.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_stringify(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(rendered, widths))
+        for rendered in rendered_rows
+    )
+    return "\n".join((header, separator, body))
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render rows of dictionaries as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(str(column) for column in columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = "\n".join(
+        "| " + " | ".join(_stringify(row.get(column, "")) for column in columns) + " |"
+        for row in rows
+    )
+    return "\n".join((header, separator, body))

@@ -1,0 +1,42 @@
+"""Experiment runners reproducing every table and figure of the paper.
+
+Each ``run_*`` function returns plain list-of-dict rows shaped like the paper's
+corresponding table (or figure series), so they can be printed with
+:func:`repro.evaluation.report.format_table`, asserted on in tests, and timed
+in the benchmark harness.
+
+| Paper artifact | Runner |
+|----------------|--------|
+| Table II (dataset statistics)            | :func:`run_dataset_statistics` |
+| Table III + Figure 6 (batch vs standard) | :func:`run_exp1_standard_vs_batch` |
+| Table IV (design space)                  | :func:`run_exp2_design_space` |
+| Figure 7 (vs PLM baselines)              | :func:`run_exp3_plm_comparison` |
+| Table V (vs ManualPrompt)                | :func:`run_exp4_manual_prompt` |
+| Table VI (underlying LLMs)               | :func:`run_exp5_llms` |
+| Table VII (feature extractors)           | :func:`run_exp6_feature_extractors` |
+| Ablations (ours)                         | :mod:`repro.experiments.ablation` |
+"""
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.datasets_table import run_dataset_statistics
+from repro.experiments.exp1_standard_vs_batch import run_exp1_standard_vs_batch, run_figure6_precision_recall
+from repro.experiments.exp2_design_space import run_exp2_design_space
+from repro.experiments.exp3_plm_comparison import run_exp3_plm_comparison
+from repro.experiments.exp4_manual_prompt import run_exp4_manual_prompt
+from repro.experiments.exp5_llms import run_exp5_llms
+from repro.experiments.exp6_feature_extractors import run_exp6_feature_extractors
+from repro.experiments.ablation import run_threshold_ablation, run_batch_size_ablation
+
+__all__ = [
+    "ExperimentSettings",
+    "run_batch_size_ablation",
+    "run_dataset_statistics",
+    "run_exp1_standard_vs_batch",
+    "run_exp2_design_space",
+    "run_exp3_plm_comparison",
+    "run_exp4_manual_prompt",
+    "run_exp5_llms",
+    "run_exp6_feature_extractors",
+    "run_figure6_precision_recall",
+    "run_threshold_ablation",
+]

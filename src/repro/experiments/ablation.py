@@ -1,0 +1,94 @@
+"""Ablations over BatchER's own design parameters (not in the paper's tables).
+
+Two ablations that DESIGN.md calls out:
+
+* the covering distance threshold percentile (the paper fixes it at the 8th
+  percentile and argues smaller thresholds raise labeling cost while larger
+  ones degrade accuracy) — :func:`run_threshold_ablation`;
+* the batch size (the paper fixes 8 to stay under the context limit; larger
+  batches amortise the prompt further but risk long-context degradation) —
+  :func:`run_batch_size_ablation`.
+"""
+
+from __future__ import annotations
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.experiments.settings import ExperimentSettings
+
+#: Covering threshold percentiles swept by the threshold ablation.
+DEFAULT_THRESHOLD_PERCENTILES = (2.0, 5.0, 8.0, 15.0, 30.0)
+
+#: Batch sizes swept by the batch-size ablation.
+DEFAULT_BATCH_SIZES = (2, 4, 8, 16)
+
+
+def run_threshold_ablation(
+    settings: ExperimentSettings | None = None,
+    percentiles: tuple[float, ...] = DEFAULT_THRESHOLD_PERCENTILES,
+    dataset_name: str = "wa",
+) -> list[dict[str, object]]:
+    """Sweep the covering threshold percentile on one dataset.
+
+    Smaller percentiles mean a tighter covering radius, hence more labeled
+    demonstrations (higher labeling cost) and usually slightly higher accuracy.
+    """
+    settings = settings or ExperimentSettings()
+    dataset = settings.load(dataset_name)
+    rows = []
+    for percentile in percentiles:
+        config = BatcherConfig(
+            batching="diverse",
+            selection="covering",
+            threshold_percentile=percentile,
+            model=settings.model,
+            batch_size=settings.batch_size,
+            num_demonstrations=settings.num_demonstrations,
+            seed=settings.seeds[0],
+            max_questions=settings.max_questions,
+        )
+        result = BatchER(config).run(dataset)
+        rows.append(
+            {
+                "Dataset": dataset.name,
+                "Threshold percentile": percentile,
+                "F1": round(result.metrics.f1, 2),
+                "Labeled demos": result.cost.num_labeled_pairs,
+                "Label ($)": round(result.cost.labeling_cost, 3),
+                "API ($)": round(result.cost.api_cost, 3),
+            }
+        )
+    return rows
+
+
+def run_batch_size_ablation(
+    settings: ExperimentSettings | None = None,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    dataset_name: str = "wa",
+) -> list[dict[str, object]]:
+    """Sweep the batch size on one dataset: API cost falls as the batch grows."""
+    settings = settings or ExperimentSettings()
+    dataset = settings.load(dataset_name)
+    rows = []
+    for batch_size in batch_sizes:
+        config = BatcherConfig(
+            batching="diverse",
+            selection="covering",
+            model=settings.model,
+            batch_size=batch_size,
+            num_demonstrations=settings.num_demonstrations,
+            seed=settings.seeds[0],
+            max_questions=settings.max_questions,
+        )
+        result = BatchER(config).run(dataset)
+        rows.append(
+            {
+                "Dataset": dataset.name,
+                "Batch size": batch_size,
+                "F1": round(result.metrics.f1, 2),
+                "LLM calls": result.cost.num_llm_calls,
+                "API ($)": round(result.cost.api_cost, 3),
+                "Label ($)": round(result.cost.labeling_cost, 3),
+            }
+        )
+    return rows

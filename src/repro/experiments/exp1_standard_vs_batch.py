@@ -1,0 +1,94 @@
+"""Exp-1: Batch Prompting vs Standard Prompting (Table III and Figure 6).
+
+Protocol (paper Section VI-B): both approaches use the *same* 8 randomly
+sampled, fixed demonstrations; batch prompting uses random question batching
+with batch size 8.  Each configuration is run over several seeds and the table
+reports mean and standard deviation of F1 plus the API cost.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.core.standard import StandardPromptingER
+from repro.experiments.settings import ExperimentSettings
+
+
+def _config(settings: ExperimentSettings, seed: int) -> BatcherConfig:
+    return BatcherConfig(
+        batching="random",
+        selection="fixed",
+        model=settings.model,
+        batch_size=settings.batch_size,
+        num_demonstrations=settings.num_demonstrations,
+        seed=seed,
+        max_questions=settings.max_questions,
+    )
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    if len(values) == 1:
+        return values[0], 0.0
+    return statistics.mean(values), statistics.pstdev(values)
+
+
+def run_exp1_standard_vs_batch(
+    settings: ExperimentSettings | None = None,
+) -> list[dict[str, object]]:
+    """Reproduce Table III: F1 (mean +/- std over seeds) and API cost per dataset."""
+    settings = settings or ExperimentSettings()
+    rows = []
+    for name in settings.datasets:
+        dataset = settings.load(name)
+        standard_f1, standard_api = [], []
+        batch_f1, batch_api = [], []
+        for seed in settings.seeds:
+            config = _config(settings, seed)
+            standard = StandardPromptingER(config).run(dataset)
+            batch = BatchER(config).run(dataset)
+            standard_f1.append(standard.metrics.f1)
+            standard_api.append(standard.cost.api_cost)
+            batch_f1.append(batch.metrics.f1)
+            batch_api.append(batch.cost.api_cost)
+        std_mean, std_dev = _mean_std(standard_f1)
+        batch_mean, batch_dev = _mean_std(batch_f1)
+        standard_cost = statistics.mean(standard_api)
+        batch_cost = statistics.mean(batch_api)
+        rows.append(
+            {
+                "Dataset": dataset.name,
+                "Standard F1": f"{std_mean:.2f}±{std_dev:.2f}",
+                "Standard API ($)": round(standard_cost, 3),
+                "Batch F1": f"{batch_mean:.2f}±{batch_dev:.2f}",
+                "Batch API ($)": round(batch_cost, 3),
+                "Cost saving (x)": round(standard_cost / batch_cost, 1) if batch_cost else float("inf"),
+            }
+        )
+    return rows
+
+
+def run_figure6_precision_recall(
+    settings: ExperimentSettings | None = None,
+    datasets: tuple[str, ...] = ("wa", "ab"),
+) -> list[dict[str, object]]:
+    """Reproduce Figure 6: precision / recall / F1 of both methods on WA and AB."""
+    settings = settings or ExperimentSettings()
+    rows = []
+    for name in datasets:
+        dataset = settings.load(name)
+        config = _config(settings, settings.seeds[0])
+        standard = StandardPromptingER(config).run(dataset)
+        batch = BatchER(config).run(dataset)
+        for method, result in (("Standard", standard), ("Batch", batch)):
+            rows.append(
+                {
+                    "Dataset": dataset.name,
+                    "Method": method,
+                    "Precision": round(result.metrics.precision, 2),
+                    "Recall": round(result.metrics.recall, 2),
+                    "F1": round(result.metrics.f1, 2),
+                }
+            )
+    return rows

@@ -1,0 +1,72 @@
+"""Exp-2: exploring the design space (Table IV).
+
+All 12 combinations of {random, similarity, diversity} question batching and
+{fixed, top-k-batch, top-k-question, covering} demonstration selection are
+evaluated on matching F1, API cost and labeling cost.
+"""
+
+from __future__ import annotations
+
+from repro.batching.factory import BATCHING_STRATEGIES
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.experiments.settings import ExperimentSettings
+from repro.selection.factory import SELECTION_STRATEGIES
+
+#: Human-readable labels for table columns, keyed by strategy code.
+BATCHING_LABELS = {"random": "Random", "similar": "Similarity", "diverse": "Diversity"}
+SELECTION_LABELS = {
+    "fixed": "Fix",
+    "topk-batch": "Topk-batch",
+    "topk-question": "Topk-question",
+    "covering": "Cover",
+}
+
+
+def run_exp2_design_space(
+    settings: ExperimentSettings | None = None,
+    batching_strategies: tuple[str, ...] = BATCHING_STRATEGIES,
+    selection_strategies: tuple[str, ...] = SELECTION_STRATEGIES,
+) -> list[dict[str, object]]:
+    """Reproduce Table IV: one row per (dataset, batching, selection) combination."""
+    settings = settings or ExperimentSettings()
+    seed = settings.seeds[0]
+    rows = []
+    for name in settings.datasets:
+        dataset = settings.load(name)
+        for batching in batching_strategies:
+            for selection in selection_strategies:
+                config = BatcherConfig(
+                    batching=batching,
+                    selection=selection,
+                    model=settings.model,
+                    batch_size=settings.batch_size,
+                    num_demonstrations=settings.num_demonstrations,
+                    seed=seed,
+                    max_questions=settings.max_questions,
+                )
+                result = BatchER(config).run(dataset)
+                rows.append(
+                    {
+                        "Dataset": dataset.name,
+                        "Batching": BATCHING_LABELS.get(batching, batching),
+                        "Selection": SELECTION_LABELS.get(selection, selection),
+                        "F1": round(result.metrics.f1, 2),
+                        "API ($)": round(result.cost.api_cost, 3),
+                        "Label ($)": round(result.cost.labeling_cost, 3),
+                    }
+                )
+    return rows
+
+
+def best_design_choice(rows: list[dict[str, object]]) -> dict[str, object]:
+    """Summarise Table IV: which (batching, selection) pair wins most datasets on F1."""
+    wins: dict[tuple[str, str], int] = {}
+    datasets = sorted({row["Dataset"] for row in rows})
+    for dataset in datasets:
+        dataset_rows = [row for row in rows if row["Dataset"] == dataset]
+        best = max(dataset_rows, key=lambda row: row["F1"])
+        key = (best["Batching"], best["Selection"])
+        wins[key] = wins.get(key, 0) + 1
+    (batching, selection), count = max(wins.items(), key=lambda item: item[1])
+    return {"Batching": batching, "Selection": selection, "Datasets won": count}

@@ -1,0 +1,109 @@
+"""Exp-3: BatchER vs PLM-based approaches (Figure 7).
+
+For each dataset, the PLM-style baselines (Ditto, JointBERT, RobEM) are trained
+on an increasing number of labeled pairs and evaluated on the test split; the
+BatchER result (diversity batching + covering selection, the paper's best
+design choice) is shown as the reference line that the baselines need hundreds
+to thousands of labels to reach.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.plm import DittoMatcher, JointBertMatcher, RobEMMatcher
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.experiments.settings import ExperimentSettings
+
+#: Default training-set sizes swept in Figure 7 (relative to the train split size).
+DEFAULT_TRAIN_FRACTIONS = (0.02, 0.05, 0.125, 0.25, 0.5, 1.0)
+
+#: The PLM baselines compared in the paper's Figure 7.
+PLM_BASELINES = {
+    "Ditto": DittoMatcher,
+    "JointBert": JointBertMatcher,
+    "RobEM": RobEMMatcher,
+}
+
+
+def run_exp3_plm_comparison(
+    settings: ExperimentSettings | None = None,
+    train_fractions: tuple[float, ...] = DEFAULT_TRAIN_FRACTIONS,
+) -> list[dict[str, object]]:
+    """Reproduce Figure 7: F1 vs number of training samples per baseline and dataset.
+
+    Returns one row per (dataset, method, train size).  BatchER rows carry the
+    total number of labels it consumed (the covering demonstrations) in the
+    ``train samples`` column, so the cost comparison is direct.
+    """
+    settings = settings or ExperimentSettings()
+    seed = settings.seeds[0]
+    rows = []
+    for name in settings.datasets:
+        dataset = settings.load(name)
+        train_size = len(dataset.splits.train)
+
+        config = BatcherConfig(
+            batching="diverse",
+            selection="covering",
+            model=settings.model,
+            batch_size=settings.batch_size,
+            num_demonstrations=settings.num_demonstrations,
+            seed=seed,
+            max_questions=settings.max_questions,
+        )
+        batcher_result = BatchER(config).run(dataset)
+        rows.append(
+            {
+                "Dataset": dataset.name,
+                "Method": "BatchER",
+                "Train samples": batcher_result.cost.num_labeled_pairs,
+                "F1": round(batcher_result.metrics.f1, 2),
+                "Total cost ($)": round(batcher_result.cost.total_cost, 3),
+            }
+        )
+
+        for method_name, matcher_class in PLM_BASELINES.items():
+            for fraction in train_fractions:
+                num_samples = max(10, round(train_size * fraction))
+                matcher = matcher_class(seed=seed)
+                result = matcher.evaluate(dataset, num_samples)
+                rows.append(
+                    {
+                        "Dataset": dataset.name,
+                        "Method": method_name,
+                        "Train samples": result.cost.num_labeled_pairs,
+                        "F1": round(result.metrics.f1, 2),
+                        "Total cost ($)": round(result.cost.total_cost, 3),
+                    }
+                )
+    return rows
+
+
+def crossover_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    """For each dataset and baseline, the training size needed to reach BatchER's F1.
+
+    Reports ``None`` when the baseline never reaches BatchER's F1 within the
+    swept training sizes (which happens on the small datasets, as in the paper).
+    """
+    summary = []
+    datasets = sorted({row["Dataset"] for row in rows})
+    for dataset in datasets:
+        dataset_rows = [row for row in rows if row["Dataset"] == dataset]
+        batcher_f1 = next(row["F1"] for row in dataset_rows if row["Method"] == "BatchER")
+        for method in PLM_BASELINES:
+            curve = sorted(
+                (row for row in dataset_rows if row["Method"] == method),
+                key=lambda row: row["Train samples"],
+            )
+            needed = next(
+                (row["Train samples"] for row in curve if row["F1"] >= batcher_f1), None
+            )
+            summary.append(
+                {
+                    "Dataset": dataset,
+                    "Baseline": method,
+                    "BatchER F1": batcher_f1,
+                    "Samples to reach BatchER": needed if needed is not None else "never",
+                }
+            )
+    return summary

@@ -1,0 +1,48 @@
+"""Exp-5: different underlying LLMs (Table VI).
+
+BatchER (diversity + covering) is run with each simulated LLM profile; the
+table reports F1 and API cost per dataset and model.  Llama2-70B is included as
+an extra column showing its batch-prompting failure rate (the paper omits it
+from the table because it fails to answer batch prompts most of the time).
+"""
+
+from __future__ import annotations
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.experiments.settings import ExperimentSettings
+
+#: Models compared in the paper's Table VI.
+TABLE6_MODELS = ("gpt-3.5-03", "gpt-3.5-06", "gpt-4")
+
+
+def run_exp5_llms(
+    settings: ExperimentSettings | None = None,
+    models: tuple[str, ...] = TABLE6_MODELS,
+    include_llama: bool = False,
+) -> list[dict[str, object]]:
+    """Reproduce Table VI: F1 and API cost of BatchER under different LLMs."""
+    settings = settings or ExperimentSettings()
+    seed = settings.seeds[0]
+    model_list = list(models) + (["llama2-70b"] if include_llama else [])
+    rows = []
+    for name in settings.datasets:
+        dataset = settings.load(name)
+        row: dict[str, object] = {"Dataset": dataset.name}
+        for model in model_list:
+            config = BatcherConfig(
+                batching="diverse",
+                selection="covering",
+                model=model,
+                batch_size=settings.batch_size,
+                num_demonstrations=settings.num_demonstrations,
+                seed=seed,
+                max_questions=settings.max_questions,
+            )
+            result = BatchER(config).run(dataset)
+            row[f"{model} F1"] = round(result.metrics.f1, 2)
+            row[f"{model} API ($)"] = round(result.cost.api_cost, 3)
+            if model == "llama2-70b":
+                row["llama2-70b unanswered"] = result.num_unanswered
+        rows.append(row)
+    return rows

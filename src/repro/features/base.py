@@ -1,0 +1,41 @@
+"""Abstract feature extractor interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+
+
+class FeatureExtractor(ABC):
+    """Maps entity-pair questions to fixed-dimensional feature vectors.
+
+    Implementations must be deterministic: the same pair always maps to the
+    same vector, so that clustering, batching and covering decisions are
+    reproducible.
+    """
+
+    #: Human-readable name used in reports (e.g. ``"structure-lr"``).
+    name: str = "feature-extractor"
+
+    @abstractmethod
+    def extract(self, pair: EntityPair) -> np.ndarray:
+        """Return the feature vector of one entity pair."""
+
+    def extract_matrix(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Return an ``(n, d)`` matrix of feature vectors for ``pairs``.
+
+        The default implementation loops over :meth:`extract`; subclasses may
+        override for a vectorised path.
+        """
+        if not pairs:
+            return np.zeros((0, self.dimension), dtype=float)
+        return np.vstack([self.extract(pair) for pair in pairs])
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Dimensionality of the produced feature vectors."""

@@ -1,0 +1,39 @@
+"""Factory for feature extractors keyed by the paper's variant names.
+
+``"lr"`` → BatchER-LR (structure-aware, Levenshtein ratio),
+``"jaccard"`` → BatchER-JAC (structure-aware, Jaccard),
+``"semantic"`` → BatchER-SEM (sentence embedding).
+"""
+
+from __future__ import annotations
+
+from repro.features.base import FeatureExtractor
+from repro.features.semantic import SemanticExtractor
+from repro.features.structure_aware import StructureAwareExtractor
+
+#: Canonical extractor variant names accepted by :func:`create_feature_extractor`.
+EXTRACTOR_VARIANTS = ("lr", "jaccard", "semantic")
+
+
+def create_feature_extractor(
+    variant: str, attributes: tuple[str, ...]
+) -> FeatureExtractor:
+    """Create the feature extractor for one of the paper's BatchER variants.
+
+    Args:
+        variant: ``"lr"``, ``"jaccard"`` or ``"semantic"`` (case-insensitive;
+            ``"jac"`` and ``"sem"`` are accepted as aliases).
+        attributes: the dataset's shared attribute schema.
+
+    Raises:
+        KeyError: for unknown variants.
+    """
+    key = variant.strip().lower()
+    if key in ("lr", "levenshtein", "levenshtein_ratio"):
+        return StructureAwareExtractor(attributes, similarity="levenshtein_ratio")
+    if key in ("jac", "jaccard"):
+        return StructureAwareExtractor(attributes, similarity="jaccard")
+    if key in ("sem", "semantic", "sbert"):
+        return SemanticExtractor(attributes)
+    known = ", ".join(EXTRACTOR_VARIANTS)
+    raise KeyError(f"unknown feature extractor variant {variant!r}; expected one of: {known}")

@@ -1,0 +1,46 @@
+"""Semantics-based feature extractor (paper Section III-B, Eq. 3).
+
+The serialized pair (Eq. 1) is encoded with a sentence encoder.  The paper uses
+SBERT; offline we use the deterministic
+:class:`repro.text.embeddings.HashingSentenceEncoder` (see DESIGN.md for the
+substitution rationale).  Any object exposing ``encode(text) -> np.ndarray``
+and a ``dimension`` attribute can be injected, so a real SBERT model could be
+dropped in without code changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+from repro.data.serialization import serialize_pair
+from repro.features.base import FeatureExtractor
+from repro.text.embeddings import HashingSentenceEncoder
+
+
+class SemanticExtractor(FeatureExtractor):
+    """Sentence-embedding feature extractor over serialized entity pairs.
+
+    Args:
+        attributes: shared attribute schema (for consistent serialization).
+        encoder: sentence encoder; defaults to a 256-d hashing encoder.
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        encoder: HashingSentenceEncoder | None = None,
+    ) -> None:
+        if not attributes:
+            raise ValueError("attributes must be a non-empty tuple")
+        self.attributes = tuple(attributes)
+        self.encoder = encoder or HashingSentenceEncoder(dimension=256)
+        self.name = "semantic"
+
+    @property
+    def dimension(self) -> int:
+        return self.encoder.dimension
+
+    def extract(self, pair: EntityPair) -> np.ndarray:
+        text = serialize_pair(pair, self.attributes)
+        return np.asarray(self.encoder.encode(text), dtype=float)

@@ -1,0 +1,36 @@
+"""LLM substrate: client interface, usage accounting, pricing and simulated models.
+
+The paper interfaces proprietary LLM APIs (GPT-3.5-03, GPT-3.5-06, GPT-4) and
+an open-source model (Llama2-chat-70B).  Offline we substitute
+:class:`repro.llm.simulated.SimulatedLLM`, a behavioural model of an in-context
+learner for ER: it reads the *actual prompt text*, forms a noisy internal
+similarity judgement per question, calibrates its decision threshold from the
+in-context demonstrations and from the other questions in the batch, and
+answers in natural language that must be parsed back.  Model profiles differ in
+perception noise, calibration skill, batch competence and pricing — see
+DESIGN.md for why this substitution preserves the experiments' shape.
+
+All clients honour the same :class:`repro.llm.base.LLMClient` interface, so a
+real API-backed client could be dropped in without touching the framework.
+"""
+
+from repro.llm.base import LLMClient, LLMResponse, UsageRecord, UsageTracker
+from repro.llm.pricing import ModelPricing, get_pricing, prompt_cost
+from repro.llm.profiles import ModelProfile, get_profile, available_models
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.registry import create_llm
+
+__all__ = [
+    "LLMClient",
+    "LLMResponse",
+    "ModelPricing",
+    "ModelProfile",
+    "SimulatedLLM",
+    "UsageRecord",
+    "UsageTracker",
+    "available_models",
+    "create_llm",
+    "get_pricing",
+    "get_profile",
+    "prompt_cost",
+]

@@ -1,0 +1,107 @@
+"""LLM client interface and usage accounting."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.text.tokenizer import ApproxTokenizer
+
+
+@dataclass(frozen=True)
+class LLMResponse:
+    """One completion returned by an LLM client."""
+
+    text: str
+    model: str
+    prompt_tokens: int
+    completion_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus completion token count."""
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """Token usage of a single LLM call."""
+
+    model: str
+    prompt_tokens: int
+    completion_tokens: int
+
+
+@dataclass
+class UsageTracker:
+    """Accumulates token usage across LLM calls (the basis of the API cost)."""
+
+    records: list[UsageRecord] = field(default_factory=list)
+
+    def add(self, record: UsageRecord) -> None:
+        """Record the usage of one call."""
+        self.records.append(record)
+
+    @property
+    def num_calls(self) -> int:
+        """Number of LLM calls recorded."""
+        return len(self.records)
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Total prompt tokens across all recorded calls."""
+        return sum(record.prompt_tokens for record in self.records)
+
+    @property
+    def completion_tokens(self) -> int:
+        """Total completion tokens across all recorded calls."""
+        return sum(record.completion_tokens for record in self.records)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total tokens (prompt + completion) across all recorded calls."""
+        return self.prompt_tokens + self.completion_tokens
+
+    def reset(self) -> None:
+        """Forget all recorded usage."""
+        self.records.clear()
+
+
+class LLMClient(ABC):
+    """Base class for LLM clients.
+
+    Subclasses implement :meth:`_generate`; the public :meth:`complete` wraps it
+    with token counting and usage tracking so that every client, simulated or
+    real, is priced identically.
+    """
+
+    def __init__(self, model_name: str, tokenizer: ApproxTokenizer | None = None) -> None:
+        self.model_name = model_name
+        self.tokenizer = tokenizer or ApproxTokenizer()
+        self.usage = UsageTracker()
+
+    @abstractmethod
+    def _generate(self, prompt_text: str) -> str:
+        """Produce the completion text for ``prompt_text``."""
+
+    def complete(self, prompt_text: str) -> LLMResponse:
+        """Run one completion and record its token usage."""
+        completion_text = self._generate(prompt_text)
+        response = LLMResponse(
+            text=completion_text,
+            model=self.model_name,
+            prompt_tokens=self.tokenizer.count(prompt_text),
+            completion_tokens=self.tokenizer.count(completion_text),
+        )
+        self.usage.add(
+            UsageRecord(
+                model=self.model_name,
+                prompt_tokens=response.prompt_tokens,
+                completion_tokens=response.completion_tokens,
+            )
+        )
+        return response
+
+    def reset_usage(self) -> None:
+        """Clear the accumulated usage (e.g. between experiment runs)."""
+        self.usage.reset()

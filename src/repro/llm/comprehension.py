@@ -1,0 +1,122 @@
+"""Prompt comprehension of the simulated LLM.
+
+The simulated model only receives the prompt *text*; this module is its
+"reading" step: it locates the demonstration blocks (``[D{i}]`` ... ``Answer:
+Yes/No``) and question blocks (``[Q{i}]``), and parses each ``Entity A:`` /
+``Entity B:`` line back into an attribute → value mapping.  Parsing lives in
+its own module so that it can be tested independently of the decision model,
+and so that prompt-format changes surface as explicit test failures rather than
+silently degrading the simulation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_ATTRIBUTE_PATTERN = re.compile(r"([A-Za-z_][A-Za-z0-9_]*):\s*")
+_DEMO_HEADER = re.compile(r"^\[D(\d+)\]\s*$")
+_QUESTION_HEADER = re.compile(r"^\[Q(\d+)\]\s*$")
+_ANSWER_LINE = re.compile(r"^Answer:\s*(yes|no)\b", re.IGNORECASE)
+_ENTITY_LINE = re.compile(r"^Entity\s+([AB]):\s*(.*)$")
+
+
+def parse_attribute_text(text: str) -> dict[str, str]:
+    """Parse a serialized record ``attr1: val1, attr2: val2`` into a dict.
+
+    Attribute names are single identifiers, so each ``name:`` occurrence starts
+    a new attribute; the value runs until the next attribute name (values may
+    therefore contain commas).
+    """
+    matches = list(_ATTRIBUTE_PATTERN.finditer(text))
+    values: dict[str, str] = {}
+    for index, match in enumerate(matches):
+        name = match.group(1)
+        start = match.end()
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(text)
+        value = text[start:end].strip().rstrip(",").strip()
+        values[name] = value
+    return values
+
+
+@dataclass(frozen=True)
+class ReadPair:
+    """One entity pair as understood by the simulated model."""
+
+    index: int
+    left: dict[str, str]
+    right: dict[str, str]
+
+
+@dataclass(frozen=True)
+class ReadDemonstration(ReadPair):
+    """A demonstration pair together with its stated answer (True = match)."""
+
+    is_match: bool = False
+
+
+@dataclass(frozen=True)
+class ReadPrompt:
+    """Everything the simulated model extracted from the prompt text."""
+
+    demonstrations: tuple[ReadDemonstration, ...]
+    questions: tuple[ReadPair, ...]
+
+
+def read_prompt(prompt_text: str) -> ReadPrompt:
+    """Parse a standard or batch ER prompt into demonstrations and questions."""
+    demonstrations: list[ReadDemonstration] = []
+    questions: list[ReadPair] = []
+
+    current_kind: str | None = None
+    current_index = 0
+    current_left: dict[str, str] | None = None
+    current_right: dict[str, str] | None = None
+
+    def flush_question() -> None:
+        nonlocal current_left, current_right
+        if current_kind == "question" and current_left is not None and current_right is not None:
+            questions.append(
+                ReadPair(index=current_index, left=current_left, right=current_right)
+            )
+        current_left = None
+        current_right = None
+
+    for raw_line in prompt_text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        demo_header = _DEMO_HEADER.match(line)
+        question_header = _QUESTION_HEADER.match(line)
+        if demo_header is not None or question_header is not None:
+            flush_question()
+            current_kind = "demo" if demo_header is not None else "question"
+            header = demo_header or question_header
+            current_index = int(header.group(1))
+            continue
+        entity_line = _ENTITY_LINE.match(line)
+        if entity_line is not None and current_kind is not None:
+            values = parse_attribute_text(entity_line.group(2))
+            if entity_line.group(1) == "A":
+                current_left = values
+            else:
+                current_right = values
+            continue
+        answer_line = _ANSWER_LINE.match(line)
+        if answer_line is not None and current_kind == "demo":
+            if current_left is not None and current_right is not None:
+                demonstrations.append(
+                    ReadDemonstration(
+                        index=current_index,
+                        left=current_left,
+                        right=current_right,
+                        is_match=answer_line.group(1).lower() == "yes",
+                    )
+                )
+            current_left = None
+            current_right = None
+            current_kind = None
+            continue
+
+    flush_question()
+    return ReadPrompt(demonstrations=tuple(demonstrations), questions=tuple(questions))

@@ -1,0 +1,62 @@
+"""Per-model API pricing (paper Section VI-A, "Monetary Cost").
+
+Prices are quoted in dollars per 1K tokens, separately for prompt (input) and
+completion (output) tokens.  The values mirror the OpenAI pricing the paper
+cites: GPT-4 input tokens cost roughly 10x GPT-3.5 input tokens, which is what
+drives the Exp-5 (Table VI) cost column; the open-source Llama2 is priced at a
+nominal self-hosting rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.base import UsageTracker
+
+
+@dataclass(frozen=True)
+class ModelPricing:
+    """Dollar price per 1K prompt / completion tokens for one model."""
+
+    model: str
+    prompt_price_per_1k: float
+    completion_price_per_1k: float
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        """Dollar cost of a call with the given token counts."""
+        return (
+            prompt_tokens * self.prompt_price_per_1k
+            + completion_tokens * self.completion_price_per_1k
+        ) / 1000.0
+
+
+PRICING_TABLE: dict[str, ModelPricing] = {
+    "gpt-3.5-03": ModelPricing("gpt-3.5-03", prompt_price_per_1k=0.001, completion_price_per_1k=0.002),
+    "gpt-3.5-06": ModelPricing("gpt-3.5-06", prompt_price_per_1k=0.001, completion_price_per_1k=0.002),
+    "gpt-4": ModelPricing("gpt-4", prompt_price_per_1k=0.01, completion_price_per_1k=0.03),
+    "llama2-70b": ModelPricing("llama2-70b", prompt_price_per_1k=0.0007, completion_price_per_1k=0.0009),
+}
+"""Pricing registry keyed by the short model names used throughout the repo."""
+
+
+def get_pricing(model: str) -> ModelPricing:
+    """Look up the pricing entry of a model.
+
+    Raises:
+        KeyError: if the model has no pricing entry.
+    """
+    key = model.strip().lower()
+    if key not in PRICING_TABLE:
+        known = ", ".join(sorted(PRICING_TABLE))
+        raise KeyError(f"no pricing for model {model!r}; expected one of: {known}")
+    return PRICING_TABLE[key]
+
+
+def prompt_cost(model: str, prompt_tokens: int, completion_tokens: int = 0) -> float:
+    """Dollar cost of one call for ``model`` with the given token counts."""
+    return get_pricing(model).cost(prompt_tokens, completion_tokens)
+
+
+def usage_cost(model: str, usage: UsageTracker) -> float:
+    """Dollar cost of all calls accumulated in ``usage`` for ``model``."""
+    return get_pricing(model).cost(usage.prompt_tokens, usage.completion_tokens)

@@ -1,0 +1,23 @@
+"""LLM client factory."""
+
+from __future__ import annotations
+
+from repro.llm.base import LLMClient
+from repro.llm.profiles import available_models
+from repro.llm.simulated import SimulatedLLM
+
+
+def create_llm(model: str = "gpt-3.5-03", seed: int = 0, temperature: float = 0.01) -> LLMClient:
+    """Create an LLM client for ``model``.
+
+    Offline this always returns a :class:`SimulatedLLM`; the indirection exists
+    so an API-backed client could be registered here without touching callers.
+
+    Raises:
+        KeyError: if the model name has no registered profile.
+    """
+    key = model.strip().lower()
+    if key not in available_models():
+        known = ", ".join(available_models())
+        raise KeyError(f"unknown model {model!r}; expected one of: {known}")
+    return SimulatedLLM(model_name=key, seed=seed, temperature=temperature)

@@ -1,0 +1,35 @@
+"""Prompt construction and answer parsing for ICL-based entity resolution.
+
+Two prompt styles are supported, mirroring the paper's Figure 1:
+
+* **standard prompting** (:class:`StandardPromptBuilder`): one task
+  description, the demonstrations, and a single question per LLM call;
+* **batch prompting** (:class:`BatchPromptBuilder`): one task description, the
+  demonstrations, and a *batch* of questions answered in one LLM call.
+
+The answer parser (:mod:`repro.prompting.parser`) converts the LLM's free-text
+response back into per-question match / non-match predictions and reports
+questions the model failed to answer.
+"""
+
+from repro.prompting.templates import (
+    DEFAULT_TASK_DESCRIPTION,
+    render_demonstration,
+    render_question,
+)
+from repro.prompting.standard import StandardPromptBuilder
+from repro.prompting.batch import BatchPromptBuilder
+from repro.prompting.parser import ParsedAnswers, parse_batch_answers, parse_standard_answer
+from repro.prompting.prompt import Prompt
+
+__all__ = [
+    "BatchPromptBuilder",
+    "DEFAULT_TASK_DESCRIPTION",
+    "ParsedAnswers",
+    "Prompt",
+    "StandardPromptBuilder",
+    "parse_batch_answers",
+    "parse_standard_answer",
+    "render_demonstration",
+    "render_question",
+]

@@ -1,0 +1,65 @@
+"""Batch prompting: several questions per LLM call (paper Figure 1b)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.schema import EntityPair
+from repro.prompting.prompt import Prompt
+from repro.prompting.templates import (
+    DEFAULT_TASK_DESCRIPTION,
+    batch_instruction,
+    render_demonstration,
+    render_question,
+)
+
+
+class BatchPromptBuilder:
+    """Builds one prompt per question batch.
+
+    The prompt contains the task description once, the batch's demonstrations
+    once, and all questions of the batch — which is where the token (and hence
+    API cost) savings of batch prompting come from.
+
+    Args:
+        attributes: shared attribute schema used to serialize entities.
+        task_description: the task description text (paper's ``Desc``).
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...] | None = None,
+        task_description: str = DEFAULT_TASK_DESCRIPTION,
+    ) -> None:
+        self.attributes = attributes
+        self.task_description = task_description
+
+    def build(
+        self, questions: Sequence[EntityPair], demonstrations: Sequence[EntityPair]
+    ) -> Prompt:
+        """Build the batch prompt for the given questions and demonstrations.
+
+        Raises:
+            ValueError: if no questions are provided.
+        """
+        if not questions:
+            raise ValueError("a batch prompt requires at least one question")
+        sections = [self.task_description]
+        if demonstrations:
+            rendered_demos = "\n".join(
+                render_demonstration(index + 1, demo, self.attributes)
+                for index, demo in enumerate(demonstrations)
+            )
+            sections.append("Demonstrations:\n" + rendered_demos)
+        rendered_questions = "\n".join(
+            render_question(index + 1, question, self.attributes)
+            for index, question in enumerate(questions)
+        )
+        sections.append("Questions:\n" + rendered_questions)
+        sections.append(batch_instruction(len(questions)))
+        return Prompt(
+            text="\n\n".join(sections),
+            questions=tuple(questions),
+            num_demonstrations=len(demonstrations),
+            style="batch",
+        )

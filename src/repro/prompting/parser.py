@@ -1,0 +1,105 @@
+"""Answer parsing: LLM response text → per-question match predictions.
+
+Batch prompting asks for one ``A<i>: Yes/No`` line per question; standard
+prompting asks for a single ``Answer: Yes/No`` line.  Real LLMs deviate from
+the requested format, so the parser is deliberately tolerant: it also accepts
+``Q<i>: Yes``, ``<i>. yes``, bare ``yes``/``no`` lines in question order, and
+treats anything it cannot interpret as an unanswered question (``None``),
+which the pipeline later resolves with a fallback label and reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.data.schema import MatchLabel
+
+_INDEXED_ANSWER = re.compile(
+    r"^\s*(?:A|Q|Answer)?\s*(\d+)\s*[:.\)]\s*(yes|no|match|non-match|not a match)\b",
+    re.IGNORECASE,
+)
+_STANDARD_ANSWER = re.compile(
+    r"\b(?:answer\s*[:\-]?\s*)?(yes|no|match|non-match|not a match)\b", re.IGNORECASE
+)
+_BARE_ANSWER = re.compile(r"^\s*(yes|no)\b", re.IGNORECASE)
+
+_POSITIVE_WORDS = {"yes", "match"}
+
+
+def _word_to_label(word: str) -> MatchLabel:
+    return MatchLabel.MATCH if word.lower() in _POSITIVE_WORDS else MatchLabel.NON_MATCH
+
+
+@dataclass(frozen=True)
+class ParsedAnswers:
+    """Parsed per-question predictions.
+
+    Attributes:
+        labels: one entry per question; ``None`` when the LLM failed to answer
+            that question.
+    """
+
+    labels: tuple[MatchLabel | None, ...]
+
+    @property
+    def num_answered(self) -> int:
+        """Number of questions the LLM actually answered."""
+        return sum(1 for label in self.labels if label is not None)
+
+    @property
+    def num_unanswered(self) -> int:
+        """Number of questions left unanswered by the LLM."""
+        return len(self.labels) - self.num_answered
+
+    def resolved(self, fallback: MatchLabel = MatchLabel.NON_MATCH) -> tuple[MatchLabel, ...]:
+        """Replace unanswered questions with ``fallback`` (default: non-match)."""
+        return tuple(label if label is not None else fallback for label in self.labels)
+
+
+def parse_standard_answer(response_text: str) -> ParsedAnswers:
+    """Parse the response of a standard (single-question) prompt."""
+    if not response_text or not response_text.strip():
+        return ParsedAnswers(labels=(None,))
+    match = _STANDARD_ANSWER.search(response_text)
+    if match is None:
+        return ParsedAnswers(labels=(None,))
+    return ParsedAnswers(labels=(_word_to_label(match.group(1)),))
+
+
+def parse_batch_answers(response_text: str, num_questions: int) -> ParsedAnswers:
+    """Parse the response of a batch prompt into ``num_questions`` predictions.
+
+    Answers are matched to questions by their explicit index (``A3: yes`` →
+    question 3).  Lines without an index are assigned to the earliest question
+    still lacking an answer, which handles models that reply with a bare list
+    of ``yes``/``no`` lines in order.
+    """
+    labels: list[MatchLabel | None] = [None] * num_questions
+    if not response_text or not response_text.strip():
+        return ParsedAnswers(labels=tuple(labels))
+
+    unindexed: list[MatchLabel] = []
+    for line in response_text.splitlines():
+        if not line.strip():
+            continue
+        indexed = _INDEXED_ANSWER.match(line)
+        if indexed is not None:
+            question_number = int(indexed.group(1))
+            if 1 <= question_number <= num_questions:
+                labels[question_number - 1] = _word_to_label(indexed.group(2))
+            continue
+        bare = _BARE_ANSWER.match(line)
+        if bare is not None:
+            unindexed.append(_word_to_label(bare.group(1)))
+
+    # Assign unindexed answers to the earliest unanswered questions, in order.
+    cursor = iter(unindexed)
+    for index in range(num_questions):
+        if labels[index] is None:
+            next_label = next(cursor, None)
+            if next_label is None:
+                break
+            labels[index] = next_label
+
+    return ParsedAnswers(labels=tuple(labels))

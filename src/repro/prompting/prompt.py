@@ -1,0 +1,31 @@
+"""Prompt value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import EntityPair
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """A fully rendered prompt ready to be sent to an LLM.
+
+    Attributes:
+        text: the complete prompt text (this is all the LLM receives).
+        questions: the question pairs the prompt asks about, in question order
+            (kept for aligning parsed answers back to pairs; never shown to the
+            LLM beyond their serialized form inside ``text``).
+        num_demonstrations: number of in-context demonstrations included.
+        style: ``"standard"`` or ``"batch"``.
+    """
+
+    text: str
+    questions: tuple[EntityPair, ...]
+    num_demonstrations: int
+    style: str
+
+    @property
+    def num_questions(self) -> int:
+        """Number of questions the prompt asks the LLM to answer."""
+        return len(self.questions)

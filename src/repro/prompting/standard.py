@@ -1,0 +1,55 @@
+"""Standard prompting: one question per LLM call (paper Figure 1a)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.schema import EntityPair
+from repro.prompting.prompt import Prompt
+from repro.prompting.templates import (
+    DEFAULT_TASK_DESCRIPTION,
+    render_demonstration,
+    render_question,
+    standard_instruction,
+)
+
+
+class StandardPromptBuilder:
+    """Builds one prompt per question: task description + demonstrations + question.
+
+    Args:
+        attributes: shared attribute schema used to serialize entities.
+        task_description: the task description text (paper's ``Desc``).
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...] | None = None,
+        task_description: str = DEFAULT_TASK_DESCRIPTION,
+    ) -> None:
+        self.attributes = attributes
+        self.task_description = task_description
+
+    def build(self, question: EntityPair, demonstrations: Sequence[EntityPair]) -> Prompt:
+        """Build the standard prompt for a single question."""
+        sections = [self.task_description]
+        if demonstrations:
+            rendered_demos = "\n".join(
+                render_demonstration(index + 1, demo, self.attributes)
+                for index, demo in enumerate(demonstrations)
+            )
+            sections.append("Demonstrations:\n" + rendered_demos)
+        sections.append("Question:\n" + render_question(1, question, self.attributes))
+        sections.append(standard_instruction())
+        return Prompt(
+            text="\n\n".join(sections),
+            questions=(question,),
+            num_demonstrations=len(demonstrations),
+            style="standard",
+        )
+
+    def build_all(
+        self, questions: Sequence[EntityPair], demonstrations: Sequence[EntityPair]
+    ) -> list[Prompt]:
+        """Build one standard prompt per question (all sharing the demonstrations)."""
+        return [self.build(question, demonstrations) for question in questions]

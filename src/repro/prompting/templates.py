@@ -1,0 +1,90 @@
+"""Prompt text templates: task description, demonstration and question rendering.
+
+The rendering uses explicit ``Entity A:`` / ``Entity B:`` lines and numbered
+``[D{i}]`` / ``[Q{i}]`` section markers.  The markers serve two purposes: they
+make the prompt unambiguous for the (simulated) LLM, and they give the answer
+parser stable anchors, exactly like the structured prompts published with the
+original BatchER code.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.data.serialization import serialize_record
+
+DEFAULT_TASK_DESCRIPTION = (
+    "This is an entity resolution task. Given a pair of entity records, Entity A "
+    "and Entity B, decide whether they refer to the same real-world entity. "
+    "Compare the attribute values carefully; small differences in identifiers, "
+    "model numbers or editions usually indicate different entities, while "
+    "formatting differences, abbreviations and typos do not."
+)
+
+#: Answer words used in demonstrations and expected from the LLM.
+MATCH_ANSWER_WORD = "Yes"
+NON_MATCH_ANSWER_WORD = "No"
+
+
+def render_entity(record: Record, attributes: tuple[str, ...] | None, side: str) -> str:
+    """Render one entity as an ``Entity A: ...`` / ``Entity B: ...`` line."""
+    return f"Entity {side}: {serialize_record(record, attributes)}"
+
+
+def render_pair_block(pair: EntityPair, attributes: tuple[str, ...] | None = None) -> str:
+    """Render the two entities of a pair on consecutive lines."""
+    return "\n".join(
+        (
+            render_entity(pair.left, attributes, "A"),
+            render_entity(pair.right, attributes, "B"),
+        )
+    )
+
+
+def answer_word(label: MatchLabel) -> str:
+    """Map a match label to the answer word used in prompts."""
+    return MATCH_ANSWER_WORD if label is MatchLabel.MATCH else NON_MATCH_ANSWER_WORD
+
+
+def render_demonstration(
+    index: int, pair: EntityPair, attributes: tuple[str, ...] | None = None
+) -> str:
+    """Render one labeled demonstration block (``[D{index}]``).
+
+    Raises:
+        ValueError: if the pair carries no label (demonstrations must be labeled).
+    """
+    if pair.label is None:
+        raise ValueError(f"demonstration pair {pair.pair_id!r} has no label")
+    if pair.label is MatchLabel.MATCH:
+        reason = "the two records describe the same entity despite formatting differences"
+    else:
+        reason = "the two records describe different entities"
+    return (
+        f"[D{index}]\n"
+        f"{render_pair_block(pair, attributes)}\n"
+        f"Answer: {answer_word(pair.label)}, {reason}."
+    )
+
+
+def render_question(
+    index: int, pair: EntityPair, attributes: tuple[str, ...] | None = None
+) -> str:
+    """Render one question block (``[Q{index}]``)."""
+    return f"[Q{index}]\n{render_pair_block(pair, attributes)}"
+
+
+def batch_instruction(num_questions: int) -> str:
+    """Final instruction of a batch prompt telling the LLM the answer format."""
+    return (
+        f"Answer all {num_questions} questions. For each question [Qi], respond on "
+        "its own line in the form 'A<i>: Yes' if Entity A and Entity B refer to the "
+        "same real-world entity, or 'A<i>: No' otherwise, followed by a short reason."
+    )
+
+
+def standard_instruction() -> str:
+    """Final instruction of a standard (single-question) prompt."""
+    return (
+        "Respond with 'Answer: Yes' if Entity A and Entity B refer to the same "
+        "real-world entity, or 'Answer: No' otherwise, followed by a short reason."
+    )

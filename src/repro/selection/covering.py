@@ -1,0 +1,174 @@
+"""Covering-based demonstration selection (paper Sections IV-D and V).
+
+The strategy runs in two phases, both greedy set covers (Algorithm 1):
+
+1. **Demonstration Set Generation** (Section V-A): over *all* questions of all
+   batches, select a minimal subset ``Ds`` of the unlabeled pool such that
+   every question has at least one demonstration within distance ``t``.
+   Weights are 1 (each selected demonstration costs one manual label), so the
+   greedy rule minimises the number of labeled demonstrations.
+
+2. **Batch Covering** (Section V-B): for each batch, select a subset of ``Ds``
+   covering every question of the batch while minimising the total *token*
+   weight of the chosen demonstrations, which minimises the prompt (API) cost.
+
+The distance threshold ``t`` defaults to the paper's rule: the 8th percentile
+of all pairwise question distances.  Questions that no pool demonstration can
+cover within ``t`` fall back to their single nearest demonstration so that the
+prompt never leaves a question without any reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.batching.base import QuestionBatch
+from repro.clustering.distance import pairwise_distances
+from repro.data.schema import EntityPair
+from repro.data.serialization import serialize_pair
+from repro.selection.base import DemonstrationSelector, SelectionResult
+from repro.selection.set_cover import greedy_set_cover
+from repro.text.tokenizer import ApproxTokenizer
+
+#: The paper's default: take the 8th percentile of pairwise question distances as t.
+DEFAULT_THRESHOLD_PERCENTILE = 8.0
+
+
+@dataclass(frozen=True)
+class CoveringDiagnostics:
+    """Diagnostics of a covering run, useful for ablations and reports."""
+
+    threshold: float
+    demonstration_set_size: int
+    uncovered_questions: int
+    fallback_questions: int
+
+
+class CoveringSelector(DemonstrationSelector):
+    """Two-phase covering-based demonstration selection.
+
+    Args:
+        threshold_percentile: percentile of pairwise question distances used as
+            the covering radius ``t`` (paper default: 8).
+        threshold: explicit radius overriding the percentile rule.
+        tokenizer: tokenizer used to weight demonstrations by token count in
+            the Batch Covering phase.
+    """
+
+    name = "covering"
+
+    def __init__(
+        self,
+        num_demonstrations: int = 8,
+        metric: str = "euclidean",
+        seed: int = 0,
+        threshold_percentile: float = DEFAULT_THRESHOLD_PERCENTILE,
+        threshold: float | None = None,
+        tokenizer: ApproxTokenizer | None = None,
+    ) -> None:
+        super().__init__(num_demonstrations=num_demonstrations, metric=metric, seed=seed)
+        if not 0.0 < threshold_percentile < 100.0:
+            raise ValueError("threshold_percentile must be in (0, 100)")
+        if threshold is not None and threshold < 0.0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold_percentile = threshold_percentile
+        self.threshold = threshold
+        self.tokenizer = tokenizer or ApproxTokenizer()
+        #: Diagnostics of the last :meth:`select` call (None before the first call).
+        self.last_diagnostics: CoveringDiagnostics | None = None
+
+    # -- threshold ----------------------------------------------------------
+
+    def resolve_threshold(self, question_features: np.ndarray) -> float:
+        """Compute the covering radius ``t`` from the question feature vectors."""
+        if self.threshold is not None:
+            return self.threshold
+        features = np.asarray(question_features, dtype=float)
+        if features.shape[0] < 2:
+            return 1.0
+        distances = pairwise_distances(features, metric=self.metric)
+        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
+        positive = off_diagonal[off_diagonal > 0.0]
+        if positive.size == 0:
+            return 1.0
+        return float(np.percentile(positive, self.threshold_percentile))
+
+    # -- selection ----------------------------------------------------------
+
+    def select(
+        self,
+        batches: Sequence[QuestionBatch],
+        question_features: np.ndarray,
+        pool: Sequence[EntityPair],
+        pool_features: np.ndarray,
+    ) -> SelectionResult:
+        if not pool:
+            raise ValueError("the demonstration pool is empty")
+        question_features = np.asarray(question_features, dtype=float)
+        threshold = self.resolve_threshold(question_features)
+        distances = self._question_to_pool_distances(question_features, pool_features)
+        num_questions = distances.shape[0]
+        num_pool = distances.shape[1]
+
+        # Phase 1: Demonstration Set Generation over all questions, unit weights.
+        coverage = [
+            frozenset(np.flatnonzero(distances[:, demo] < threshold).tolist())
+            for demo in range(num_pool)
+        ]
+        generation = greedy_set_cover(num_questions, coverage, weights=None)
+        demonstration_set = list(generation.selected)
+
+        # Fallback: questions not coverable within t get their nearest pool demo,
+        # so every question still has at least one relevant reference.
+        fallback_questions = sorted(generation.uncovered_items)
+        for question_index in fallback_questions:
+            nearest = int(np.argmin(distances[question_index]))
+            if nearest not in demonstration_set:
+                demonstration_set.append(nearest)
+
+        # Token weights for the Batch Covering phase.
+        token_weights = {
+            demo: max(1.0, float(self.tokenizer.count(serialize_pair(pool[demo]))))
+            for demo in demonstration_set
+        }
+
+        # Phase 2: Batch Covering — per batch, cover its questions with the
+        # minimum token weight subset of the demonstration set.
+        per_batch: list[list[int]] = []
+        for batch in batches:
+            batch_questions = list(batch.indices)
+            local_coverage = []
+            for demo in demonstration_set:
+                covered_locally = frozenset(
+                    position
+                    for position, question_index in enumerate(batch_questions)
+                    if distances[question_index, demo] < threshold
+                )
+                local_coverage.append(covered_locally)
+            solution = greedy_set_cover(
+                len(batch_questions),
+                local_coverage,
+                weights=[token_weights[demo] for demo in demonstration_set],
+            )
+            chosen = [demonstration_set[position] for position in solution.selected]
+            # Uncovered questions within the batch fall back to their nearest
+            # demonstration from the generated set (cheapest feasible repair).
+            for position in sorted(solution.uncovered_items):
+                question_index = batch_questions[position]
+                nearest_demo = min(
+                    demonstration_set, key=lambda demo: distances[question_index, demo]
+                )
+                if nearest_demo not in chosen:
+                    chosen.append(nearest_demo)
+            per_batch.append(chosen)
+
+        self.last_diagnostics = CoveringDiagnostics(
+            threshold=threshold,
+            demonstration_set_size=len(demonstration_set),
+            uncovered_questions=len(generation.uncovered_items),
+            fallback_questions=len(fallback_questions),
+        )
+        return self._build_result(batches, per_batch, pool)

@@ -1,0 +1,56 @@
+"""Factory for demonstration selection strategies keyed by the paper's names."""
+
+from __future__ import annotations
+
+from repro.selection.base import DemonstrationSelector
+from repro.selection.covering import CoveringSelector
+from repro.selection.fixed import FixedDemonstrationSelector
+from repro.selection.topk_batch import TopKBatchSelector
+from repro.selection.topk_question import TopKQuestionSelector
+
+#: Canonical selection strategy names accepted by :func:`create_selector`.
+SELECTION_STRATEGIES = ("fixed", "topk-batch", "topk-question", "covering")
+
+
+def create_selector(
+    strategy: str,
+    num_demonstrations: int = 8,
+    metric: str = "euclidean",
+    seed: int = 0,
+    threshold_percentile: float = 8.0,
+) -> DemonstrationSelector:
+    """Create a demonstration selector for one of the paper's strategies.
+
+    Args:
+        strategy: ``"fixed"``, ``"topk-batch"``, ``"topk-question"`` or
+            ``"covering"`` (aliases like ``"cover"`` are accepted).
+        num_demonstrations: per-batch demonstration budget K (paper: 8).
+        metric: distance metric between feature vectors.
+        seed: RNG seed for randomised choices.
+        threshold_percentile: covering threshold percentile (covering only).
+
+    Raises:
+        KeyError: for unknown strategies.
+    """
+    key = strategy.strip().lower().replace("_", "-")
+    if key in ("fixed", "fix"):
+        return FixedDemonstrationSelector(
+            num_demonstrations=num_demonstrations, metric=metric, seed=seed
+        )
+    if key in ("topk-batch", "topkbatch", "batch-topk"):
+        return TopKBatchSelector(
+            num_demonstrations=num_demonstrations, metric=metric, seed=seed
+        )
+    if key in ("topk-question", "topkquestion", "question-topk"):
+        return TopKQuestionSelector(
+            num_demonstrations=num_demonstrations, metric=metric, seed=seed
+        )
+    if key in ("covering", "cover", "covering-based"):
+        return CoveringSelector(
+            num_demonstrations=num_demonstrations,
+            metric=metric,
+            seed=seed,
+            threshold_percentile=threshold_percentile,
+        )
+    known = ", ".join(SELECTION_STRATEGIES)
+    raise KeyError(f"unknown selection strategy {strategy!r}; expected one of: {known}")

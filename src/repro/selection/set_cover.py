@@ -1,0 +1,120 @@
+"""Greedy (weighted) set cover — Algorithm 1 of the paper.
+
+Both covering sub-problems are instances of weighted set cover:
+
+* **Demonstration Set Generation** — items are all questions, candidate sets
+  are pool demonstrations (each covering the questions within distance ``t``),
+  weights are all 1; minimise the number of labeled demonstrations.
+* **Batch Covering** — items are the questions of one batch, candidates are the
+  demonstrations of the generated set, weights are token counts; minimise the
+  prompt token cost.
+
+The greedy rule picks, at each step, the candidate maximising
+``(newly covered items) / weight``, which yields the classic ``H_k``
+approximation guarantee cited by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SetCoverSolution:
+    """Outcome of a greedy set cover run.
+
+    Attributes:
+        selected: indices of the chosen candidate sets, in selection order.
+        covered_items: items covered by the selection.
+        uncovered_items: items that no candidate could cover at all.
+        total_weight: sum of weights of the selected candidates.
+    """
+
+    selected: tuple[int, ...]
+    covered_items: frozenset[int]
+    uncovered_items: frozenset[int]
+    total_weight: float
+
+
+def coverage_value(selected_coverage: Sequence[frozenset[int] | set[int]]) -> int:
+    """Value function ``f_Q(Ds)`` of Algorithm 1: number of covered questions."""
+    covered: set[int] = set()
+    for cover in selected_coverage:
+        covered |= set(cover)
+    return len(covered)
+
+
+def greedy_set_cover(
+    num_items: int,
+    coverage: Sequence[frozenset[int] | set[int]],
+    weights: Sequence[float] | None = None,
+) -> SetCoverSolution:
+    """Greedy weighted set cover.
+
+    Args:
+        num_items: number of items (questions) to cover; items are
+            ``0 .. num_items - 1``.
+        coverage: for every candidate (demonstration), the set of item indices
+            it covers.
+        weights: positive weight per candidate; defaults to unit weights.
+
+    Returns:
+        The greedy solution.  Items that appear in no candidate's coverage are
+        reported as ``uncovered_items`` rather than raising, because in the ER
+        pipeline an uncoverable question simply falls back to nearest-neighbour
+        demonstrations.
+
+    Raises:
+        ValueError: if weights are non-positive or the lengths disagree.
+    """
+    if weights is None:
+        weights = [1.0] * len(coverage)
+    if len(weights) != len(coverage):
+        raise ValueError(
+            f"coverage has {len(coverage)} candidates but weights has {len(weights)}"
+        )
+    if any(weight <= 0.0 for weight in weights):
+        raise ValueError("all candidate weights must be positive")
+
+    universe = set(range(num_items))
+    coverable = set()
+    candidate_sets = [set(cover) & universe for cover in coverage]
+    for candidate in candidate_sets:
+        coverable |= candidate
+    uncoverable = universe - coverable
+
+    uncovered = set(coverable)
+    selected: list[int] = []
+    remaining_candidates = set(range(len(candidate_sets)))
+    total_weight = 0.0
+
+    while uncovered and remaining_candidates:
+        best_candidate = -1
+        best_efficiency = 0.0
+        best_gain = 0
+        for candidate in remaining_candidates:
+            gain = len(candidate_sets[candidate] & uncovered)
+            if gain == 0:
+                continue
+            efficiency = gain / weights[candidate]
+            if efficiency > best_efficiency or (
+                efficiency == best_efficiency and gain > best_gain
+            ):
+                best_candidate = candidate
+                best_efficiency = efficiency
+                best_gain = gain
+        if best_candidate < 0:
+            break
+        selected.append(best_candidate)
+        remaining_candidates.discard(best_candidate)
+        uncovered -= candidate_sets[best_candidate]
+        total_weight += float(weights[best_candidate])
+
+    covered = coverable - uncovered
+    return SetCoverSolution(
+        selected=tuple(selected),
+        covered_items=frozenset(covered),
+        uncovered_items=frozenset(uncoverable | uncovered),
+        total_weight=total_weight,
+    )

@@ -1,0 +1,101 @@
+"""Deterministic sentence embeddings standing in for SBERT / RoBERTa.
+
+The semantics-based feature extractor of the paper (Section III-B) encodes a
+serialized entity pair with a pre-trained sentence encoder.  Offline we cannot
+load SBERT, so :class:`HashingSentenceEncoder` provides a deterministic
+substitute with the single property the downstream pipeline depends on:
+*textually similar sentences map to nearby vectors*.
+
+The encoder hashes word unigrams, word bigrams and character trigrams into a
+fixed-dimensional vector (the classic "hashing trick"), applies sub-linear
+term-frequency scaling and L2-normalises the result.  Cosine / Euclidean
+proximity of the resulting vectors then tracks surface-level textual overlap,
+which is exactly what an off-the-shelf sentence encoder gives an ER pipeline
+that never fine-tunes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+
+import numpy as np
+
+_WORD_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def _stable_hash(text: str) -> int:
+    """Return a deterministic 64-bit hash of ``text`` (stable across processes)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingSentenceEncoder:
+    """Hash-based sentence encoder producing deterministic dense embeddings.
+
+    Args:
+        dimension: output embedding dimensionality.
+        use_char_ngrams: include character trigram features (helps with typos,
+            which matter for dirty ER attribute values).
+        use_word_bigrams: include word bigram features (adds mild word-order
+            sensitivity, mimicking a contextual encoder).
+
+    The encoder is stateless apart from its configuration, so encoding the same
+    sentence always yields the same vector.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 256,
+        use_char_ngrams: bool = True,
+        use_word_bigrams: bool = True,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self.use_char_ngrams = use_char_ngrams
+        self.use_word_bigrams = use_word_bigrams
+
+    def _features(self, text: str) -> list[str]:
+        words = _WORD_PATTERN.findall(text.lower())
+        features = [f"w:{word}" for word in words]
+        if self.use_word_bigrams and len(words) > 1:
+            features.extend(
+                f"b:{first}_{second}" for first, second in zip(words, words[1:])
+            )
+        if self.use_char_ngrams:
+            for word in words:
+                padded = f"^{word}$"
+                features.extend(
+                    f"c:{padded[i:i + 3]}" for i in range(max(1, len(padded) - 2))
+                )
+        return features
+
+    def encode(self, text: str | None) -> np.ndarray:
+        """Encode one sentence into a unit-norm vector of ``self.dimension`` floats."""
+        vector = np.zeros(self.dimension, dtype=np.float64)
+        if not text:
+            return vector
+        counts: dict[str, int] = {}
+        for feature in self._features(text):
+            counts[feature] = counts.get(feature, 0) + 1
+        for feature, count in counts.items():
+            feature_hash = _stable_hash(feature)
+            index = feature_hash % self.dimension
+            sign = 1.0 if (feature_hash >> 32) % 2 == 0 else -1.0
+            vector[index] += sign * (1.0 + math.log(count))
+        norm = float(np.linalg.norm(vector))
+        if norm > 0.0:
+            vector /= norm
+        return vector
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Encode a list of sentences into a ``(len(texts), dimension)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.encode(text) for text in texts])
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity between the embeddings of two sentences."""
+        return float(np.dot(self.encode(left), self.encode(right)))

@@ -1,0 +1,18 @@
+"""Small shared utilities.
+
+Currently: stable seeding.  Python's built-in ``hash`` of strings is randomised
+per process (PYTHONHASHSEED), so anything that derives RNG seeds from strings
+must go through :func:`stable_seed` to keep datasets and simulations
+reproducible across processes and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a deterministic 64-bit seed from arbitrary string-convertible parts."""
+    text = "||".join(str(part) for part in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Datasets are generated once per session at small scales so the whole suite
+stays fast while still exercising realistic data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.features.structure_aware import StructureAwareExtractor
+
+
+@pytest.fixture(scope="session")
+def beer_dataset():
+    """The full-size (450-pair) Beer benchmark — small enough to use everywhere."""
+    return load_dataset("beer", seed=7)
+
+
+@pytest.fixture(scope="session")
+def fz_dataset():
+    """A scaled-down Fodors-Zagats benchmark."""
+    return load_dataset("fz", seed=7, scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def wa_dataset():
+    """A small Walmart-Amazon benchmark (5 attributes, product domain)."""
+    return load_dataset("wa", seed=7, scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def beer_questions(beer_dataset):
+    """The Beer test split as a list of questions."""
+    return list(beer_dataset.splits.test)
+
+
+@pytest.fixture(scope="session")
+def beer_pool(beer_dataset):
+    """The Beer train split as the unlabeled demonstration pool."""
+    return list(beer_dataset.splits.train)
+
+
+@pytest.fixture(scope="session")
+def beer_extractor(beer_dataset):
+    """Structure-aware (Levenshtein ratio) extractor for the Beer schema."""
+    return StructureAwareExtractor(beer_dataset.attributes)
+
+
+@pytest.fixture(scope="session")
+def beer_question_features(beer_extractor, beer_questions):
+    return beer_extractor.extract_matrix(beer_questions)
+
+
+@pytest.fixture(scope="session")
+def beer_pool_features(beer_extractor, beer_pool):
+    return beer_extractor.extract_matrix(beer_pool)

@@ -1,0 +1,180 @@
+"""Tests for the question batching strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching import (
+    DiversityQuestionBatcher,
+    QuestionBatch,
+    RandomQuestionBatcher,
+    SimilarityQuestionBatcher,
+    create_batcher,
+    validate_batching,
+)
+from repro.data.schema import EntityPair, MatchLabel, Record
+
+ALL_BATCHERS = (RandomQuestionBatcher, SimilarityQuestionBatcher, DiversityQuestionBatcher)
+
+
+def make_questions(count):
+    return [
+        EntityPair(
+            pair_id=f"q{i}",
+            left=Record(f"A-{i}", {"name": f"left {i}"}),
+            right=Record(f"B-{i}", {"name": f"right {i}"}),
+            label=MatchLabel.NON_MATCH,
+        )
+        for i in range(count)
+    ]
+
+
+def clustered_features(cluster_sizes, separation=10.0, seed=0):
+    """Feature matrix with well-separated clusters of the given sizes."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for cluster_index, size in enumerate(cluster_sizes):
+        center = np.array([cluster_index * separation, cluster_index * separation])
+        blocks.append(center + rng.normal(scale=0.05, size=(size, 2)))
+    return np.vstack(blocks)
+
+
+class TestQuestionBatchValue:
+    def test_length_mismatch_rejected(self):
+        questions = make_questions(2)
+        with pytest.raises(ValueError):
+            QuestionBatch(batch_id=0, indices=(0,), pairs=tuple(questions))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            QuestionBatch(batch_id=0, indices=(), pairs=())
+
+
+class TestValidation:
+    def test_validate_accepts_partition(self):
+        questions = make_questions(5)
+        batches = [
+            QuestionBatch(0, (0, 1, 2), tuple(questions[:3])),
+            QuestionBatch(1, (3, 4), tuple(questions[3:])),
+        ]
+        validate_batching(batches, num_questions=5, batch_size=3)
+
+    def test_validate_rejects_duplicates(self):
+        questions = make_questions(3)
+        batches = [
+            QuestionBatch(0, (0, 1), tuple(questions[:2])),
+            QuestionBatch(1, (1, 2), tuple(questions[1:])),
+        ]
+        with pytest.raises(ValueError, match="more than one batch"):
+            validate_batching(batches, num_questions=3, batch_size=2)
+
+    def test_validate_rejects_missing_questions(self):
+        questions = make_questions(3)
+        batches = [QuestionBatch(0, (0, 1), tuple(questions[:2]))]
+        with pytest.raises(ValueError, match="missing"):
+            validate_batching(batches, num_questions=3, batch_size=2)
+
+    def test_validate_rejects_oversized_batches(self):
+        questions = make_questions(3)
+        batches = [QuestionBatch(0, (0, 1, 2), tuple(questions))]
+        with pytest.raises(ValueError, match="exceeding"):
+            validate_batching(batches, num_questions=3, batch_size=2)
+
+
+class TestCommonBatcherBehaviour:
+    @pytest.mark.parametrize("batcher_class", ALL_BATCHERS)
+    def test_every_question_in_exactly_one_batch(self, batcher_class):
+        questions = make_questions(23)
+        features = clustered_features((8, 7, 8))
+        batches = batcher_class(batch_size=5, seed=0).create_batches(questions, features)
+        validate_batching(batches, num_questions=23, batch_size=5)
+
+    @pytest.mark.parametrize("batcher_class", ALL_BATCHERS)
+    def test_empty_question_set(self, batcher_class):
+        batches = batcher_class(batch_size=4).create_batches([], np.zeros((0, 2)))
+        assert batches == []
+
+    @pytest.mark.parametrize("batcher_class", ALL_BATCHERS)
+    def test_fewer_questions_than_batch_size(self, batcher_class):
+        questions = make_questions(3)
+        features = clustered_features((3,))
+        batches = batcher_class(batch_size=8, seed=0).create_batches(questions, features)
+        validate_batching(batches, num_questions=3, batch_size=8)
+        assert len(batches) == 1
+
+    @pytest.mark.parametrize("batcher_class", ALL_BATCHERS)
+    def test_deterministic_given_seed(self, batcher_class):
+        questions = make_questions(17)
+        features = clustered_features((6, 6, 5))
+        first = batcher_class(batch_size=4, seed=3).create_batches(questions, features)
+        second = batcher_class(batch_size=4, seed=3).create_batches(questions, features)
+        assert [batch.indices for batch in first] == [batch.indices for batch in second]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            RandomQuestionBatcher(batch_size=0)
+
+    @pytest.mark.parametrize("batcher_class", ALL_BATCHERS)
+    @given(num_questions=st.integers(1, 40), batch_size=st.integers(1, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, batcher_class, num_questions, batch_size):
+        questions = make_questions(num_questions)
+        rng = np.random.default_rng(0)
+        features = rng.random((num_questions, 3))
+        batches = batcher_class(batch_size=batch_size, seed=1).create_batches(questions, features)
+        validate_batching(batches, num_questions=num_questions, batch_size=batch_size)
+
+
+class TestSimilarityBatching:
+    def test_batches_stay_within_clusters(self):
+        # Three clusters of exactly the batch size: every batch must be pure.
+        questions = make_questions(12)
+        features = clustered_features((4, 4, 4))
+        batches = SimilarityQuestionBatcher(batch_size=4, seed=0).create_batches(questions, features)
+        cluster_of = {index: index // 4 for index in range(12)}
+        for batch in batches:
+            assert len({cluster_of[index] for index in batch.indices}) == 1
+
+    def test_remainder_merging(self):
+        # Cluster sizes 5 and 3 with batch size 4: one pure batch of 4, then the
+        # remaining 1 + 3 are merged into a complete batch (paper's rule).
+        questions = make_questions(8)
+        features = clustered_features((5, 3))
+        batches = SimilarityQuestionBatcher(batch_size=4, seed=0).create_batches(questions, features)
+        assert sorted(len(batch) for batch in batches) == [4, 4]
+
+
+class TestDiversityBatching:
+    def test_batches_span_clusters(self):
+        # Four clusters of four questions with batch size 4: every batch should
+        # draw from 4 different clusters.
+        questions = make_questions(16)
+        features = clustered_features((4, 4, 4, 4))
+        batches = DiversityQuestionBatcher(batch_size=4, seed=0).create_batches(questions, features)
+        cluster_of = {index: index // 4 for index in range(16)}
+        for batch in batches:
+            assert len({cluster_of[index] for index in batch.indices}) == 4
+
+    def test_round_robin_when_clusters_exhausted(self):
+        # Two clusters, batch size 4: batches must still be full-sized where
+        # possible, topping up round-robin from the remaining clusters.
+        questions = make_questions(10)
+        features = clustered_features((6, 4))
+        batches = DiversityQuestionBatcher(batch_size=4, seed=0).create_batches(questions, features)
+        validate_batching(batches, num_questions=10, batch_size=4)
+        assert sorted(len(batch) for batch in batches) == [2, 4, 4]
+
+
+class TestFactory:
+    def test_known_strategies(self):
+        assert isinstance(create_batcher("random"), RandomQuestionBatcher)
+        assert isinstance(create_batcher("similarity-based"), SimilarityQuestionBatcher)
+        assert isinstance(create_batcher("diversity"), DiversityQuestionBatcher)
+
+    def test_batch_size_forwarded(self):
+        assert create_batcher("diverse", batch_size=5).batch_size == 5
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError, match="unknown batching strategy"):
+            create_batcher("zigzag")

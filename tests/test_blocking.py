@@ -1,0 +1,102 @@
+"""Tests for the blocking substrate."""
+
+import pytest
+
+from repro.blocking import (
+    SimilarityThresholdBlocker,
+    TokenOverlapBlocker,
+    evaluate_blocking,
+)
+from repro.data.schema import CandidateSet, EntityPair, MatchLabel, Record, Table
+
+
+def make_tables():
+    attributes = ("name", "brand")
+    records_a = (
+        Record("A-0", {"name": "samsung led tv 40 inch", "brand": "samsung"}),
+        Record("A-1", {"name": "sony wireless headphones", "brand": "sony"}),
+        Record("A-2", {"name": "hp ink cartridge black", "brand": "hp"}),
+    )
+    records_b = (
+        Record("B-0", {"name": "samsung 40 inch led television", "brand": "samsung"}),
+        Record("B-1", {"name": "sony headphones wireless over ear", "brand": "sony"}),
+        Record("B-2", {"name": "lenovo laptop battery", "brand": "lenovo"}),
+    )
+    return (
+        Table("A", attributes, records_a),
+        Table("B", attributes, records_b),
+    )
+
+
+def gold_matches():
+    table_a, table_b = make_tables()
+    return CandidateSet(
+        (
+            EntityPair("g0", table_a.records[0], table_b.records[0], MatchLabel.MATCH),
+            EntityPair("g1", table_a.records[1], table_b.records[1], MatchLabel.MATCH),
+        )
+    )
+
+
+class TestTokenOverlapBlocker:
+    def test_min_overlap_validation(self):
+        with pytest.raises(ValueError):
+            TokenOverlapBlocker(min_overlap=0)
+
+    def test_blocks_matching_records_together(self):
+        table_a, table_b = make_tables()
+        result = TokenOverlapBlocker(min_overlap=2).block(table_a, table_b)
+        surviving = {(p.left.record_id, p.right.record_id) for p in result.candidates}
+        assert ("A-0", "B-0") in surviving
+        assert ("A-1", "B-1") in surviving
+
+    def test_prunes_unrelated_records(self):
+        table_a, table_b = make_tables()
+        result = TokenOverlapBlocker(min_overlap=2).block(table_a, table_b)
+        surviving = {(p.left.record_id, p.right.record_id) for p in result.candidates}
+        assert ("A-2", "B-2") not in surviving
+        assert result.reduction_ratio > 0.0
+
+    def test_total_possible_pairs(self):
+        table_a, table_b = make_tables()
+        result = TokenOverlapBlocker().block(table_a, table_b)
+        assert result.total_possible_pairs == len(table_a) * len(table_b)
+
+    def test_recall_on_generated_dataset(self, wa_dataset):
+        blocker = TokenOverlapBlocker(attributes=("title", "brand", "modelno"), min_overlap=2)
+        result = blocker.block(wa_dataset.table_a, wa_dataset.table_b)
+        quality = evaluate_blocking(result, wa_dataset.candidate_pairs)
+        assert quality["pair_recall"] >= 0.9
+        assert quality["reduction_ratio"] > 0.5
+
+
+class TestSimilarityThresholdBlocker:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityThresholdBlocker(threshold=1.5)
+
+    def test_higher_threshold_keeps_fewer_pairs(self):
+        table_a, table_b = make_tables()
+        loose = SimilarityThresholdBlocker(threshold=0.2, prefilter_overlap=1).block(table_a, table_b)
+        strict = SimilarityThresholdBlocker(threshold=0.9, prefilter_overlap=1).block(table_a, table_b)
+        assert len(strict.candidates) <= len(loose.candidates)
+
+    def test_keeps_similar_pairs(self):
+        table_a, table_b = make_tables()
+        result = SimilarityThresholdBlocker(threshold=0.4, prefilter_overlap=1).block(table_a, table_b)
+        surviving = {(p.left.record_id, p.right.record_id) for p in result.candidates}
+        assert ("A-0", "B-0") in surviving
+
+
+class TestEvaluateBlocking:
+    def test_perfect_recall(self):
+        table_a, table_b = make_tables()
+        result = TokenOverlapBlocker(min_overlap=1).block(table_a, table_b)
+        quality = evaluate_blocking(result, gold_matches())
+        assert quality["pair_recall"] == 1.0
+
+    def test_no_gold_matches_gives_full_recall(self):
+        table_a, table_b = make_tables()
+        result = TokenOverlapBlocker().block(table_a, table_b)
+        quality = evaluate_blocking(result, CandidateSet(()))
+        assert quality["pair_recall"] == 1.0

@@ -1,0 +1,84 @@
+"""Tests for the simulated LLM's prompt comprehension (reading) layer."""
+
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.llm.comprehension import parse_attribute_text, read_prompt
+from repro.prompting.batch import BatchPromptBuilder
+from repro.prompting.standard import StandardPromptBuilder
+
+ATTRIBUTES = ("title", "genre", "price")
+
+
+def make_pair(pair_id, title_left, title_right, label=MatchLabel.MATCH):
+    return EntityPair(
+        pair_id=pair_id,
+        left=Record(f"A-{pair_id}", {"title": title_left, "genre": "Dance,Music,Hip-Hop", "price": "0.99"}),
+        right=Record(f"B-{pair_id}", {"title": title_right, "genre": "Music", "price": "1.29"}),
+        label=label,
+    )
+
+
+class TestParseAttributeText:
+    def test_simple_parsing(self):
+        values = parse_attribute_text("title: Rashi, price: 0.99")
+        assert values == {"title": "Rashi", "price": "0.99"}
+
+    def test_values_containing_commas(self):
+        values = parse_attribute_text("title: Rashi, genre: Dance,Music,Hip-Hop, price: 0.99")
+        assert values["genre"] == "Dance,Music,Hip-Hop"
+        assert values["price"] == "0.99"
+
+    def test_missing_values_are_empty_strings(self):
+        values = parse_attribute_text("title: mac14-pro, id: ")
+        assert values["id"] == ""
+
+    def test_empty_text(self):
+        assert parse_attribute_text("") == {}
+
+
+class TestReadPrompt:
+    def test_round_trip_of_batch_prompt(self):
+        questions = [make_pair(f"q{i}", f"song {i}", f"song {i} remix") for i in range(3)]
+        demos = [
+            make_pair("d0", "alpha", "alpha", MatchLabel.MATCH),
+            make_pair("d1", "beta", "gamma", MatchLabel.NON_MATCH),
+        ]
+        prompt = BatchPromptBuilder(ATTRIBUTES).build(questions, demos)
+        parsed = read_prompt(prompt.text)
+
+        assert len(parsed.questions) == 3
+        assert len(parsed.demonstrations) == 2
+        assert parsed.demonstrations[0].is_match is True
+        assert parsed.demonstrations[1].is_match is False
+        # Attribute values survive the serialize -> render -> read round trip.
+        assert parsed.questions[0].left["title"] == "song 0"
+        assert parsed.questions[2].right["title"] == "song 2 remix"
+        assert parsed.demonstrations[1].right["title"] == "gamma"
+
+    def test_round_trip_of_standard_prompt(self):
+        question = make_pair("q0", "golden dragon", "golden dragon bistro")
+        demos = [make_pair("d0", "x", "x", MatchLabel.MATCH)]
+        prompt = StandardPromptBuilder(ATTRIBUTES).build(question, demos)
+        parsed = read_prompt(prompt.text)
+        assert len(parsed.questions) == 1
+        assert len(parsed.demonstrations) == 1
+        assert parsed.questions[0].right["title"] == "golden dragon bistro"
+
+    def test_zero_shot_prompt_has_no_demonstrations(self):
+        question = make_pair("q0", "a", "b")
+        prompt = StandardPromptBuilder(ATTRIBUTES).build(question, [])
+        parsed = read_prompt(prompt.text)
+        assert parsed.demonstrations == ()
+        assert len(parsed.questions) == 1
+
+    def test_unrelated_text_yields_nothing(self):
+        parsed = read_prompt("Hello, this text contains no entity blocks at all.")
+        assert parsed.questions == ()
+        assert parsed.demonstrations == ()
+
+    def test_question_count_matches_prompt_metadata(self, beer_dataset):
+        questions = list(beer_dataset.splits.test)[:8]
+        demos = list(beer_dataset.splits.train)[:4]
+        prompt = BatchPromptBuilder(beer_dataset.attributes).build(questions, demos)
+        parsed = read_prompt(prompt.text)
+        assert len(parsed.questions) == prompt.num_questions
+        assert len(parsed.demonstrations) == prompt.num_demonstrations

@@ -1,0 +1,60 @@
+"""Tests for the framework configuration object."""
+
+import pytest
+
+from repro.core.config import BatcherConfig
+
+
+class TestValidation:
+    def test_defaults_are_the_papers_best_choice(self):
+        config = BatcherConfig()
+        assert config.batching == "diverse"
+        assert config.selection == "covering"
+        assert config.feature_extractor == "lr"
+        assert config.batch_size == 8
+        assert config.num_demonstrations == 8
+        assert config.model == "gpt-3.5-03"
+        assert config.threshold_percentile == 8.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("batching", "zigzag"),
+            ("selection", "oracle"),
+            ("feature_extractor", "tfidf"),
+            ("model", "gpt-5"),
+            ("batch_size", 0),
+            ("num_demonstrations", 0),
+            ("max_questions", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            BatcherConfig(**{field: value})
+
+    @pytest.mark.parametrize("batching", ["random", "similar", "diverse"])
+    @pytest.mark.parametrize("selection", ["fixed", "topk-batch", "topk-question", "covering"])
+    def test_all_design_space_points_constructible(self, batching, selection):
+        config = BatcherConfig(batching=batching, selection=selection)
+        assert config.batching == batching
+        assert config.selection == selection
+
+
+class TestOverridesAndSerialisation:
+    def test_with_overrides_returns_new_config(self):
+        base = BatcherConfig()
+        changed = base.with_overrides(batching="random", seed=9)
+        assert changed.batching == "random"
+        assert changed.seed == 9
+        assert base.batching == "diverse"  # original untouched
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            BatcherConfig().with_overrides(selection="nope")
+
+    def test_to_dict_round_trip(self):
+        config = BatcherConfig(batching="similar", selection="topk-batch", seed=3)
+        snapshot = config.to_dict()
+        assert snapshot["batching"] == "similar"
+        assert snapshot["selection"] == "topk-batch"
+        assert BatcherConfig(**snapshot) == config

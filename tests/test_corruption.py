@@ -1,0 +1,122 @@
+"""Tests for the dirtiness / corruption operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.corruption import (
+    CorruptionPipeline,
+    abbreviate_tokens,
+    append_noise_token,
+    change_case,
+    drop_token,
+    introduce_typo,
+    perturb_number,
+    shuffle_tokens,
+)
+
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" "),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestOperators:
+    def setup_method(self):
+        self.rng = random.Random(0)
+
+    def test_typo_changes_or_keeps_length_by_one(self):
+        value = "professional"
+        corrupted = introduce_typo(value, self.rng)
+        assert abs(len(corrupted) - len(value)) <= 1
+
+    def test_typo_on_single_char_is_noop(self):
+        assert introduce_typo("a", self.rng) == "a"
+
+    def test_abbreviation_shortens_a_long_token(self):
+        value = "Panasonic Professional Camcorder"
+        corrupted = abbreviate_tokens(value, self.rng)
+        assert corrupted != value
+        assert "." in corrupted
+
+    def test_abbreviation_noop_without_long_tokens(self):
+        assert abbreviate_tokens("ab cd", self.rng) == "ab cd"
+
+    def test_drop_token_keeps_at_least_one(self):
+        assert drop_token("only", self.rng) == "only"
+        dropped = drop_token("alpha beta gamma", self.rng)
+        assert len(dropped.split()) == 2
+
+    def test_shuffle_tokens_preserves_multiset(self):
+        value = "alpha beta gamma delta"
+        shuffled = shuffle_tokens(value, self.rng)
+        assert sorted(shuffled.split()) == sorted(value.split())
+
+    def test_change_case_preserves_letters(self):
+        value = "Samsung LED TV"
+        changed = change_case(value, self.rng)
+        assert changed.lower() == value.lower()
+
+    def test_append_noise_token_extends_value(self):
+        value = "Here Comes the Fuzz"
+        noisy = append_noise_token(value, self.rng)
+        assert noisy.startswith(value)
+        assert len(noisy) > len(value)
+
+    def test_perturb_number_keeps_numeric_format(self):
+        perturbed = perturb_number("19.99", self.rng)
+        float(perturbed)  # must still parse
+
+    def test_perturb_number_noop_on_non_numeric(self):
+        assert perturb_number("abc", self.rng) == "abc"
+
+
+class TestCorruptionPipeline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorruptionPipeline(corruption_probability=1.5)
+        with pytest.raises(ValueError):
+            CorruptionPipeline(missing_probability=-0.1)
+        with pytest.raises(ValueError):
+            CorruptionPipeline(max_operations=0)
+
+    def test_zero_probabilities_are_identity(self):
+        pipeline = CorruptionPipeline(corruption_probability=0.0, missing_probability=0.0, seed=3)
+        values = {"name": "golden dragon", "city": "seattle"}
+        assert pipeline.corrupt_record_values(values) == values
+
+    def test_full_missing_probability_drops_everything(self):
+        pipeline = CorruptionPipeline(corruption_probability=0.0, missing_probability=1.0, seed=3)
+        corrupted = pipeline.corrupt_record_values({"name": "golden dragon", "city": "austin"})
+        assert corrupted == {"name": None, "city": None}
+
+    def test_none_values_stay_none(self):
+        pipeline = CorruptionPipeline(seed=1)
+        assert pipeline.corrupt_value(None) is None
+
+    def test_reproducibility_with_same_seed(self):
+        values = {"title": "Samsung Portable LCD Monitor SX-1000", "price": "299.99"}
+        first = CorruptionPipeline(corruption_probability=1.0, seed=11).corrupt_record_values(
+            values, numeric_attributes=frozenset({"price"})
+        )
+        second = CorruptionPipeline(corruption_probability=1.0, seed=11).corrupt_record_values(
+            values, numeric_attributes=frozenset({"price"})
+        )
+        assert first == second
+
+    def test_numeric_attributes_stay_numeric_when_corrupted(self):
+        pipeline = CorruptionPipeline(corruption_probability=1.0, missing_probability=0.0, seed=5)
+        corrupted = pipeline.corrupt_record_values(
+            {"price": "42.00"}, numeric_attributes=frozenset({"price"})
+        )
+        float(corrupted["price"])
+
+    @given(words)
+    @settings(max_examples=40, deadline=None)
+    def test_corrupt_value_always_string_or_none(self, value):
+        pipeline = CorruptionPipeline(corruption_probability=1.0, missing_probability=0.2, seed=9)
+        corrupted = pipeline.corrupt_value(value)
+        assert corrupted is None or isinstance(corrupted, str)

@@ -1,0 +1,69 @@
+"""Tests for the monetary cost model."""
+
+import pytest
+
+from repro.cost import CostTracker, LABEL_COST_PER_PAIR, api_cost, labeling_cost
+from repro.cost.labeling_cost import COST_PER_LABELING_TASK, PAIRS_PER_LABELING_TASK
+from repro.llm.base import UsageRecord, UsageTracker
+
+
+class TestLabelingCost:
+    def test_paper_rate(self):
+        # $0.08 per ten-pair task -> $0.008 per pair.
+        assert LABEL_COST_PER_PAIR == pytest.approx(COST_PER_LABELING_TASK / PAIRS_PER_LABELING_TASK)
+
+    def test_zero_pairs(self):
+        assert labeling_cost(0) == 0.0
+
+    def test_linear_in_pairs(self):
+        assert labeling_cost(100) == pytest.approx(0.8)
+        assert labeling_cost(8) == pytest.approx(0.064)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            labeling_cost(-1)
+
+
+class TestApiCost:
+    def test_priced_from_usage(self):
+        usage = UsageTracker()
+        usage.add(UsageRecord("gpt-3.5-03", prompt_tokens=10_000, completion_tokens=1_000))
+        assert api_cost("gpt-3.5-03", usage) == pytest.approx(0.012)
+
+    def test_gpt4_costs_more_for_same_usage(self):
+        usage = UsageTracker()
+        usage.add(UsageRecord("x", prompt_tokens=5_000, completion_tokens=0))
+        assert api_cost("gpt-4", usage) > api_cost("gpt-3.5-03", usage)
+
+
+class TestCostTracker:
+    def test_breakdown_combines_components(self):
+        tracker = CostTracker("gpt-3.5-03")
+        usage = UsageTracker()
+        usage.add(UsageRecord("gpt-3.5-03", prompt_tokens=2_000, completion_tokens=500))
+        tracker.attach_usage(usage)
+        tracker.record_labeled_pairs(25)
+        breakdown = tracker.breakdown()
+        assert breakdown.api_cost == pytest.approx(0.003)
+        assert breakdown.labeling_cost == pytest.approx(0.2)
+        assert breakdown.total_cost == pytest.approx(0.203)
+        assert breakdown.num_labeled_pairs == 25
+        assert breakdown.prompt_tokens == 2_000
+        assert breakdown.num_llm_calls == 1
+
+    def test_labeled_pairs_accumulate(self):
+        tracker = CostTracker("gpt-4")
+        tracker.record_labeled_pairs(5)
+        tracker.record_labeled_pairs(3)
+        assert tracker.breakdown().num_labeled_pairs == 8
+
+    def test_negative_label_count_rejected(self):
+        tracker = CostTracker("gpt-4")
+        with pytest.raises(ValueError):
+            tracker.record_labeled_pairs(-2)
+
+    def test_breakdown_without_usage(self):
+        tracker = CostTracker("gpt-4")
+        breakdown = tracker.breakdown()
+        assert breakdown.api_cost == 0.0
+        assert breakdown.total_cost == 0.0

@@ -1,0 +1,128 @@
+"""Focused tests for the covering-based demonstration selection (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.batching import DiversityQuestionBatcher
+from repro.clustering.distance import cross_distances
+from repro.selection import CoveringSelector, TopKQuestionSelector
+
+
+@pytest.fixture(scope="module")
+def beer_batches(beer_questions, beer_question_features):
+    return DiversityQuestionBatcher(batch_size=8, seed=0).create_batches(
+        beer_questions, beer_question_features
+    )
+
+
+@pytest.fixture(scope="module")
+def covering_result(beer_batches, beer_question_features, beer_pool, beer_pool_features):
+    selector = CoveringSelector(num_demonstrations=8, seed=0)
+    result = selector.select(beer_batches, beer_question_features, beer_pool, beer_pool_features)
+    return selector, result
+
+
+class TestThresholdResolution:
+    def test_percentile_threshold_is_positive(self, beer_question_features):
+        selector = CoveringSelector()
+        threshold = selector.resolve_threshold(beer_question_features)
+        assert threshold > 0.0
+
+    def test_smaller_percentile_gives_smaller_threshold(self, beer_question_features):
+        tight = CoveringSelector(threshold_percentile=2.0).resolve_threshold(beer_question_features)
+        loose = CoveringSelector(threshold_percentile=50.0).resolve_threshold(beer_question_features)
+        assert tight <= loose
+
+    def test_explicit_threshold_wins(self, beer_question_features):
+        selector = CoveringSelector(threshold=0.123)
+        assert selector.resolve_threshold(beer_question_features) == 0.123
+
+    def test_single_question_fallback(self):
+        selector = CoveringSelector()
+        assert selector.resolve_threshold(np.zeros((1, 4))) == 1.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CoveringSelector(threshold_percentile=0.0)
+        with pytest.raises(ValueError):
+            CoveringSelector(threshold=-0.5)
+
+
+class TestCoveringInvariant:
+    def test_every_question_covered_or_nearest_fallback(
+        self, covering_result, beer_batches, beer_question_features, beer_pool_features
+    ):
+        selector, result = covering_result
+        threshold = selector.last_diagnostics.threshold
+        distances = cross_distances(beer_question_features, beer_pool_features)
+        for batch, batch_demos in zip(beer_batches, result.per_batch):
+            demo_indices = list(batch_demos.pool_indices)
+            assert demo_indices, "every batch must receive at least one demonstration"
+            for question_index in batch.indices:
+                question_distances = distances[question_index, demo_indices]
+                # Either covered within the threshold, or assigned its nearest
+                # demonstration from the generated set as a fallback.
+                assert question_distances.min() <= max(threshold, distances[question_index].min() + 1e-9)
+
+    def test_diagnostics_populated(self, covering_result):
+        selector, result = covering_result
+        diagnostics = selector.last_diagnostics
+        assert diagnostics is not None
+        assert diagnostics.demonstration_set_size >= result.num_labeled
+        assert diagnostics.threshold > 0.0
+
+    def test_batch_demos_come_from_generated_set(self, covering_result):
+        selector, result = covering_result
+        assert result.num_labeled <= selector.last_diagnostics.demonstration_set_size
+
+
+class TestCostAdvantage:
+    def test_far_fewer_labels_than_topk_question(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        covering = CoveringSelector(num_demonstrations=8, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        topk = TopKQuestionSelector(num_demonstrations=8, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert covering.num_labeled < topk.num_labeled
+
+    def test_tighter_threshold_means_more_labels(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        tight = CoveringSelector(threshold_percentile=2.0, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        loose = CoveringSelector(threshold_percentile=40.0, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert tight.num_labeled >= loose.num_labeled
+
+    def test_batch_covering_is_minimal_for_a_covered_question(self):
+        # A single question covered by a pool demonstration must receive exactly
+        # one demonstration: the Batch Covering phase never attaches more
+        # demonstrations than needed to cover the batch.
+        from repro.batching.base import QuestionBatch
+        from repro.data.schema import EntityPair, MatchLabel, Record
+
+        def pair(pair_id, text):
+            return EntityPair(
+                pair_id,
+                Record(f"A-{pair_id}", {"name": text}),
+                Record(f"B-{pair_id}", {"name": text}),
+                MatchLabel.MATCH,
+            )
+
+        question = pair("q", "golden dragon")
+        near_demo = pair("near", "golden dragon bistro")
+        far_demo = pair("far", "completely unrelated steakhouse")
+        batch = QuestionBatch(0, (0,), (question,))
+        question_features = np.array([[1.0]])
+        pool = [near_demo, far_demo]
+        pool_features = np.array([[1.0], [9.0]])  # only the first is relevant
+        selector = CoveringSelector(threshold=0.5)
+        result = selector.select([batch], question_features, pool, pool_features)
+        chosen = result.per_batch[0].demonstrations
+        assert len(chosen) == 1
+        assert chosen[0].pair_id == "near"

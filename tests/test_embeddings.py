@@ -1,0 +1,69 @@
+"""Tests for the hashing sentence encoder (the offline SBERT substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.embeddings import HashingSentenceEncoder
+
+
+class TestHashingSentenceEncoder:
+    def setup_method(self):
+        self.encoder = HashingSentenceEncoder(dimension=128)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            HashingSentenceEncoder(dimension=0)
+
+    def test_output_shape(self):
+        vector = self.encoder.encode("title: iphone 13, price: 799")
+        assert vector.shape == (128,)
+
+    def test_empty_text_is_zero_vector(self):
+        assert np.allclose(self.encoder.encode(""), 0.0)
+        assert np.allclose(self.encoder.encode(None), 0.0)
+
+    def test_unit_norm(self):
+        vector = self.encoder.encode("samsung galaxy tab 10.1")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_determinism(self):
+        text = "authors: Stonebraker, DeWitt, venue: SIGMOD"
+        assert np.allclose(self.encoder.encode(text), self.encoder.encode(text))
+
+    def test_similar_texts_are_closer_than_dissimilar(self):
+        anchor = "title: Here Comes the Fuzz, genre: Hip-Hop"
+        near = "title: Here Comes The Fuzz [Explicit], genre: Music"
+        far = "title: Database query optimization survey, venue: VLDB"
+        assert self.encoder.similarity(anchor, near) > self.encoder.similarity(anchor, far)
+
+    def test_encode_batch_shape_and_rows(self):
+        texts = ["alpha beta", "gamma delta", "epsilon"]
+        matrix = self.encoder.encode_batch(texts)
+        assert matrix.shape == (3, 128)
+        assert np.allclose(matrix[1], self.encoder.encode(texts[1]))
+
+    def test_encode_batch_empty(self):
+        assert self.encoder.encode_batch([]).shape == (0, 128)
+
+    def test_char_ngrams_give_typo_robustness(self):
+        with_ngrams = HashingSentenceEncoder(dimension=256, use_char_ngrams=True)
+        without_ngrams = HashingSentenceEncoder(dimension=256, use_char_ngrams=False)
+        clean = "panasonic camcorder"
+        typo = "panasonc camcorder"
+        assert with_ngrams.similarity(clean, typo) > without_ngrams.similarity(clean, typo)
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_norm_is_zero_or_one(self, text):
+        norm = float(np.linalg.norm(self.encoder.encode(text)))
+        assert norm == pytest.approx(0.0) or norm == pytest.approx(1.0)
+
+    @given(st.text(min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_maximal(self, text):
+        vector = self.encoder.encode(text)
+        if np.linalg.norm(vector) == 0.0:
+            return
+        assert self.encoder.similarity(text, text) == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Integration tests: the full BatchER pipeline and the standard-prompting pipeline."""
+
+import pytest
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.core.standard import StandardPromptingER
+from repro.data.schema import MatchLabel
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestBatchERRun:
+    def test_default_run_produces_consistent_result(self, beer_dataset):
+        config = BatcherConfig(seed=1)
+        result = BatchER(config).run(beer_dataset)
+        assert result.dataset == "Beer"
+        assert result.method == "batcher/diverse+covering"
+        assert result.num_questions == len(beer_dataset.splits.test)
+        assert len(result.predictions) == result.num_questions
+        assert all(isinstance(label, MatchLabel) for label in result.predictions)
+        assert result.num_batches == -(-result.num_questions // config.batch_size)
+        assert result.cost.num_llm_calls == result.num_batches
+        assert result.cost.api_cost > 0.0
+        assert result.cost.num_labeled_pairs > 0
+        assert 0.0 <= result.metrics.f1 <= 100.0
+
+    def test_max_questions_cap(self, beer_dataset):
+        result = BatchER(BatcherConfig(seed=1, max_questions=24)).run(beer_dataset)
+        assert result.num_questions == 24
+        assert result.num_batches == 3
+
+    def test_summary_row_fields(self, beer_dataset):
+        result = BatchER(BatcherConfig(seed=1, max_questions=16)).run(beer_dataset)
+        summary = result.summary()
+        for key in ("dataset", "method", "f1", "api_cost", "label_cost", "total_cost", "questions"):
+            assert key in summary
+
+    def test_deterministic_given_seed(self, beer_dataset):
+        config = BatcherConfig(seed=5, max_questions=40)
+        first = BatchER(config).run(beer_dataset)
+        second = BatchER(config).run(beer_dataset)
+        assert first.metrics.f1 == second.metrics.f1
+        assert first.predictions == second.predictions
+        assert first.cost.api_cost == second.cost.api_cost
+
+    def test_injected_llm_is_used_and_reset(self, beer_dataset):
+        llm = SimulatedLLM("gpt-3.5-03", seed=2)
+        config = BatcherConfig(seed=2, max_questions=16)
+        BatchER(config, llm=llm).run(beer_dataset)
+        first_calls = llm.usage.num_calls
+        BatchER(config, llm=llm).run(beer_dataset)
+        assert llm.usage.num_calls == first_calls  # usage reset between runs
+
+    def test_every_design_choice_runs(self, beer_dataset):
+        for batching in ("random", "similar", "diverse"):
+            for selection in ("fixed", "topk-batch", "topk-question", "covering"):
+                config = BatcherConfig(
+                    batching=batching, selection=selection, seed=1, max_questions=24
+                )
+                result = BatchER(config).run(beer_dataset)
+                assert result.num_questions == 24, (batching, selection)
+
+    def test_semantic_extractor_pipeline(self, beer_dataset):
+        config = BatcherConfig(feature_extractor="semantic", seed=1, max_questions=24)
+        result = BatchER(config).run(beer_dataset)
+        assert result.num_questions == 24
+
+    def test_run_many(self, beer_dataset, fz_dataset):
+        results = BatchER(BatcherConfig(seed=1, max_questions=16)).run_many(
+            [beer_dataset, fz_dataset]
+        )
+        assert [result.dataset for result in results] == ["Beer", "FZ"]
+
+
+class TestStandardPromptingRun:
+    def test_one_llm_call_per_question(self, beer_dataset):
+        config = BatcherConfig(seed=1, max_questions=20)
+        result = StandardPromptingER(config).run(beer_dataset)
+        assert result.cost.num_llm_calls == 20
+        assert result.num_questions == 20
+        assert result.cost.num_labeled_pairs <= config.num_demonstrations
+
+    def test_explicit_demonstrations_must_be_labeled(self, beer_dataset):
+        unlabeled = [pair.without_label() for pair in list(beer_dataset.splits.train)[:4]]
+        pipeline = StandardPromptingER(BatcherConfig(seed=1, max_questions=8), demonstrations=unlabeled)
+        with pytest.raises(ValueError, match="labeled"):
+            pipeline.run(beer_dataset)
+
+    def test_batch_prompting_is_cheaper_than_standard(self, beer_dataset):
+        config = BatcherConfig(batching="random", selection="fixed", seed=1)
+        standard = StandardPromptingER(config).run(beer_dataset)
+        batch = BatchER(config).run(beer_dataset)
+        # Finding 1: multi-x API cost saving at batch size 8.
+        assert standard.cost.api_cost / batch.cost.api_cost > 3.0
+
+    def test_covering_labels_less_than_topk_question(self, beer_dataset):
+        covering = BatchER(BatcherConfig(selection="covering", seed=1)).run(beer_dataset)
+        topk = BatchER(BatcherConfig(selection="topk-question", seed=1)).run(beer_dataset)
+        # Finding 2: the covering strategy saves labeling cost.
+        assert covering.cost.labeling_cost < topk.cost.labeling_cost
+
+    def test_empty_test_split_rejected(self, beer_dataset):
+        from dataclasses import replace
+
+        from repro.data.schema import CandidateSet, DatasetSplits
+
+        empty_test = replace(
+            beer_dataset,
+            splits=DatasetSplits(
+                train=beer_dataset.splits.train,
+                validation=beer_dataset.splits.validation,
+                test=CandidateSet(()),
+            ),
+        )
+        with pytest.raises(ValueError, match="empty test split"):
+            BatchER(BatcherConfig(seed=1)).run(empty_test)

@@ -1,0 +1,132 @@
+"""Tests for the synthetic Magellan-style benchmark generator."""
+
+import pytest
+
+from repro.data.generator import GeneratorConfig, MagellanStyleGenerator, generate_dataset
+from repro.data.schema import MatchLabel
+from repro.data.specs import DATASET_SPECS, get_spec
+
+
+class TestGeneratorConfig:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=0.0)
+
+    def test_hard_negative_fraction_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(hard_negative_fraction=1.5)
+
+    def test_none_hard_fraction_allowed(self):
+        GeneratorConfig(hard_negative_fraction=None)
+
+
+class TestSpecs:
+    def test_all_eight_datasets_registered(self):
+        assert set(DATASET_SPECS) == {"wa", "ab", "ag", "ds", "da", "fz", "ia", "beer"}
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("WA").code == "WA"
+        assert get_spec("beer").full_name == "BeerAdvo-RateBeer"
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("imdb")
+
+    def test_table2_statistics_match_paper(self):
+        # The spec-level pair/match counts are exactly the paper's Table II.
+        expected = {
+            "wa": (10242, 962),
+            "ab": (9575, 1028),
+            "ag": (11460, 1167),
+            "ds": (28707, 5347),
+            "da": (12363, 2220),
+            "fz": (946, 110),
+            "ia": (532, 132),
+            "beer": (450, 68),
+        }
+        for code, (pairs, matches) in expected.items():
+            spec = get_spec(code)
+            assert (spec.num_pairs, spec.num_matches) == (pairs, matches)
+
+    def test_attribute_counts_match_paper(self):
+        expected = {"wa": 5, "ab": 3, "ag": 3, "ds": 4, "da": 4, "fz": 6, "ia": 8, "beer": 4}
+        for code, count in expected.items():
+            assert len(get_spec(code).attributes) == count
+
+    def test_entity_factories_produce_full_schemas(self):
+        import random
+
+        rng = random.Random(0)
+        for spec in DATASET_SPECS.values():
+            entity = spec.entity_factory(rng, 0)
+            assert set(entity) == set(spec.attributes)
+            variant = spec.variant_factory(entity, rng)
+            assert set(variant) == set(spec.attributes)
+            assert variant != entity
+
+
+class TestGeneratedDatasets:
+    def test_full_scale_counts_match_spec(self):
+        dataset = generate_dataset("beer", seed=3, scale=1.0)
+        spec = get_spec("beer")
+        assert len(dataset.candidate_pairs) == spec.num_pairs
+        assert dataset.candidate_pairs.match_count() == spec.num_matches
+
+    def test_scaled_counts_are_proportional(self):
+        dataset = generate_dataset("wa", seed=3, scale=0.02)
+        spec = get_spec("wa")
+        assert len(dataset.candidate_pairs) == pytest.approx(spec.num_pairs * 0.02, rel=0.1)
+        assert dataset.candidate_pairs.match_count() == pytest.approx(
+            spec.num_matches * 0.02, rel=0.15
+        )
+
+    def test_every_pair_is_labeled(self, beer_dataset):
+        assert all(pair.is_labeled for pair in beer_dataset.candidate_pairs)
+
+    def test_records_follow_schema(self, beer_dataset):
+        for record in list(beer_dataset.table_a)[:20]:
+            assert set(record.values) <= set(beer_dataset.attributes)
+
+    def test_reproducible_given_seed(self):
+        first = generate_dataset("fz", seed=11, scale=0.3)
+        second = generate_dataset("fz", seed=11, scale=0.3)
+        assert [p.pair_id for p in first.candidate_pairs] == [
+            p.pair_id for p in second.candidate_pairs
+        ]
+        assert [p.label for p in first.splits.test] == [p.label for p in second.splits.test]
+        first_values = [dict(p.left.values) for p in first.candidate_pairs[:20]]
+        second_values = [dict(p.left.values) for p in second.candidate_pairs[:20]]
+        assert first_values == second_values
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset("fz", seed=1, scale=0.3)
+        second = generate_dataset("fz", seed=2, scale=0.3)
+        first_values = [dict(p.left.values) for p in first.candidate_pairs[:20]]
+        second_values = [dict(p.left.values) for p in second.candidate_pairs[:20]]
+        assert first_values != second_values
+
+    def test_matches_are_more_similar_than_non_matches(self, beer_dataset, beer_extractor):
+        # The structural similarity of matching pairs should exceed that of
+        # non-matching pairs on average — otherwise the benchmark is unusable.
+        match_scores, non_match_scores = [], []
+        for pair in beer_dataset.candidate_pairs:
+            score = float(beer_extractor.extract(pair).mean())
+            if pair.label is MatchLabel.MATCH:
+                match_scores.append(score)
+            else:
+                non_match_scores.append(score)
+        assert sum(match_scores) / len(match_scores) > sum(non_match_scores) / len(non_match_scores) + 0.1
+
+    def test_generator_respects_hard_negative_fraction_zero(self):
+        spec = get_spec("beer")
+        generator = MagellanStyleGenerator(
+            spec, GeneratorConfig(seed=0, scale=0.2, hard_negative_fraction=0.0)
+        )
+        dataset = generator.generate()
+        assert dataset.candidate_pairs.match_count() == generator.target_num_matches()
+
+    def test_record_ids_unique_per_table(self, beer_dataset):
+        ids_a = [record.record_id for record in beer_dataset.table_a]
+        ids_b = [record.record_id for record in beer_dataset.table_b]
+        assert len(ids_a) == len(set(ids_a))
+        assert len(ids_b) == len(set(ids_b))

@@ -1,0 +1,45 @@
+"""Tests for the ManualPrompt baseline."""
+
+import pytest
+
+from repro.baselines.manual_prompt import ManualPromptBaseline
+from repro.core.config import BatcherConfig
+from repro.data.schema import MatchLabel
+
+
+class TestDemonstrationDesign:
+    def test_budget_respected_and_balanced(self, beer_dataset):
+        baseline = ManualPromptBaseline(BatcherConfig(num_demonstrations=8, seed=0))
+        demos = baseline.design_demonstrations(beer_dataset)
+        assert 1 <= len(demos) <= 8
+        labels = {demo.label for demo in demos}
+        assert labels == {MatchLabel.MATCH, MatchLabel.NON_MATCH}
+        assert all(demo.is_labeled for demo in demos)
+
+    def test_demonstrations_are_distinct(self, beer_dataset):
+        baseline = ManualPromptBaseline(BatcherConfig(num_demonstrations=8, seed=0))
+        demos = baseline.design_demonstrations(beer_dataset)
+        assert len({demo.pair_id for demo in demos}) == len(demos)
+
+    def test_deterministic(self, beer_dataset):
+        config = BatcherConfig(num_demonstrations=6, seed=0)
+        first = ManualPromptBaseline(config).design_demonstrations(beer_dataset)
+        second = ManualPromptBaseline(config).design_demonstrations(beer_dataset)
+        assert [demo.pair_id for demo in first] == [demo.pair_id for demo in second]
+
+
+class TestManualPromptRun:
+    def test_run_reports_standard_prompting_costs(self, beer_dataset):
+        config = BatcherConfig(num_demonstrations=8, seed=1, max_questions=40)
+        result = ManualPromptBaseline(config).run(beer_dataset)
+        assert result.method == "manual-prompt"
+        assert result.num_questions == 40
+        # Standard prompting: one LLM call per question.
+        assert result.cost.num_llm_calls == 40
+        assert result.cost.api_cost > 0.0
+        assert 0.0 <= result.metrics.f1 <= 100.0
+
+    def test_reasonable_accuracy_on_easy_dataset(self, fz_dataset):
+        config = BatcherConfig(num_demonstrations=8, seed=1, max_questions=80)
+        result = ManualPromptBaseline(config).run(fz_dataset)
+        assert result.metrics.f1 > 50.0

@@ -1,0 +1,115 @@
+"""Tests for the evaluation metrics and the table rendering helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import MatchLabel
+from repro.evaluation import (
+    confusion_counts,
+    evaluate_predictions,
+    format_markdown_table,
+    format_table,
+)
+
+labels = st.lists(st.sampled_from([MatchLabel.MATCH, MatchLabel.NON_MATCH]), min_size=1, max_size=40)
+
+
+class TestConfusionCounts:
+    def test_known_counts(self):
+        gold = [MatchLabel.MATCH, MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.NON_MATCH]
+        pred = [MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.MATCH, MatchLabel.NON_MATCH]
+        counts = confusion_counts(gold, pred)
+        assert (counts.true_positives, counts.false_negatives) == (1, 1)
+        assert (counts.false_positives, counts.true_negatives) == (1, 1)
+        assert counts.total == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_counts([MatchLabel.MATCH], [])
+
+
+class TestEvaluatePredictions:
+    def test_perfect_predictions(self):
+        gold = [MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.MATCH]
+        metrics = evaluate_predictions(gold, gold)
+        assert metrics.precision == 100.0
+        assert metrics.recall == 100.0
+        assert metrics.f1 == 100.0
+        assert metrics.accuracy == 100.0
+
+    def test_all_wrong(self):
+        gold = [MatchLabel.MATCH, MatchLabel.NON_MATCH]
+        pred = [MatchLabel.NON_MATCH, MatchLabel.MATCH]
+        metrics = evaluate_predictions(gold, pred)
+        assert metrics.f1 == 0.0
+
+    def test_known_f1_value(self):
+        # P = 2/3, R = 2/4 -> F1 = 2 * (2/3 * 1/2) / (2/3 + 1/2) = 57.14
+        gold = [MatchLabel.MATCH] * 4 + [MatchLabel.NON_MATCH] * 3
+        pred = [MatchLabel.MATCH, MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.NON_MATCH,
+                MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.NON_MATCH]
+        metrics = evaluate_predictions(gold, pred)
+        assert metrics.f1 == pytest.approx(57.14, abs=0.01)
+
+    def test_no_predicted_positives(self):
+        gold = [MatchLabel.MATCH, MatchLabel.NON_MATCH]
+        pred = [MatchLabel.NON_MATCH, MatchLabel.NON_MATCH]
+        metrics = evaluate_predictions(gold, pred)
+        assert metrics.precision == 0.0
+        assert metrics.f1 == 0.0
+
+    @given(gold=labels, flips=st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounds_property(self, gold, flips):
+        pred = list(gold)
+        for i in range(min(flips, len(pred))):
+            pred[i] = MatchLabel.MATCH if pred[i] is MatchLabel.NON_MATCH else MatchLabel.NON_MATCH
+        metrics = evaluate_predictions(gold, pred)
+        assert 0.0 <= metrics.f1 <= 100.0
+        assert 0.0 <= metrics.precision <= 100.0
+        assert 0.0 <= metrics.recall <= 100.0
+        # F1 is the harmonic mean: it never exceeds either component.
+        assert metrics.f1 <= max(metrics.precision, metrics.recall) + 1e-9
+        assert metrics.f1 >= min(metrics.precision, metrics.recall) - 1e-9
+
+    @given(gold=labels)
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_prediction_property(self, gold):
+        metrics = evaluate_predictions(gold, gold)
+        if any(label is MatchLabel.MATCH for label in gold):
+            assert metrics.f1 == 100.0
+        assert metrics.accuracy == 100.0
+
+
+class TestReportFormatting:
+    ROWS = [
+        {"dataset": "WA", "f1": 80.662, "api": 0.28},
+        {"dataset": "Beer", "f1": 96.55, "api": 0.01},
+    ]
+
+    def test_plain_table_contains_all_cells(self):
+        table = format_table(self.ROWS)
+        assert "dataset" in table and "WA" in table and "96.55" in table
+
+    def test_plain_table_column_selection_and_order(self):
+        table = format_table(self.ROWS, columns=["f1", "dataset"])
+        header = table.splitlines()[0]
+        assert header.index("f1") < header.index("dataset")
+        assert "api" not in header
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_markdown_table_structure(self):
+        table = format_markdown_table(self.ROWS)
+        lines = table.splitlines()
+        assert lines[0].startswith("| dataset")
+        assert set(lines[1].replace("|", "").strip().split()) == {"---"}
+        assert len(lines) == 4
+
+    def test_floats_rounded_to_two_decimals(self):
+        table = format_table(self.ROWS)
+        assert "80.66" in table
+        assert "80.662" not in table

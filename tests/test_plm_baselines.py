@@ -1,0 +1,128 @@
+"""Tests for the simulated PLM baselines and their building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.plm import (
+    DittoMatcher,
+    JointBertMatcher,
+    LogisticRegressionClassifier,
+    RandomFeatureMap,
+    RobEMMatcher,
+)
+
+ALL_MATCHERS = (DittoMatcher, JointBertMatcher, RobEMMatcher)
+
+
+class TestRandomFeatureMap:
+    def test_output_dimension(self):
+        feature_map = RandomFeatureMap(input_dimension=6, output_dimension=32, seed=0)
+        transformed = feature_map.transform(np.zeros((4, 6)))
+        assert transformed.shape == (4, 38)  # raw features are kept alongside
+
+    def test_deterministic_for_seed(self):
+        data = np.random.default_rng(0).random((5, 4))
+        first = RandomFeatureMap(4, 16, seed=3).transform(data)
+        second = RandomFeatureMap(4, 16, seed=3).transform(data)
+        assert np.allclose(first, second)
+
+    def test_dimension_mismatch_rejected(self):
+        feature_map = RandomFeatureMap(input_dimension=4, output_dimension=8)
+        with pytest.raises(ValueError):
+            feature_map.transform(np.zeros((2, 5)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomFeatureMap(input_dimension=0)
+        with pytest.raises(ValueError):
+            RandomFeatureMap(input_dimension=3, output_dimension=0)
+
+
+class TestLogisticRegression:
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        positives = rng.normal(loc=2.0, size=(60, 3))
+        negatives = rng.normal(loc=-2.0, size=(60, 3))
+        features = np.vstack([positives, negatives])
+        labels = np.array([1] * 60 + [0] * 60)
+        classifier = LogisticRegressionClassifier(epochs=200).fit(features, labels)
+        predictions = classifier.predict(features)
+        assert (predictions == labels).mean() > 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(np.zeros((1, 2)))
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_invalid_class_weighting_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(class_weighting="focal")
+
+    def test_balanced_weighting_raises_minority_recall(self):
+        rng = np.random.default_rng(1)
+        # Heavily imbalanced, slightly overlapping classes.
+        positives = rng.normal(loc=0.8, size=(12, 2))
+        negatives = rng.normal(loc=-0.8, size=(188, 2))
+        features = np.vstack([positives, negatives])
+        labels = np.array([1] * 12 + [0] * 188)
+        plain = LogisticRegressionClassifier(epochs=150, class_weighting="none").fit(features, labels)
+        balanced = LogisticRegressionClassifier(epochs=150, class_weighting="balanced").fit(features, labels)
+        recall_plain = plain.predict(features)[:12].mean()
+        recall_balanced = balanced.predict(features)[:12].mean()
+        assert recall_balanced >= recall_plain
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        features = rng.random((30, 4))
+        labels = (features[:, 0] > 0.5).astype(int)
+        classifier = LogisticRegressionClassifier(epochs=50).fit(features, labels)
+        probabilities = classifier.predict_proba(features)
+        assert ((probabilities >= 0.0) & (probabilities <= 1.0)).all()
+
+
+class TestPLMMatchers:
+    @pytest.mark.parametrize("matcher_class", ALL_MATCHERS)
+    def test_evaluate_returns_result_with_labeling_cost(self, matcher_class, beer_dataset):
+        result = matcher_class(seed=0).evaluate(beer_dataset, num_training_samples=60)
+        assert result.method == matcher_class.name
+        assert result.cost.api_cost == 0.0
+        assert result.cost.num_labeled_pairs == 60
+        assert result.cost.labeling_cost == pytest.approx(0.48)
+        assert result.num_questions == len(beer_dataset.splits.test)
+        assert 0.0 <= result.metrics.f1 <= 100.0
+
+    @pytest.mark.parametrize("matcher_class", ALL_MATCHERS)
+    def test_predict_before_fit_raises(self, matcher_class, beer_dataset):
+        with pytest.raises(RuntimeError):
+            matcher_class().predict(list(beer_dataset.splits.test))
+
+    def test_invalid_sample_count_rejected(self, beer_dataset):
+        with pytest.raises(ValueError):
+            DittoMatcher().fit(beer_dataset, num_training_samples=0)
+
+    def test_sample_count_clamped_to_train_size(self, beer_dataset):
+        matcher = RobEMMatcher(seed=0)
+        matcher.fit(beer_dataset, num_training_samples=10_000)
+        assert matcher.num_training_samples == len(beer_dataset.splits.train)
+
+    def test_learning_curve_rises_with_more_data(self, fz_dataset):
+        # The defining property for Exp-3: more labeled data must not hurt much
+        # and should help substantially from very small to large training sets.
+        matcher_small = RobEMMatcher(seed=1)
+        matcher_large = RobEMMatcher(seed=1)
+        small = matcher_small.evaluate(fz_dataset, num_training_samples=12)
+        large = matcher_large.evaluate(fz_dataset, num_training_samples=len(fz_dataset.splits.train))
+        assert large.metrics.f1 >= small.metrics.f1
+
+    def test_deterministic_given_seed(self, beer_dataset):
+        first = DittoMatcher(seed=4).evaluate(beer_dataset, num_training_samples=50)
+        second = DittoMatcher(seed=4).evaluate(beer_dataset, num_training_samples=50)
+        assert first.metrics.f1 == second.metrics.f1
+        assert first.predictions == second.predictions

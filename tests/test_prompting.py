@@ -1,0 +1,164 @@
+"""Tests for prompt construction and answer parsing."""
+
+import pytest
+
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.prompting import (
+    BatchPromptBuilder,
+    StandardPromptBuilder,
+    parse_batch_answers,
+    parse_standard_answer,
+)
+from repro.prompting.templates import render_demonstration, render_question
+from repro.text.tokenizer import count_tokens
+
+
+def make_pair(pair_id="p0", label=MatchLabel.MATCH):
+    return EntityPair(
+        pair_id=pair_id,
+        left=Record(f"A-{pair_id}", {"title": f"item {pair_id} alpha", "price": "9.99"}),
+        right=Record(f"B-{pair_id}", {"title": f"item {pair_id} alpha", "price": "9.99"}),
+        label=label,
+    )
+
+
+ATTRIBUTES = ("title", "price")
+
+
+class TestTemplates:
+    def test_demonstration_includes_label_word(self):
+        text = render_demonstration(1, make_pair(label=MatchLabel.MATCH), ATTRIBUTES)
+        assert text.startswith("[D1]")
+        assert "Answer: Yes" in text
+        text = render_demonstration(2, make_pair(label=MatchLabel.NON_MATCH), ATTRIBUTES)
+        assert "Answer: No" in text
+
+    def test_unlabeled_demonstration_rejected(self):
+        with pytest.raises(ValueError, match="no label"):
+            render_demonstration(1, make_pair(label=None), ATTRIBUTES)
+
+    def test_question_has_no_answer(self):
+        text = render_question(3, make_pair(), ATTRIBUTES)
+        assert text.startswith("[Q3]")
+        assert "Answer:" not in text
+        assert "Entity A:" in text and "Entity B:" in text
+
+
+class TestStandardPromptBuilder:
+    def test_prompt_contains_all_sections(self):
+        builder = StandardPromptBuilder(ATTRIBUTES)
+        demos = [make_pair("d0"), make_pair("d1", MatchLabel.NON_MATCH)]
+        prompt = builder.build(make_pair("q0"), demos)
+        assert prompt.style == "standard"
+        assert prompt.num_questions == 1
+        assert prompt.num_demonstrations == 2
+        assert "[D1]" in prompt.text and "[D2]" in prompt.text
+        assert "[Q1]" in prompt.text
+        assert "entity resolution" in prompt.text.lower()
+
+    def test_zero_shot_prompt(self):
+        prompt = StandardPromptBuilder(ATTRIBUTES).build(make_pair("q0"), [])
+        assert "[D1]" not in prompt.text
+        assert prompt.num_demonstrations == 0
+
+    def test_build_all_shares_demonstrations(self):
+        builder = StandardPromptBuilder(ATTRIBUTES)
+        questions = [make_pair(f"q{i}") for i in range(3)]
+        prompts = builder.build_all(questions, [make_pair("d0")])
+        assert len(prompts) == 3
+        assert all(prompt.num_demonstrations == 1 for prompt in prompts)
+
+
+class TestBatchPromptBuilder:
+    def test_prompt_contains_every_question_once(self):
+        builder = BatchPromptBuilder(ATTRIBUTES)
+        questions = [make_pair(f"q{i}") for i in range(4)]
+        prompt = builder.build(questions, [make_pair("d0")])
+        assert prompt.style == "batch"
+        assert prompt.num_questions == 4
+        for index in range(1, 5):
+            assert f"[Q{index}]" in prompt.text
+        assert "[Q5]" not in prompt.text
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one question"):
+            BatchPromptBuilder(ATTRIBUTES).build([], [make_pair("d0")])
+
+    def test_batch_prompt_cheaper_per_question_than_standard(self):
+        questions = [make_pair(f"q{i}") for i in range(8)]
+        demos = [make_pair(f"d{i}") for i in range(8)]
+        batch_prompt = BatchPromptBuilder(ATTRIBUTES).build(questions, demos)
+        standard_prompts = StandardPromptBuilder(ATTRIBUTES).build_all(questions, demos)
+        batch_tokens = count_tokens(batch_prompt.text)
+        standard_tokens = sum(count_tokens(prompt.text) for prompt in standard_prompts)
+        # The paper's headline: batching amortises task description and
+        # demonstrations over the whole batch (4x-7x savings at batch size 8).
+        assert standard_tokens / batch_tokens > 3.0
+
+
+class TestStandardAnswerParsing:
+    def test_yes_answer(self):
+        parsed = parse_standard_answer("Answer: Yes, both records describe the same product.")
+        assert parsed.labels == (MatchLabel.MATCH,)
+
+    def test_no_answer(self):
+        parsed = parse_standard_answer("Answer: No, the model numbers differ.")
+        assert parsed.labels == (MatchLabel.NON_MATCH,)
+
+    def test_casual_phrasing(self):
+        assert parse_standard_answer("yes — same entity").labels == (MatchLabel.MATCH,)
+        assert parse_standard_answer("No.").labels == (MatchLabel.NON_MATCH,)
+
+    def test_unparseable_answer(self):
+        parsed = parse_standard_answer("I am not sure about this one.")
+        assert parsed.labels == (None,)
+        assert parsed.num_unanswered == 1
+        assert parsed.resolved() == (MatchLabel.NON_MATCH,)
+
+    def test_empty_answer(self):
+        assert parse_standard_answer("").labels == (None,)
+
+
+class TestBatchAnswerParsing:
+    def test_indexed_answers(self):
+        response = "A1: Yes, same item.\nA2: No, different brands.\nA3: Yes."
+        parsed = parse_batch_answers(response, 3)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.MATCH)
+        assert parsed.num_unanswered == 0
+
+    def test_out_of_order_answers(self):
+        response = "A2: No\nA1: Yes"
+        parsed = parse_batch_answers(response, 2)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH)
+
+    def test_q_prefix_and_numbered_list(self):
+        response = "Q1: yes\n2. no\n3) yes"
+        parsed = parse_batch_answers(response, 3)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.MATCH)
+
+    def test_bare_yes_no_lines_in_order(self):
+        response = "yes\nno\nno"
+        parsed = parse_batch_answers(response, 3)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.NON_MATCH)
+
+    def test_missing_answers_reported(self):
+        response = "A1: Yes"
+        parsed = parse_batch_answers(response, 3)
+        assert parsed.labels[0] is MatchLabel.MATCH
+        assert parsed.num_unanswered == 2
+        assert parsed.resolved(MatchLabel.NON_MATCH)[1] is MatchLabel.NON_MATCH
+
+    def test_out_of_range_indices_ignored(self):
+        response = "A7: Yes\nA1: No"
+        parsed = parse_batch_answers(response, 2)
+        assert parsed.labels == (MatchLabel.NON_MATCH, None)
+
+    def test_empty_response(self):
+        parsed = parse_batch_answers("", 4)
+        assert parsed.num_unanswered == 4
+
+    def test_refusal_text(self):
+        parsed = parse_batch_answers(
+            "I am sorry, I cannot answer multiple questions in a single response.", 5
+        )
+        assert parsed.num_unanswered == 5

@@ -1,0 +1,126 @@
+"""Tests for the core data model (records, tables, pairs, datasets, splits)."""
+
+import pytest
+
+from repro.data.schema import (
+    CandidateSet,
+    EntityPair,
+    MatchLabel,
+    Record,
+    Table,
+)
+
+
+def make_record(record_id="A-0", **values):
+    return Record(record_id=record_id, values=values or {"name": "golden dragon"})
+
+
+def make_pair(pair_id="p0", label=MatchLabel.MATCH):
+    return EntityPair(
+        pair_id=pair_id,
+        left=make_record("A-0", name="golden dragon", city="seattle"),
+        right=make_record("B-0", name="golden dragon", city="seattle"),
+        label=label,
+    )
+
+
+class TestMatchLabel:
+    def test_from_bool(self):
+        assert MatchLabel.from_bool(True) is MatchLabel.MATCH
+        assert MatchLabel.from_bool(False) is MatchLabel.NON_MATCH
+
+    def test_int_values(self):
+        assert int(MatchLabel.MATCH) == 1
+        assert int(MatchLabel.NON_MATCH) == 0
+
+
+class TestRecord:
+    def test_value_lookup(self):
+        record = make_record(name="blue bistro", city="austin")
+        assert record.value("city") == "austin"
+        assert record.value("missing") is None
+
+    def test_non_missing_attributes(self):
+        record = Record("A-1", {"name": "x", "city": None, "phone": ""})
+        assert record.non_missing_attributes() == ["name"]
+
+
+class TestTable:
+    def test_len_iter_and_lookup(self):
+        records = tuple(make_record(f"A-{i}", name=f"r{i}") for i in range(3))
+        table = Table(name="A", attributes=("name",), records=records)
+        assert len(table) == 3
+        assert [r.record_id for r in table] == ["A-0", "A-1", "A-2"]
+        assert table.record_by_id("A-1").value("name") == "r1"
+
+    def test_lookup_missing_record_raises(self):
+        table = Table(name="A", attributes=("name",), records=(make_record(),))
+        with pytest.raises(KeyError):
+            table.record_by_id("nope")
+
+    def test_schema_violation_raises(self):
+        bad_record = Record("A-0", {"unexpected": "value"})
+        with pytest.raises(ValueError, match="outside the schema"):
+            Table(name="A", attributes=("name",), records=(bad_record,))
+
+
+class TestEntityPair:
+    def test_labeled_flag(self):
+        assert make_pair().is_labeled
+        assert not make_pair(label=None).is_labeled
+
+    def test_with_label_and_without_label(self):
+        pair = make_pair(label=None)
+        labeled = pair.with_label(MatchLabel.NON_MATCH)
+        assert labeled.label is MatchLabel.NON_MATCH
+        assert labeled.pair_id == pair.pair_id
+        assert labeled.without_label().label is None
+        # The original is unchanged (immutability).
+        assert pair.label is None
+
+
+class TestCandidateSet:
+    def test_len_iter_getitem(self):
+        pairs = tuple(make_pair(f"p{i}") for i in range(4))
+        candidates = CandidateSet(pairs)
+        assert len(candidates) == 4
+        assert candidates[2].pair_id == "p2"
+        assert [p.pair_id for p in candidates] == ["p0", "p1", "p2", "p3"]
+
+    def test_match_count_and_labeled(self):
+        pairs = (
+            make_pair("p0", MatchLabel.MATCH),
+            make_pair("p1", MatchLabel.NON_MATCH),
+            make_pair("p2", None),
+        )
+        candidates = CandidateSet(pairs)
+        assert candidates.match_count() == 1
+        assert len(candidates.labeled()) == 2
+
+    def test_from_pairs_accepts_generator(self):
+        candidates = CandidateSet.from_pairs(make_pair(f"p{i}") for i in range(2))
+        assert len(candidates) == 2
+
+
+class TestDataset:
+    def test_statistics(self, beer_dataset):
+        stats = beer_dataset.statistics()
+        assert stats["code"] == "Beer"
+        assert stats["num_attributes"] == 4
+        assert stats["num_pairs"] == len(beer_dataset.candidate_pairs)
+        assert stats["num_matches"] == beer_dataset.candidate_pairs.match_count()
+
+    def test_attributes_shared_by_both_tables(self, beer_dataset):
+        assert beer_dataset.table_a.attributes == beer_dataset.table_b.attributes
+        assert beer_dataset.attributes == beer_dataset.table_a.attributes
+
+    def test_splits_partition_all_pairs(self, beer_dataset):
+        splits = beer_dataset.splits
+        assert splits.total_pairs() == len(beer_dataset.candidate_pairs)
+        all_ids = {p.pair_id for p in beer_dataset.candidate_pairs}
+        split_ids = (
+            {p.pair_id for p in splits.train}
+            | {p.pair_id for p in splits.validation}
+            | {p.pair_id for p in splits.test}
+        )
+        assert split_ids == all_ids

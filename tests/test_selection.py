@@ -1,0 +1,201 @@
+"""Tests for the demonstration selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.batching import DiversityQuestionBatcher, RandomQuestionBatcher
+from repro.clustering.distance import cross_distances
+from repro.selection import (
+    CoveringSelector,
+    FixedDemonstrationSelector,
+    TopKBatchSelector,
+    TopKQuestionSelector,
+    create_selector,
+)
+
+ALL_SELECTORS = (
+    FixedDemonstrationSelector,
+    TopKBatchSelector,
+    TopKQuestionSelector,
+    CoveringSelector,
+)
+
+
+@pytest.fixture(scope="module")
+def beer_batches(beer_questions, beer_question_features):
+    batcher = DiversityQuestionBatcher(batch_size=8, seed=0)
+    return batcher.create_batches(beer_questions, beer_question_features)
+
+
+class TestCommonSelectorBehaviour:
+    @pytest.mark.parametrize("selector_class", ALL_SELECTORS)
+    def test_one_demo_list_per_batch(
+        self, selector_class, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = selector_class(num_demonstrations=8, seed=0)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert len(result.per_batch) == len(beer_batches)
+        for batch, batch_demos in zip(beer_batches, result.per_batch):
+            assert batch_demos.batch_id == batch.batch_id
+            assert len(batch_demos) >= 1
+            assert all(demo.is_labeled for demo in batch_demos.demonstrations)
+
+    @pytest.mark.parametrize("selector_class", ALL_SELECTORS)
+    def test_labeled_indices_cover_all_used_demos(
+        self, selector_class, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = selector_class(num_demonstrations=8, seed=0)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        used = set()
+        for batch_demos in result.per_batch:
+            used.update(batch_demos.pool_indices)
+        assert used == set(result.labeled_pool_indices)
+        assert result.num_labeled == len(used)
+
+    @pytest.mark.parametrize("selector_class", ALL_SELECTORS)
+    def test_empty_pool_rejected(self, selector_class, beer_batches, beer_question_features):
+        selector = selector_class(num_demonstrations=4)
+        with pytest.raises(ValueError, match="pool is empty"):
+            selector.select(beer_batches, beer_question_features, [], np.zeros((0, 4)))
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDemonstrationSelector(num_demonstrations=0)
+
+
+class TestFixedSelector:
+    def test_same_demonstrations_for_every_batch(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = FixedDemonstrationSelector(num_demonstrations=8, seed=1)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        first = result.per_batch[0].pool_indices
+        assert all(batch.pool_indices == first for batch in result.per_batch)
+        assert result.num_labeled == len(first) <= 8
+
+    def test_fixed_set_is_label_balanced_when_possible(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = FixedDemonstrationSelector(num_demonstrations=8, seed=1)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        labels = {int(demo.label) for demo in result.per_batch[0].demonstrations}
+        assert labels == {0, 1}
+
+    def test_different_seeds_pick_different_sets(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        first = FixedDemonstrationSelector(num_demonstrations=8, seed=1).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        second = FixedDemonstrationSelector(num_demonstrations=8, seed=2).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert first.labeled_pool_indices != second.labeled_pool_indices
+
+
+class TestTopKBatchSelector:
+    def test_selects_nearest_by_batch_distance(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = TopKBatchSelector(num_demonstrations=4, seed=0)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        distances = cross_distances(beer_question_features, beer_pool_features)
+        for batch, batch_demos in zip(beer_batches, result.per_batch):
+            batch_to_pool = distances[list(batch.indices), :].min(axis=0)
+            expected = set(np.argsort(batch_to_pool, kind="stable")[:4].tolist())
+            assert set(batch_demos.pool_indices) == expected
+
+    def test_budget_respected(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = TopKBatchSelector(num_demonstrations=3)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert all(len(batch) <= 3 for batch in result.per_batch)
+
+
+class TestTopKQuestionSelector:
+    def test_per_question_nearest_included(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        selector = TopKQuestionSelector(num_demonstrations=8, per_question_k=1, seed=0)
+        result = selector.select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        distances = cross_distances(beer_question_features, beer_pool_features)
+        for batch, batch_demos in zip(beer_batches, result.per_batch):
+            for question_index in batch.indices:
+                nearest = int(np.argsort(distances[question_index], kind="stable")[0])
+                assert nearest in batch_demos.pool_indices
+
+    def test_k_derived_from_budget(self, beer_batches):
+        selector = TopKQuestionSelector(num_demonstrations=16)
+        assert selector._resolve_k(beer_batches[0]) == max(1, 16 // len(beer_batches[0]))
+
+    def test_invalid_per_question_k(self):
+        with pytest.raises(ValueError):
+            TopKQuestionSelector(per_question_k=0)
+
+    def test_costs_more_labels_than_fixed(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        fixed = FixedDemonstrationSelector(num_demonstrations=8, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        topk = TopKQuestionSelector(num_demonstrations=8, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert topk.num_labeled > fixed.num_labeled
+
+
+class TestSelectionResult:
+    def test_demonstrations_for_lookup(
+        self, beer_batches, beer_question_features, beer_pool, beer_pool_features
+    ):
+        result = FixedDemonstrationSelector(num_demonstrations=4, seed=0).select(
+            beer_batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert result.demonstrations_for(0).batch_id == 0
+        with pytest.raises(KeyError):
+            result.demonstrations_for(10_000)
+
+
+class TestFactory:
+    def test_known_strategies(self):
+        assert isinstance(create_selector("fixed"), FixedDemonstrationSelector)
+        assert isinstance(create_selector("topk-batch"), TopKBatchSelector)
+        assert isinstance(create_selector("topk_question"), TopKQuestionSelector)
+        assert isinstance(create_selector("cover"), CoveringSelector)
+
+    def test_parameters_forwarded(self):
+        selector = create_selector("covering", num_demonstrations=5, threshold_percentile=12.0)
+        assert selector.num_demonstrations == 5
+        assert selector.threshold_percentile == 12.0
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError, match="unknown selection strategy"):
+            create_selector("zero-shot")
+
+
+class TestRandomBatcherIntegration:
+    def test_selection_works_with_random_batching(
+        self, beer_questions, beer_question_features, beer_pool, beer_pool_features
+    ):
+        batches = RandomQuestionBatcher(batch_size=8, seed=2).create_batches(
+            beer_questions, beer_question_features
+        )
+        result = CoveringSelector(num_demonstrations=8, seed=2).select(
+            batches, beer_question_features, beer_pool, beer_pool_features
+        )
+        assert len(result.per_batch) == len(batches)

@@ -1,0 +1,41 @@
+"""Tests for entity serialization (Eq. 1)."""
+
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.data.serialization import PAIR_SEPARATOR, serialize_pair, serialize_record
+
+
+def test_serialize_record_orders_by_schema():
+    record = Record("A-0", {"title": "iphone-13", "id": "0256"})
+    text = serialize_record(record, attributes=("id", "title"))
+    assert text == "id: 0256, title: iphone-13"
+
+
+def test_serialize_record_defaults_to_record_order():
+    record = Record("A-0", {"title": "iphone-13", "id": "0256"})
+    assert serialize_record(record) == "title: iphone-13, id: 0256"
+
+
+def test_serialize_record_renders_missing_values_as_empty():
+    record = Record("A-0", {"title": "mac14-pro", "id": None})
+    assert serialize_record(record, ("title", "id")) == "title: mac14-pro, id: "
+
+
+def test_serialize_pair_contains_separator_and_both_sides():
+    pair = EntityPair(
+        pair_id="p0",
+        left=Record("A-0", {"title": "gpt3.5-06", "id": "0613"}),
+        right=Record("B-0", {"title": "gpt-3.5", "id": "0613"}),
+        label=MatchLabel.MATCH,
+    )
+    text = serialize_pair(pair, ("title", "id"))
+    assert PAIR_SEPARATOR in text
+    left_text, right_text = text.split(f" {PAIR_SEPARATOR} ")
+    assert left_text == "title: gpt3.5-06, id: 0613"
+    assert right_text == "title: gpt-3.5, id: 0613"
+
+
+def test_serialize_pair_respects_schema_argument(beer_dataset):
+    pair = beer_dataset.candidate_pairs[0]
+    text = serialize_pair(pair, beer_dataset.attributes)
+    for attribute in beer_dataset.attributes:
+        assert f"{attribute}:" in text

@@ -1,0 +1,104 @@
+"""Tests for the greedy (weighted) set cover of Algorithm 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.set_cover import coverage_value, greedy_set_cover
+
+
+class TestCoverageValue:
+    def test_counts_distinct_items(self):
+        assert coverage_value([{0, 1}, {1, 2}]) == 3
+        assert coverage_value([]) == 0
+
+
+class TestGreedySetCover:
+    def test_simple_cover(self):
+        coverage = [{0, 1}, {1, 2}, {3}]
+        solution = greedy_set_cover(4, coverage)
+        covered = set()
+        for index in solution.selected:
+            covered |= set(coverage[index])
+        assert covered == {0, 1, 2, 3}
+        assert not solution.uncovered_items
+
+    def test_greedy_prefers_large_sets(self):
+        coverage = [{0}, {1}, {2}, {0, 1, 2}]
+        solution = greedy_set_cover(3, coverage)
+        assert solution.selected == (3,)
+
+    def test_weighted_cover_prefers_cheap_sets(self):
+        # Candidate 0 covers everything but is very expensive; candidates 1-2
+        # cover everything together at a lower combined efficiency per weight.
+        coverage = [{0, 1, 2, 3}, {0, 1}, {2, 3}]
+        weights = [100.0, 1.0, 1.0]
+        solution = greedy_set_cover(4, coverage, weights)
+        assert set(solution.selected) == {1, 2}
+        assert solution.total_weight == pytest.approx(2.0)
+
+    def test_uncoverable_items_reported(self):
+        coverage = [{0}, {1}]
+        solution = greedy_set_cover(3, coverage)
+        assert 2 in solution.uncovered_items
+        assert solution.covered_items == {0, 1}
+
+    def test_zero_items(self):
+        solution = greedy_set_cover(0, [{0, 1}])
+        assert solution.selected == ()
+        assert not solution.uncovered_items
+
+    def test_no_candidates(self):
+        solution = greedy_set_cover(3, [])
+        assert solution.selected == ()
+        assert solution.uncovered_items == {0, 1, 2}
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover(2, [{0}], weights=[1.0, 2.0])
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover(2, [{0}, {1}], weights=[1.0, 0.0])
+
+    def test_coverage_outside_universe_ignored(self):
+        solution = greedy_set_cover(2, [{0, 5, 9}, {1}])
+        assert solution.covered_items == {0, 1}
+
+    def test_greedy_matches_optimum_on_classic_instance(self):
+        # Classic set cover instance where greedy happens to be optimal.
+        coverage = [{0, 1, 2}, {2, 3}, {4, 5}, {0, 3, 4, 5}]
+        solution = greedy_set_cover(6, coverage)
+        assert len(solution.selected) == 2
+
+    @given(
+        num_items=st.integers(1, 25),
+        candidates=st.lists(
+            st.frozensets(st.integers(0, 24), max_size=6), min_size=1, max_size=30
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_coverable_items_covered(self, num_items, candidates):
+        solution = greedy_set_cover(num_items, candidates)
+        universe = set(range(num_items))
+        coverable = set().union(*[set(c) & universe for c in candidates]) if candidates else set()
+        covered = set()
+        for index in solution.selected:
+            covered |= set(candidates[index]) & universe
+        assert covered == coverable
+        assert solution.uncovered_items == universe - coverable
+        # Selected candidates are distinct.
+        assert len(solution.selected) == len(set(solution.selected))
+
+    @given(
+        candidates=st.lists(
+            st.frozensets(st.integers(0, 14), min_size=1, max_size=5), min_size=1, max_size=15
+        ),
+        weights=st.lists(st.floats(0.1, 10.0), min_size=15, max_size=15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_weight_is_sum_of_selected(self, candidates, weights):
+        weights = weights[: len(candidates)]
+        solution = greedy_set_cover(15, candidates, weights)
+        expected = sum(weights[index] for index in solution.selected)
+        assert solution.total_weight == pytest.approx(expected)

@@ -1,0 +1,94 @@
+"""Tests for dataset splitting and the dataset registry."""
+
+import pytest
+
+from repro.data.registry import available_datasets, dataset_statistics, load_dataset
+from repro.data.schema import CandidateSet, EntityPair, MatchLabel, Record
+from repro.data.splits import split_candidate_set
+
+
+def make_labeled_pairs(num_matches, num_non_matches):
+    pairs = []
+    for i in range(num_matches + num_non_matches):
+        label = MatchLabel.MATCH if i < num_matches else MatchLabel.NON_MATCH
+        pairs.append(
+            EntityPair(
+                pair_id=f"p{i}",
+                left=Record(f"A-{i}", {"name": f"left {i}"}),
+                right=Record(f"B-{i}", {"name": f"right {i}"}),
+                label=label,
+            )
+        )
+    return CandidateSet(tuple(pairs))
+
+
+class TestSplits:
+    def test_ratio_sizes(self):
+        candidates = make_labeled_pairs(20, 80)
+        splits = split_candidate_set(candidates, seed=0)
+        assert splits.total_pairs() == 100
+        assert len(splits.train) == pytest.approx(60, abs=2)
+        assert len(splits.validation) == pytest.approx(20, abs=2)
+        assert len(splits.test) == pytest.approx(20, abs=2)
+
+    def test_stratification_preserves_match_rate(self):
+        candidates = make_labeled_pairs(30, 120)
+        splits = split_candidate_set(candidates, seed=1)
+        overall_rate = 30 / 150
+        for part in (splits.train, splits.validation, splits.test):
+            rate = part.match_count() / len(part)
+            assert rate == pytest.approx(overall_rate, abs=0.06)
+
+    def test_no_overlap_between_splits(self):
+        candidates = make_labeled_pairs(10, 40)
+        splits = split_candidate_set(candidates, seed=2)
+        train_ids = {p.pair_id for p in splits.train}
+        validation_ids = {p.pair_id for p in splits.validation}
+        test_ids = {p.pair_id for p in splits.test}
+        assert not (train_ids & validation_ids)
+        assert not (train_ids & test_ids)
+        assert not (validation_ids & test_ids)
+
+    def test_unlabeled_pairs_rejected(self):
+        pair = EntityPair("p0", Record("A-0", {"name": "x"}), Record("B-0", {"name": "y"}), None)
+        with pytest.raises(ValueError, match="unlabeled"):
+            split_candidate_set(CandidateSet((pair,)))
+
+    def test_invalid_ratio_rejected(self):
+        candidates = make_labeled_pairs(5, 5)
+        with pytest.raises(ValueError, match="positive"):
+            split_candidate_set(candidates, ratios=(3, 0, 1))
+
+    def test_deterministic_given_seed(self):
+        candidates = make_labeled_pairs(15, 60)
+        first = split_candidate_set(candidates, seed=9)
+        second = split_candidate_set(candidates, seed=9)
+        assert [p.pair_id for p in first.test] == [p.pair_id for p in second.test]
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert set(available_datasets()) == {"wa", "ab", "ag", "ds", "da", "fz", "ia", "beer"}
+
+    def test_load_dataset_case_insensitive(self):
+        dataset = load_dataset("BEER", seed=7)
+        assert dataset.name == "Beer"
+
+    def test_load_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("movies")
+
+    def test_loading_is_cached(self):
+        first = load_dataset("beer", seed=7)
+        second = load_dataset("beer", seed=7)
+        assert first is second
+
+    def test_different_scale_not_shared(self):
+        full = load_dataset("beer", seed=7)
+        small = load_dataset("beer", seed=7, scale=0.5)
+        assert len(small.candidate_pairs) < len(full.candidate_pairs)
+
+    def test_dataset_statistics_rows(self):
+        rows = dataset_statistics(seed=7, scale=0.05)
+        assert len(rows) == 8
+        assert all(row["num_matches"] <= row["num_pairs"] for row in rows)
