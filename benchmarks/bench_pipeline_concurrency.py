@@ -1,0 +1,57 @@
+"""Benchmark: staged pipeline with serial vs. concurrent LLM dispatch.
+
+The batch prompts of one run are independent, so the inference stage can fan
+them out on a thread pool.  This benchmark times the full pipeline under both
+execution backends and asserts they produce identical predictions — the
+determinism guarantee that makes the concurrency knob safe to turn in
+production.
+"""
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.llm.executors import ConcurrentExecutor, SerialExecutor
+from repro.pipeline import Pipeline, PipelineContext
+
+
+def _config(bench_settings) -> BatcherConfig:
+    return BatcherConfig(
+        batching="diverse",
+        selection="covering",
+        seed=1,
+        batch_size=bench_settings.batch_size,
+        num_demonstrations=bench_settings.num_demonstrations,
+        max_questions=bench_settings.max_questions,
+    )
+
+
+def test_pipeline_serial_dispatch(benchmark, bench_settings):
+    dataset = bench_settings.load("beer")
+    config = _config(bench_settings)
+    result = benchmark(BatchER(config, executor=SerialExecutor()).run, dataset)
+    assert result.num_batches > 1
+
+
+def test_pipeline_concurrent_dispatch(benchmark, bench_settings):
+    dataset = bench_settings.load("beer")
+    config = _config(bench_settings)
+    serial = BatchER(config, executor=SerialExecutor()).run(dataset)
+    result = benchmark(
+        BatchER(config, executor=ConcurrentExecutor(max_workers=8)).run, dataset
+    )
+    assert result.predictions == serial.predictions
+    assert result.metrics == serial.metrics
+    assert result.cost == serial.cost
+
+
+def test_pipeline_stage_overhead(benchmark, bench_settings):
+    """Time the staged runner itself (context build + stage dispatch + telemetry)."""
+    dataset = bench_settings.load("beer")
+    config = _config(bench_settings)
+    pipeline = Pipeline.default()
+
+    def run_staged():
+        context = PipelineContext.from_dataset(dataset, config)
+        return pipeline.run(context)
+
+    context = benchmark(run_staged)
+    assert len(context.timings) == len(pipeline.stage_names)

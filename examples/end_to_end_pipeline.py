@@ -1,19 +1,23 @@
-"""End-to-end ER pipeline: blocking -> batch prompting -> evaluation.
+"""End-to-end ER pipeline: blocking -> streaming resolution -> evaluation.
 
 The paper treats blocking as a given upstream component.  This example shows
-the full pipeline a practitioner would run on two raw tables:
+the full serving pipeline a practitioner would run on two raw tables:
 
 1. generate two dirty product tables (Walmart-Amazon style),
 2. run a token-overlap blocker over the raw tables and measure its pair recall
    and reduction ratio,
-3. resolve the surviving candidate pairs with BatchER,
-4. report accuracy and monetary cost.
+3. stream the surviving candidate pairs through a :class:`repro.Resolver`
+   session (persistent demonstration pool, concurrent LLM dispatch) — the
+   candidates carry no gold labels, exactly like production traffic,
+4. report accuracy against the hidden gold labels, plus monetary cost.
 
 Run with:  python examples/end_to_end_pipeline.py
 """
 
-from repro import BatchER, BatcherConfig, load_dataset
+from repro import BatcherConfig, ConcurrentExecutor, Resolver, load_dataset
 from repro.blocking import TokenOverlapBlocker, evaluate_blocking
+from repro.data.schema import MatchLabel
+from repro.evaluation.metrics import evaluate_predictions
 
 
 def main() -> None:
@@ -31,16 +35,27 @@ def main() -> None:
         f"pair recall {quality['pair_recall']:.3f})"
     )
 
+    # Serve the labeled candidate set as an unlabeled stream: the resolver
+    # only sees pair attributes, the gold labels stay hidden for scoring.
     config = BatcherConfig(batching="diverse", selection="covering", seed=1)
-    result = BatchER(config).run(dataset)
+    resolver = Resolver.from_dataset(dataset, config, executor=ConcurrentExecutor(4))
+    stream = [pair.without_label() for pair in dataset.splits.test]
+    resolutions = list(resolver.resolve_iter(stream, chunk_size=64))
+
+    gold = [pair.label for pair in dataset.splits.test]
+    predicted = [resolution.label for resolution in resolutions]
+    metrics = evaluate_predictions(gold, predicted)
+    matches = sum(1 for label in predicted if label is MatchLabel.MATCH)
     print(
-        f"\nBatchER on the labeled candidate set: F1 {result.metrics.f1:.2f} "
-        f"(P {result.metrics.precision:.1f} / R {result.metrics.recall:.1f})"
+        f"\nResolver session on the candidate stream: {len(resolutions)} pairs, "
+        f"{matches} predicted matches — F1 {metrics.f1:.2f} "
+        f"(P {metrics.precision:.1f} / R {metrics.recall:.1f})"
     )
+    cost = resolver.cost()
     print(
-        f"Cost: API ${result.cost.api_cost:.3f} + labeling ${result.cost.labeling_cost:.3f} "
-        f"for {result.cost.num_labeled_pairs} labeled demonstrations "
-        f"over {result.cost.num_llm_calls} LLM calls"
+        f"Cost: API ${cost.api_cost:.3f} + labeling ${cost.labeling_cost:.3f} "
+        f"for {resolver.num_labeled} labeled demonstrations "
+        f"over {resolver.usage.num_calls} LLM calls"
     )
 
 

@@ -2,13 +2,14 @@
 
 Loads the (synthetic) BeerAdvo-RateBeer benchmark, runs the paper's best design
 choice — diversity-based question batching + covering-based demonstration
-selection — against the simulated GPT-3.5 backend, and prints matching accuracy
-and monetary cost next to plain standard prompting.
+selection — against the simulated GPT-3.5 backend with concurrent prompt
+dispatch, and prints matching accuracy and monetary cost next to plain
+standard prompting.  Finishes with the serving-style Resolver session.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import BatchER, BatcherConfig, load_dataset
+from repro import BatchER, BatcherConfig, ConcurrentExecutor, Resolver, load_dataset
 from repro.core.standard import StandardPromptingER
 from repro.evaluation.report import format_table
 
@@ -18,7 +19,9 @@ def main() -> None:
     print(f"Loaded {dataset.full_name}: {dataset.statistics()}")
 
     config = BatcherConfig(batching="diverse", selection="covering", seed=1)
-    batch_result = BatchER(config).run(dataset)
+    # The batch prompts are independent, so dispatch them concurrently —
+    # results are identical to serial dispatch, only wall-clock changes.
+    batch_result = BatchER(config, executor=ConcurrentExecutor(max_workers=4)).run(dataset)
     standard_result = StandardPromptingER(config).run(dataset)
 
     rows = [standard_result.summary(), batch_result.summary()]
@@ -27,6 +30,13 @@ def main() -> None:
     saving = standard_result.cost.api_cost / max(batch_result.cost.api_cost, 1e-9)
     print(f"\nBatch prompting used {batch_result.cost.num_llm_calls} LLM calls instead of "
           f"{standard_result.cost.num_llm_calls} and cut API cost by {saving:.1f}x.")
+
+    # Serving-style: resolve an ad-hoc unlabeled pair stream with a session.
+    resolver = Resolver.from_dataset(dataset, config)
+    incoming = [pair.without_label() for pair in list(dataset.splits.test)[:16]]
+    matches = sum(1 for r in resolver.resolve(incoming) if r.is_match)
+    print(f"\nResolver session: {matches}/{len(incoming)} of the streamed pairs "
+          f"predicted as matches (session cost ${resolver.cost().total_cost:.3f}).")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI gate: byte-compile the whole package, then run the tier-1 test suite.
+# Usage: scripts/ci_check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
+
+echo "== OK =="

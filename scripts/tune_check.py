@@ -1,47 +1,11 @@
-"""Developer tuning harness: quick shape check across datasets and strategies.
+"""Thin wrapper around :mod:`repro.experiments.tune_check`.
 
-Not part of the library API; used while calibrating the simulated LLM and the
-synthetic datasets so that the reproduced experiments have the paper's shape.
+The implementation lives in the package so the installed ``repro-tune-check``
+console script and this in-repo script share one code path.
+Run with:  PYTHONPATH=src python scripts/tune_check.py
 """
 
-import argparse
-import time
-
-from repro import BatchER, BatcherConfig, load_dataset
-from repro.core.standard import StandardPromptingER
-
-SCALES = {
-    "wa": 0.06, "ab": 0.06, "ag": 0.06, "ds": 0.025, "da": 0.05,
-    "fz": 1.0, "ia": 1.0, "beer": 1.0,
-}
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--datasets", nargs="*", default=list(SCALES))
-    parser.add_argument("--seed", type=int, default=1)
-    args = parser.parse_args()
-
-    start = time.time()
-    for name in args.datasets:
-        dataset = load_dataset(name, seed=args.seed, scale=SCALES[name])
-        config = BatcherConfig(seed=args.seed)
-        standard = StandardPromptingER(config).run(dataset)
-        fixed_random = BatchER(config.with_overrides(batching="random", selection="fixed")).run(dataset)
-        diverse_cover = BatchER(config.with_overrides(batching="diverse", selection="covering")).run(dataset)
-        similar_fixed = BatchER(config.with_overrides(batching="similar", selection="fixed")).run(dataset)
-        topkq = BatchER(config.with_overrides(batching="diverse", selection="topk-question")).run(dataset)
-        print(
-            f"{name:5s} n={standard.num_questions:4d} | "
-            f"std F1={standard.metrics.f1:5.1f} P={standard.metrics.precision:4.1f} api={standard.cost.api_cost:6.3f} | "
-            f"rand+fix F1={fixed_random.metrics.f1:5.1f} api={fixed_random.cost.api_cost:6.3f} | "
-            f"sim+fix F1={similar_fixed.metrics.f1:5.1f} | "
-            f"div+tkq F1={topkq.metrics.f1:5.1f} lab={topkq.cost.labeling_cost:6.3f} | "
-            f"div+cov F1={diverse_cover.metrics.f1:5.1f} P={diverse_cover.metrics.precision:4.1f} "
-            f"lab={diverse_cover.cost.labeling_cost:6.3f}"
-        )
-    print(f"elapsed {time.time() - start:.1f}s")
-
+from repro.experiments.tune_check import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -13,39 +13,77 @@ It provides:
   demonstration selection (:mod:`repro.selection`) including the covering-based
   strategy built on greedy set cover,
 * prompt construction and answer parsing (:mod:`repro.prompting`),
-* a simulated LLM substrate with usage/pricing accounting (:mod:`repro.llm`),
+* a simulated LLM substrate with usage/pricing accounting and pluggable
+  execution backends for concurrent prompt dispatch (:mod:`repro.llm`),
+* the staged pipeline API (:mod:`repro.pipeline`): individually-runnable
+  stages passing a typed :class:`PipelineContext`, per-stage telemetry, and
+  the streaming :class:`Resolver` session for serving ad-hoc pair streams,
 * supervised PLM-style baselines and the ManualPrompt baseline
   (:mod:`repro.baselines`),
-* the end-to-end :class:`repro.core.BatchER` framework, and
+* the end-to-end :class:`repro.core.BatchER` facade over the pipeline, and
 * experiment runners reproducing every table and figure of the paper
   (:mod:`repro.experiments`).
 
-Quickstart
-----------
+Quickstart — benchmarking
+-------------------------
 
 >>> from repro import BatchER, BatcherConfig, load_dataset
 >>> dataset = load_dataset("beer", seed=7)
 >>> config = BatcherConfig(batching="diverse", selection="covering")
 >>> framework = BatchER(config)
 >>> result = framework.run(dataset)
->>> 0.0 <= result.metrics.f1 <= 1.0
+>>> 0.0 <= result.metrics.f1 <= 100.0
+True
+
+Quickstart — serving
+--------------------
+
+>>> from repro import ConcurrentExecutor, Resolver
+>>> resolver = Resolver.from_dataset(dataset, config, executor=ConcurrentExecutor(4))
+>>> pairs = [pair.without_label() for pair in dataset.splits.test][:8]
+>>> resolutions = resolver.resolve(pairs)
+>>> len(resolutions) == len(pairs)
 True
 """
 
 from repro.core.config import BatcherConfig
 from repro.core.batcher import BatchER
 from repro.core.result import RunResult
+from repro.core.standard import StandardPromptingER
 from repro.data.registry import available_datasets, load_dataset
 from repro.evaluation.metrics import MatchingMetrics, evaluate_predictions
+from repro.llm.executors import (
+    ConcurrentExecutor,
+    ExecutionBackend,
+    SerialExecutor,
+    create_executor,
+)
+from repro.pipeline import (
+    Pipeline,
+    PipelineContext,
+    Resolution,
+    Resolver,
+    StageHook,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchER",
     "BatcherConfig",
-    "RunResult",
+    "ConcurrentExecutor",
+    "ExecutionBackend",
     "MatchingMetrics",
+    "Pipeline",
+    "PipelineContext",
+    "Resolution",
+    "Resolver",
+    "RunResult",
+    "SerialExecutor",
+    "StageHook",
+    "StandardPromptingER",
     "available_datasets",
+    "create_executor",
     "evaluate_predictions",
     "load_dataset",
     "__version__",

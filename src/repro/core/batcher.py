@@ -10,25 +10,26 @@
    selection strategy;
 5. render one batch prompt per batch, query the LLM, parse the answers;
 6. evaluate F1 against the gold labels and account API + labeling cost.
+
+Since the staged-pipeline redesign this class is a thin facade over
+:mod:`repro.pipeline`: it builds a :class:`~repro.pipeline.PipelineContext`
+from the dataset, runs :meth:`Pipeline.default` over it, and returns the
+evaluated :class:`RunResult`.  Use the pipeline API directly to run, inspect
+or re-compose individual stages, and :class:`repro.pipeline.Resolver` to serve
+ad-hoc pair streams.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
-from repro.batching.base import validate_batching
-from repro.batching.factory import create_batcher
 from repro.core.config import BatcherConfig
 from repro.core.result import RunResult
-from repro.cost.tracker import CostTracker
-from repro.data.schema import Dataset, EntityPair, MatchLabel
-from repro.evaluation.metrics import evaluate_predictions
-from repro.features.factory import create_feature_extractor
+from repro.data.schema import Dataset
 from repro.llm.base import LLMClient
-from repro.llm.registry import create_llm
-from repro.prompting.batch import BatchPromptBuilder
-from repro.prompting.parser import parse_batch_answers
-from repro.selection.factory import create_selector
+from repro.llm.executors import ExecutionBackend
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.pipeline import Pipeline, StageHook
 
 
 class BatchER:
@@ -39,93 +40,40 @@ class BatchER:
         llm: optional pre-built LLM client (useful for injecting a different
             seed or a custom client in tests); by default one is created from
             the config.
+        executor: optional execution backend used to dispatch the independent
+            batch prompts (``None`` = serial).  A
+            :class:`~repro.llm.executors.ConcurrentExecutor` parallelises the
+            LLM calls without changing any result.
+        hooks: optional pipeline telemetry hooks (per-stage observers).
     """
 
-    def __init__(self, config: BatcherConfig | None = None, llm: LLMClient | None = None) -> None:
+    def __init__(
+        self,
+        config: BatcherConfig | None = None,
+        llm: LLMClient | None = None,
+        executor: ExecutionBackend | None = None,
+        hooks: Iterable[StageHook] = (),
+    ) -> None:
         self.config = config or BatcherConfig()
         self._llm = llm
+        self._executor = executor
+        self._hooks = tuple(hooks)
 
-    # -- question / pool preparation ----------------------------------------
+    def build_pipeline(self) -> Pipeline:
+        """The staged pipeline this facade runs (exposed for inspection)."""
+        return Pipeline.default(executor=self._executor, hooks=self._hooks)
 
-    def _questions(self, dataset: Dataset) -> list[EntityPair]:
-        questions = list(dataset.splits.test)
-        if self.config.max_questions is not None:
-            questions = questions[: self.config.max_questions]
-        return questions
-
-    def _pool(self, dataset: Dataset) -> list[EntityPair]:
-        return list(dataset.splits.train)
-
-    def _build_llm(self) -> LLMClient:
-        if self._llm is not None:
-            self._llm.reset_usage()
-            return self._llm
-        return create_llm(
-            self.config.model, seed=self.config.seed, temperature=self.config.temperature
-        )
+    def build_context(self, dataset: Dataset) -> PipelineContext:
+        """Build the pipeline context ``run`` would execute on ``dataset``."""
+        return PipelineContext.from_dataset(dataset, self.config, llm=self._llm)
 
     # -- main entry point -----------------------------------------------------
 
     def run(self, dataset: Dataset) -> RunResult:
         """Run the framework on ``dataset`` and return the evaluated result."""
-        config = self.config
-        questions = self._questions(dataset)
-        if not questions:
-            raise ValueError(f"dataset {dataset.name!r} has an empty test split")
-        pool = self._pool(dataset)
-        if not pool:
-            raise ValueError(f"dataset {dataset.name!r} has an empty train split")
-
-        extractor = create_feature_extractor(config.feature_extractor, dataset.attributes)
-        question_features = extractor.extract_matrix(questions)
-        pool_features = extractor.extract_matrix(pool)
-
-        batcher = create_batcher(config.batching, batch_size=config.batch_size, seed=config.seed)
-        batches = batcher.create_batches(questions, question_features)
-        validate_batching(batches, len(questions), config.batch_size)
-
-        selector = create_selector(
-            config.selection,
-            num_demonstrations=config.num_demonstrations,
-            metric=config.metric,
-            seed=config.seed,
-            threshold_percentile=config.threshold_percentile,
-        )
-        selection = selector.select(batches, question_features, pool, pool_features)
-
-        llm = self._build_llm()
-        cost = CostTracker(config.model)
-        cost.attach_usage(llm.usage)
-        cost.record_labeled_pairs(selection.num_labeled)
-
-        builder = BatchPromptBuilder(attributes=dataset.attributes)
-        predictions: list[MatchLabel | None] = [None] * len(questions)
-        num_unanswered = 0
-        for batch, batch_demos in zip(batches, selection.per_batch):
-            prompt = builder.build(batch.pairs, batch_demos.demonstrations)
-            response = llm.complete(prompt.text)
-            parsed = parse_batch_answers(response.text, num_questions=len(batch))
-            num_unanswered += parsed.num_unanswered
-            for question_index, label in zip(batch.indices, parsed.resolved()):
-                predictions[question_index] = label
-
-        resolved = tuple(
-            label if label is not None else MatchLabel.NON_MATCH for label in predictions
-        )
-        gold = [question.label for question in questions]
-        metrics = evaluate_predictions(gold, resolved)
-
-        return RunResult(
-            dataset=dataset.name,
-            method=f"batcher/{config.batching}+{config.selection}",
-            metrics=metrics,
-            cost=cost.breakdown(),
-            num_questions=len(questions),
-            num_batches=len(batches),
-            num_unanswered=num_unanswered,
-            predictions=resolved,
-            config=config.to_dict(),
-        )
+        context = self.build_pipeline().run(self.build_context(dataset))
+        assert context.result is not None  # produced by the Evaluate stage
+        return context.result
 
     def run_many(self, datasets: Sequence[Dataset]) -> list[RunResult]:
         """Run the framework on several datasets and return all results."""

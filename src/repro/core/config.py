@@ -8,8 +8,8 @@ paper varies across its experiments (Table I plus Sections VI-E to VI-G).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 from repro.batching.factory import BATCHING_STRATEGIES
 from repro.features.factory import EXTRACTOR_VARIANTS
@@ -101,6 +101,26 @@ class BatcherConfig:
             "seed": self.seed,
             "max_questions": self.max_questions,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatcherConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot.
+
+        Round-trips with :meth:`to_dict`, so a :class:`~repro.core.result.RunResult`'s
+        ``config`` snapshot can be re-run as-is.
+
+        Raises:
+            ValueError: for unknown fields (and, via ``__post_init__``, for
+                invalid field values).
+        """
+        known = {config_field.name for config_field in fields(cls)}
+        snapshot = dict(data)
+        unknown = set(snapshot) - known
+        if unknown:
+            raise ValueError(
+                f"unknown config fields {sorted(unknown)}; expected a subset of {sorted(known)}"
+            )
+        return cls(**snapshot)
 
 
 def _normalised(options: tuple[str, ...]) -> set[str]:

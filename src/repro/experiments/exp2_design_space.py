@@ -45,7 +45,7 @@ def run_exp2_design_space(
                     seed=seed,
                     max_questions=settings.max_questions,
                 )
-                result = BatchER(config).run(dataset)
+                result = BatchER(config, executor=settings.executor()).run(dataset)
                 rows.append(
                     {
                         "Dataset": dataset.name,

@@ -51,7 +51,7 @@ def run_exp3_plm_comparison(
             seed=seed,
             max_questions=settings.max_questions,
         )
-        batcher_result = BatchER(config).run(dataset)
+        batcher_result = BatchER(config, executor=settings.executor()).run(dataset)
         rows.append(
             {
                 "Dataset": dataset.name,

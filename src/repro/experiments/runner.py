@@ -4,7 +4,9 @@
 prints them as markdown (this is how EXPERIMENTS.md is produced).  Use the
 ``REPRO_EXP_SCALE`` / ``REPRO_EXP_MAX_QUESTIONS`` environment variables to
 control the dataset scale; ``REPRO_EXP_SCALE=1.0 REPRO_EXP_MAX_QUESTIONS=none``
-reproduces the paper-scale runs (slow).
+reproduces the paper-scale runs (slow).  ``REPRO_EXP_JOBS`` (or ``--jobs``)
+dispatches each run's independent batch prompts concurrently — results are
+identical, only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -74,6 +76,10 @@ def main(argv: list[str] | None = None) -> int:
         "--max-questions", type=int, default=None, help="cap on evaluated questions per dataset"
     )
     parser.add_argument("--datasets", nargs="*", default=None, help="dataset codes to run")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="concurrent LLM calls per run (results are identical; only faster)",
+    )
     args = parser.parse_args(argv)
 
     settings = ExperimentSettings.from_env()
@@ -84,6 +90,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["max_questions"] = args.max_questions
     if args.datasets:
         overrides["datasets"] = tuple(name.lower() for name in args.datasets)
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
     if overrides:
         settings = ExperimentSettings(
             **{**settings.__dict__, **overrides}

@@ -12,6 +12,7 @@ Environment overrides (picked up by :meth:`ExperimentSettings.from_env`):
 * ``REPRO_EXP_SCALE`` — dataset scale multiplier (default 0.05).
 * ``REPRO_EXP_MAX_QUESTIONS`` — per-dataset cap on evaluated test questions.
 * ``REPRO_EXP_DATASETS`` — comma-separated dataset codes.
+* ``REPRO_EXP_JOBS`` — concurrent LLM calls per run (default 1 = serial).
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.data.registry import available_datasets, load_dataset
 from repro.data.schema import Dataset
+from repro.llm.executors import ExecutionBackend, create_executor
 
 #: Default dataset scale used by tests and benchmarks (5% of Table II sizes).
 DEFAULT_SCALE = 0.05
@@ -49,6 +51,8 @@ class ExperimentSettings:
         model: default underlying LLM.
         batch_size: questions per batch.
         num_demonstrations: per-batch demonstration budget.
+        jobs: concurrent LLM calls per run (1 = serial dispatch).  Results are
+            identical regardless of this knob — it only changes wall-clock.
     """
 
     datasets: tuple[str, ...] = field(default_factory=available_datasets)
@@ -60,6 +64,7 @@ class ExperimentSettings:
     model: str = "gpt-3.5-03"
     batch_size: int = 8
     num_demonstrations: int = 8
+    jobs: int = 1
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -72,7 +77,12 @@ class ExperimentSettings:
             tuple(code.strip().lower() for code in datasets_raw.split(",") if code.strip())
             or available_datasets()
         )
-        return cls(datasets=datasets, scale=scale, max_questions=max_questions)
+        jobs = int(os.environ.get("REPRO_EXP_JOBS", "1"))
+        return cls(datasets=datasets, scale=scale, max_questions=max_questions, jobs=jobs)
+
+    def executor(self) -> ExecutionBackend:
+        """Execution backend for LLM dispatch (serial unless ``jobs`` > 1)."""
+        return create_executor(self.jobs)
 
     def effective_scale(self, name: str) -> float:
         """Scale actually used for ``name``: the configured scale, floored so the

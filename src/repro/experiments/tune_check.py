@@ -1,0 +1,65 @@
+"""Developer tuning harness: quick shape check across datasets and strategies.
+
+Not part of the library API; used while calibrating the simulated LLM and the
+synthetic datasets so that the reproduced experiments have the paper's shape.
+Installed as the ``repro-tune-check`` console script; also runnable as
+``python -m repro.experiments.tune_check`` or via ``scripts/tune_check.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.core.standard import StandardPromptingER
+from repro.data.registry import load_dataset
+from repro.llm.executors import create_executor
+
+#: Per-dataset scale factors keeping the check fast but representative.
+SCALES = {
+    "wa": 0.06, "ab": 0.06, "ag": 0.06, "ds": 0.025, "da": 0.05,
+    "fz": 1.0, "ia": 1.0, "beer": 1.0,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--datasets", nargs="*", default=list(SCALES))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="concurrent LLM calls per run"
+    )
+    args = parser.parse_args(argv)
+    executor = create_executor(args.jobs)
+
+    start = time.time()
+    for name in args.datasets:
+        dataset = load_dataset(name, seed=args.seed, scale=SCALES[name])
+        config = BatcherConfig(seed=args.seed)
+
+        def run(**overrides):
+            return BatchER(config.with_overrides(**overrides), executor=executor).run(dataset)
+
+        standard = StandardPromptingER(config).run(dataset)
+        fixed_random = run(batching="random", selection="fixed")
+        diverse_cover = run(batching="diverse", selection="covering")
+        similar_fixed = run(batching="similar", selection="fixed")
+        topkq = run(batching="diverse", selection="topk-question")
+        print(
+            f"{name:5s} n={standard.num_questions:4d} | "
+            f"std F1={standard.metrics.f1:5.1f} P={standard.metrics.precision:4.1f} api={standard.cost.api_cost:6.3f} | "
+            f"rand+fix F1={fixed_random.metrics.f1:5.1f} api={fixed_random.cost.api_cost:6.3f} | "
+            f"sim+fix F1={similar_fixed.metrics.f1:5.1f} | "
+            f"div+tkq F1={topkq.metrics.f1:5.1f} lab={topkq.cost.labeling_cost:6.3f} | "
+            f"div+cov F1={diverse_cover.metrics.f1:5.1f} P={diverse_cover.metrics.precision:4.1f} "
+            f"lab={diverse_cover.cost.labeling_cost:6.3f}"
+        )
+    print(f"elapsed {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

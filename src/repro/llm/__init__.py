@@ -12,23 +12,37 @@ DESIGN.md for why this substitution preserves the experiments' shape.
 
 All clients honour the same :class:`repro.llm.base.LLMClient` interface, so a
 real API-backed client could be dropped in without touching the framework.
+Independent prompts can be dispatched through
+:meth:`~repro.llm.base.LLMClient.complete_many` with an execution backend
+(:mod:`repro.llm.executors`) — serial by default, thread-pooled when a
+:class:`~repro.llm.executors.ConcurrentExecutor` is supplied.
 """
 
 from repro.llm.base import LLMClient, LLMResponse, UsageRecord, UsageTracker
+from repro.llm.executors import (
+    ConcurrentExecutor,
+    ExecutionBackend,
+    SerialExecutor,
+    create_executor,
+)
 from repro.llm.pricing import ModelPricing, get_pricing, prompt_cost
 from repro.llm.profiles import ModelProfile, get_profile, available_models
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.registry import create_llm
 
 __all__ = [
+    "ConcurrentExecutor",
+    "ExecutionBackend",
     "LLMClient",
     "LLMResponse",
     "ModelPricing",
     "ModelProfile",
+    "SerialExecutor",
     "SimulatedLLM",
     "UsageRecord",
     "UsageTracker",
     "available_models",
+    "create_executor",
     "create_llm",
     "get_pricing",
     "get_profile",

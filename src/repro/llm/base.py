@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.text.tokenizer import ApproxTokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.llm.executors import ExecutionBackend
 
 
 @dataclass(frozen=True)
@@ -34,13 +39,22 @@ class UsageRecord:
 
 @dataclass
 class UsageTracker:
-    """Accumulates token usage across LLM calls (the basis of the API cost)."""
+    """Accumulates token usage across LLM calls (the basis of the API cost).
+
+    Recording is thread-safe so that concurrent execution backends can share
+    one tracker; totals are order-independent sums, which keeps costs
+    deterministic regardless of call completion order.
+    """
 
     records: list[UsageRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def add(self, record: UsageRecord) -> None:
         """Record the usage of one call."""
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
 
     @property
     def num_calls(self) -> int:
@@ -64,7 +78,8 @@ class UsageTracker:
 
     def reset(self) -> None:
         """Forget all recorded usage."""
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
 
 
 class LLMClient(ABC):
@@ -101,6 +116,25 @@ class LLMClient(ABC):
             )
         )
         return response
+
+    def complete_many(
+        self,
+        prompt_texts: Sequence[str],
+        executor: "ExecutionBackend | None" = None,
+    ) -> list[LLMResponse]:
+        """Run one completion per prompt and return responses in prompt order.
+
+        The prompts are independent, so an execution backend may dispatch them
+        concurrently; results are always aligned with ``prompt_texts`` so
+        callers observe the same ordering regardless of the backend.
+
+        Args:
+            executor: optional :class:`~repro.llm.executors.ExecutionBackend`;
+                ``None`` completes the prompts serially on the calling thread.
+        """
+        if executor is None:
+            return [self.complete(text) for text in prompt_texts]
+        return executor.map(self.complete, prompt_texts)
 
     def reset_usage(self) -> None:
         """Clear the accumulated usage (e.g. between experiment runs)."""

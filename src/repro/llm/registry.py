@@ -14,10 +14,12 @@ def create_llm(model: str = "gpt-3.5-03", seed: int = 0, temperature: float = 0.
     so an API-backed client could be registered here without touching callers.
 
     Raises:
-        KeyError: if the model name has no registered profile.
+        ValueError: if the model name has no registered profile (the same
+            error type :class:`repro.core.config.BatcherConfig` raises for an
+            unknown model, so config and factory misuse fail uniformly).
     """
     key = model.strip().lower()
     if key not in available_models():
         known = ", ".join(available_models())
-        raise KeyError(f"unknown model {model!r}; expected one of: {known}")
+        raise ValueError(f"unknown model {model!r}; expected one of: {known}")
     return SimulatedLLM(model_name=key, seed=seed, temperature=temperature)

@@ -1,0 +1,61 @@
+"""Staged pipeline API: composable stages, concurrent dispatch, serving.
+
+This package is the composable counterpart to the monolithic
+:class:`repro.core.BatchER` entry point (which is now a thin facade over it):
+
+* :class:`PipelineContext` — the typed artifact stages pass between them;
+* the stages — :class:`Featurize`, :class:`BatchQuestions`,
+  :class:`SelectDemonstrations`, :class:`RenderPrompts`, :class:`Inference`,
+  :class:`ParseAnswers`, :class:`Evaluate` — each individually runnable;
+* :class:`Pipeline` — the ordered, observable stage runner with per-stage
+  timing telemetry and :class:`StageHook` observers;
+* execution backends (:class:`SerialExecutor`, :class:`ConcurrentExecutor`)
+  that dispatch independent batch prompts serially or on a thread pool with
+  deterministic result ordering; and
+* :class:`Resolver` — a long-lived serving session resolving ad-hoc
+  :class:`~repro.data.schema.EntityPair` streams against a persistent
+  demonstration pool.
+"""
+
+from repro.llm.executors import (
+    ConcurrentExecutor,
+    ExecutionBackend,
+    SerialExecutor,
+    create_executor,
+)
+from repro.pipeline.context import PipelineContext, StageTiming
+from repro.pipeline.pipeline import Pipeline, StageHook
+from repro.pipeline.resolver import Resolution, Resolver
+from repro.pipeline.stages import (
+    DEFAULT_STAGES,
+    BatchQuestions,
+    Evaluate,
+    Featurize,
+    Inference,
+    ParseAnswers,
+    PipelineStage,
+    RenderPrompts,
+    SelectDemonstrations,
+)
+
+__all__ = [
+    "BatchQuestions",
+    "ConcurrentExecutor",
+    "DEFAULT_STAGES",
+    "Evaluate",
+    "ExecutionBackend",
+    "Featurize",
+    "Inference",
+    "ParseAnswers",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineStage",
+    "RenderPrompts",
+    "Resolution",
+    "Resolver",
+    "SelectDemonstrations",
+    "SerialExecutor",
+    "StageHook",
+    "StageTiming",
+    "create_executor",
+]

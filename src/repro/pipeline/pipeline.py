@@ -1,0 +1,153 @@
+"""The staged pipeline runner.
+
+A :class:`Pipeline` is an ordered list of stages plus optional telemetry
+hooks.  Running it threads one :class:`~repro.pipeline.context.PipelineContext`
+through every stage, recording per-stage wall-clock timings on the context and
+notifying the hooks around each stage — the seam where metrics, tracing or
+progress reporting attach without touching stage code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.llm.executors import ExecutionBackend
+from repro.pipeline.context import PipelineContext, StageTiming
+from repro.pipeline.stages import (
+    BatchQuestions,
+    Evaluate,
+    Featurize,
+    Inference,
+    ParseAnswers,
+    PipelineStage,
+    RenderPrompts,
+    SelectDemonstrations,
+)
+
+
+class StageHook:
+    """Observer notified around every stage execution.
+
+    Subclass and override any subset of the callbacks; the defaults are
+    no-ops, so hooks only pay for what they observe.
+    """
+
+    def on_stage_start(self, stage: PipelineStage, context: PipelineContext) -> None:
+        """Called immediately before ``stage`` runs."""
+
+    def on_stage_end(
+        self, stage: PipelineStage, context: PipelineContext, seconds: float
+    ) -> None:
+        """Called after ``stage`` completed, with its wall-clock duration."""
+
+    def on_stage_error(
+        self, stage: PipelineStage, context: PipelineContext, error: Exception
+    ) -> None:
+        """Called when ``stage`` raised; the exception is re-raised after."""
+
+
+class Pipeline:
+    """An ordered, observable composition of pipeline stages.
+
+    Args:
+        stages: the stages to run, in order.
+        hooks: telemetry observers notified around every stage.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[PipelineStage],
+        hooks: Iterable[StageHook] = (),
+    ) -> None:
+        if not stages:
+            raise ValueError("a pipeline requires at least one stage")
+        self.stages = tuple(stages)
+        self.hooks = tuple(hooks)
+
+    @classmethod
+    def default(
+        cls,
+        executor: ExecutionBackend | None = None,
+        evaluate: bool = True,
+        hooks: Iterable[StageHook] = (),
+    ) -> "Pipeline":
+        """The full BatchER pipeline (paper Figure 2).
+
+        Args:
+            executor: execution backend for the inference stage (``None`` =
+                serial dispatch).
+            evaluate: include the final ``Evaluate`` stage; serving workloads
+                over unlabeled pairs set this to ``False``.
+            hooks: telemetry observers.
+        """
+        stages: list[PipelineStage] = [
+            Featurize(),
+            BatchQuestions(),
+            SelectDemonstrations(),
+            RenderPrompts(),
+            Inference(executor=executor),
+            ParseAnswers(),
+        ]
+        if evaluate:
+            stages.append(Evaluate())
+        return cls(stages, hooks=hooks)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """The names of the composed stages, in execution order."""
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, context: PipelineContext) -> PipelineContext:
+        """Run every stage over ``context`` and return it.
+
+        Stages already completed on this context (``context.completed_stages``)
+        are skipped, so running after :meth:`run_until` resumes from where the
+        partial run stopped instead of re-executing — and re-charging — the
+        prefix.
+        """
+        for stage in self.stages:
+            if stage.name not in context.completed_stages:
+                self.run_stage(stage, context)
+        return context
+
+    def run_until(self, context: PipelineContext, stage_name: str) -> PipelineContext:
+        """Run stages up to and including ``stage_name`` (for inspection).
+
+        Like :meth:`run`, already-completed stages are skipped.
+
+        Raises:
+            ValueError: if no composed stage has that name.
+        """
+        if stage_name not in self.stage_names:
+            raise ValueError(
+                f"unknown stage {stage_name!r}; expected one of {self.stage_names}"
+            )
+        for stage in self.stages:
+            if stage.name not in context.completed_stages:
+                self.run_stage(stage, context)
+            if stage.name == stage_name:
+                break
+        return context
+
+    def run_stage(self, stage: PipelineStage, context: PipelineContext) -> PipelineContext:
+        """Run a single stage (unconditionally) with timing telemetry and hooks."""
+        for hook in self.hooks:
+            hook.on_stage_start(stage, context)
+        started = time.perf_counter()
+        try:
+            stage.run(context)
+        except Exception as error:
+            for hook in self.hooks:
+                hook.on_stage_error(stage, context, error)
+            raise
+        elapsed = time.perf_counter() - started
+        context.timings.append(StageTiming(stage=stage.name, seconds=elapsed))
+        if stage.name not in context.completed_stages:
+            context.completed_stages.append(stage.name)
+        for hook in self.hooks:
+            hook.on_stage_end(stage, context, elapsed)
+        return context
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pipeline(stages={list(self.stage_names)})"

@@ -3,7 +3,8 @@
 Batch prompting asks for one ``A<i>: Yes/No`` line per question; standard
 prompting asks for a single ``Answer: Yes/No`` line.  Real LLMs deviate from
 the requested format, so the parser is deliberately tolerant: it also accepts
-``Q<i>: Yes``, ``<i>. yes``, bare ``yes``/``no`` lines in question order, and
+``Q<i>: Yes``, ``<i>. yes``, dash- and equals-separated forms such as
+``A1 - Yes`` and ``Q2 = no``, bare ``yes``/``no`` lines in question order, and
 treats anything it cannot interpret as an unanswered question (``None``),
 which the pipeline later resolves with a fallback label and reports.
 """
@@ -16,7 +17,7 @@ from dataclasses import dataclass
 from repro.data.schema import MatchLabel
 
 _INDEXED_ANSWER = re.compile(
-    r"^\s*(?:A|Q|Answer)?\s*(\d+)\s*[:.\)]\s*(yes|no|match|non-match|not a match)\b",
+    r"^\s*(?:A|Q|Answer)?\s*(\d+)\s*[:.\)=-]\s*(yes|no|match|non-match|not a match)\b",
     re.IGNORECASE,
 )
 _STANDARD_ANSWER = re.compile(

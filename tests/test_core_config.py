@@ -58,3 +58,26 @@ class TestOverridesAndSerialisation:
         assert snapshot["batching"] == "similar"
         assert snapshot["selection"] == "topk-batch"
         assert BatcherConfig(**snapshot) == config
+
+    def test_from_dict_round_trip(self):
+        config = BatcherConfig(
+            batching="random", selection="topk-question", seed=11, max_questions=32
+        )
+        assert BatcherConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_round_trips_run_result_snapshot(self, beer_dataset):
+        from repro import BatchER
+
+        config = BatcherConfig(seed=2, max_questions=16)
+        result = BatchER(config).run(beer_dataset)
+        rerun = BatchER(BatcherConfig.from_dict(result.config)).run(beer_dataset)
+        assert rerun.metrics == result.metrics
+        assert rerun.predictions == result.predictions
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown config fields"):
+            BatcherConfig.from_dict({"batching": "random", "typo_field": 1})
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            BatcherConfig.from_dict({"model": "gpt-99"})

@@ -87,8 +87,9 @@ class TestRegistry:
         assert isinstance(llm, SimulatedLLM)
         assert llm.model_name == "gpt-4"
 
-    def test_create_unknown_model_raises(self):
-        with pytest.raises(KeyError, match="unknown model"):
+    def test_create_unknown_model_raises_value_error(self):
+        # Same error type and message shape as BatcherConfig's model check.
+        with pytest.raises(ValueError, match="unknown model.*expected one of"):
             create_llm("claude-opus")
 
 

@@ -136,6 +136,22 @@ class TestBatchAnswerParsing:
         parsed = parse_batch_answers(response, 3)
         assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.MATCH)
 
+    def test_dash_separated_answers(self):
+        response = "A1 - Yes, same item.\nA2 - No, different brands."
+        parsed = parse_batch_answers(response, 2)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH)
+
+    def test_equals_separated_answers(self):
+        response = "Q1 = no\nQ2 = yes\n3 = no"
+        parsed = parse_batch_answers(response, 3)
+        assert parsed.labels == (MatchLabel.NON_MATCH, MatchLabel.MATCH, MatchLabel.NON_MATCH)
+
+    def test_mixed_separator_styles(self):
+        response = "A1: Yes\nA2 - no\nQ3 = yes"
+        parsed = parse_batch_answers(response, 3)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH, MatchLabel.MATCH)
+        assert parsed.num_unanswered == 0
+
     def test_bare_yes_no_lines_in_order(self):
         response = "yes\nno\nno"
         parsed = parse_batch_answers(response, 3)

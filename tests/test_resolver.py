@@ -1,0 +1,164 @@
+"""Tests for the streaming Resolver session."""
+
+import pytest
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.data.schema import MatchLabel
+from repro.llm.executors import ConcurrentExecutor
+from repro.pipeline import Resolution, Resolver
+
+
+@pytest.fixture()
+def unlabeled_questions(beer_dataset):
+    return [pair.without_label() for pair in list(beer_dataset.splits.test)[:24]]
+
+
+class TestResolve:
+    def test_resolutions_align_with_input_order(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        resolutions = resolver.resolve(unlabeled_questions)
+        assert [r.pair_id for r in resolutions] == [p.pair_id for p in unlabeled_questions]
+        assert all(isinstance(r, Resolution) for r in resolutions)
+        assert all(isinstance(r.label, MatchLabel) for r in resolutions)
+        assert all(r.is_match == (r.label is MatchLabel.MATCH) for r in resolutions)
+
+    def test_agrees_with_batcher_on_same_questions(self, beer_dataset):
+        # Same questions, same pool, same config: the serving path must give
+        # the same predictions as the benchmarking path.
+        config = BatcherConfig(seed=1, max_questions=24)
+        benchmark = BatchER(config).run(beer_dataset)
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        questions = [pair.without_label() for pair in list(beer_dataset.splits.test)[:24]]
+        resolutions = resolver.resolve(questions)
+        assert tuple(r.label for r in resolutions) == benchmark.predictions
+
+    def test_empty_stream_is_a_noop(self, beer_dataset):
+        resolver = Resolver.from_dataset(beer_dataset)
+        assert resolver.resolve([]) == []
+        assert resolver.num_resolved == 0
+        assert resolver.usage.num_calls == 0
+
+    def test_resolver_without_pool_rejected(self, unlabeled_questions):
+        resolver = Resolver(BatcherConfig(seed=1))
+        with pytest.raises(ValueError, match="no demonstrations"):
+            resolver.resolve(unlabeled_questions)
+
+    def test_unlabeled_demonstrations_rejected(self, beer_dataset):
+        unlabeled = [pair.without_label() for pair in list(beer_dataset.splits.train)[:4]]
+        with pytest.raises(ValueError, match="must be labeled"):
+            Resolver(BatcherConfig(seed=1), demonstrations=unlabeled)
+
+    def test_concurrent_executor_matches_serial(self, beer_dataset, unlabeled_questions):
+        serial = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        concurrent = Resolver.from_dataset(
+            beer_dataset, BatcherConfig(seed=1), executor=ConcurrentExecutor(max_workers=8)
+        )
+        assert [r.label for r in serial.resolve(unlabeled_questions)] == [
+            r.label for r in concurrent.resolve(unlabeled_questions)
+        ]
+
+
+class TestIncrementalResolution:
+    def test_resolve_iter_streams_in_chunks(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        stream = resolver.resolve_iter(iter(unlabeled_questions), chunk_size=8)
+        first = next(stream)
+        # The first chunk is resolved after consuming only 8 pairs: exactly
+        # one flush has hit the LLM so far.
+        calls_after_first_chunk = resolver.usage.num_calls
+        assert first.pair_id == unlabeled_questions[0].pair_id
+        assert calls_after_first_chunk >= 1
+        assert resolver.num_resolved == 8
+        rest = list(stream)
+        assert 1 + len(rest) == len(unlabeled_questions)
+        assert resolver.num_resolved == len(unlabeled_questions)
+        assert resolver.usage.num_calls > calls_after_first_chunk
+
+    def test_resolve_iter_matches_resolve(self, beer_dataset, unlabeled_questions):
+        config = BatcherConfig(seed=1)
+        whole = Resolver.from_dataset(beer_dataset, config).resolve(unlabeled_questions)
+        streamed = list(
+            Resolver.from_dataset(beer_dataset, config).resolve_iter(
+                unlabeled_questions, chunk_size=len(unlabeled_questions)
+            )
+        )
+        assert [r.label for r in streamed] == [r.label for r in whole]
+
+    def test_invalid_chunk_size_rejected(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset)
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(resolver.resolve_iter(unlabeled_questions, chunk_size=0))
+
+
+class TestSessionAccounting:
+    def test_labeling_cost_paid_once_across_calls(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        resolver.resolve(unlabeled_questions)
+        first_labeled = resolver.num_labeled
+        first_cost = resolver.cost()
+        assert first_labeled > 0
+        assert first_cost.labeling_cost > 0.0
+        # Re-resolving the same pairs selects the same demonstrations, which
+        # are already labeled: no new labeling cost, only new API cost.
+        resolver.resolve(unlabeled_questions)
+        second_cost = resolver.cost()
+        assert resolver.num_labeled == first_labeled
+        assert second_cost.num_labeled_pairs == first_cost.num_labeled_pairs
+        assert second_cost.labeling_cost == first_cost.labeling_cost
+        assert second_cost.num_llm_calls == 2 * first_cost.num_llm_calls
+        assert second_cost.api_cost > first_cost.api_cost
+
+    def test_usage_accumulates_across_calls(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        resolver.resolve(unlabeled_questions[:8])
+        calls_after_first = resolver.usage.num_calls
+        resolver.resolve(unlabeled_questions[8:16])
+        assert resolver.usage.num_calls > calls_after_first
+        assert resolver.num_resolved == 16
+
+    def test_pool_grows_with_added_demonstrations(self, beer_dataset, fz_dataset):
+        resolver = Resolver.from_dataset(beer_dataset)
+        before = resolver.pool_size
+        resolver.add_demonstrations(list(beer_dataset.splits.validation)[:5])
+        assert resolver.pool_size == before + 5
+
+    def test_pool_features_cached_across_calls(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        resolver.resolve(unlabeled_questions[:8])
+        cached = resolver._pool_features_cache
+        assert cached is not None
+        resolver.resolve(unlabeled_questions[8:16])
+        assert resolver._pool_features_cache is cached  # not recomputed
+        resolver.add_demonstrations(list(beer_dataset.splits.validation)[:2])
+        assert resolver._pool_features_cache is None  # invalidated by pool growth
+        resolver.resolve(unlabeled_questions[16:])
+        assert resolver._pool_features_cache is not None
+
+    def test_failed_inference_does_not_double_charge_labeling(
+        self, beer_dataset, unlabeled_questions
+    ):
+        from repro.llm.simulated import SimulatedLLM
+
+        class FlakyLLM(SimulatedLLM):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.fail_next = True
+
+            def _generate(self, prompt_text):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise ConnectionError("transient API failure")
+                return super()._generate(prompt_text)
+
+        resolver = Resolver.from_dataset(
+            beer_dataset, BatcherConfig(seed=1), llm=FlakyLLM("gpt-3.5-03", seed=1)
+        )
+        with pytest.raises(ConnectionError):
+            resolver.resolve(unlabeled_questions)
+        labeled_after_failure = resolver.cost().num_labeled_pairs
+        assert labeled_after_failure > 0  # selection ran and was charged
+        resolver.resolve(unlabeled_questions)  # retry succeeds
+        # Pay-once invariant: the retry reuses the already-charged demos.
+        assert resolver.cost().num_labeled_pairs == labeled_after_failure
+        assert resolver.num_labeled == labeled_after_failure
