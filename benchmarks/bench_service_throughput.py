@@ -1,0 +1,127 @@
+"""Benchmark: micro-batched serving vs. per-pair serial resolution.
+
+The service's amortization claim, measured: a stream of concurrent requests
+resolved through the micro-batching :class:`ResolutionService` must beat a
+per-pair serial baseline (one LLM call per pair, the standard-prompting
+serving shape) on both LLM calls and pairs/second, and a repeated request set
+must be served from the result cache at zero new LLM calls.
+
+Besides the pytest-benchmark timing, the run emits ``BENCH_service.json`` in
+the repository root with the headline numbers (batched-vs-serial pairs/sec and
+the cache-hit speedup).  The file is a machine-local artifact (gitignored),
+not a tracked result.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import BatcherConfig
+from repro.pipeline import Resolver
+from repro.service import ResolutionService, ServiceConfig
+
+from conftest import run_once
+
+#: Where the headline numbers land (repository root).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+#: Workload size: a multiple of the service's max_batch_size, so the final
+#: micro-batch is full and never waits out the flush deadline.
+NUM_PAIRS = 80
+
+#: Pairs per micro-batch flush (NUM_PAIRS / MAX_BATCH_SIZE exact flushes).
+MAX_BATCH_SIZE = 16
+
+
+def _questions(bench_settings):
+    dataset = bench_settings.load("beer")
+    questions = [pair.without_label() for pair in dataset.splits.test][:NUM_PAIRS]
+    return dataset, questions
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_service_throughput_vs_serial(benchmark, bench_settings):
+    dataset, questions = _questions(bench_settings)
+    config = BatcherConfig(seed=1)
+
+    def compare():
+        # Serial per-pair baseline: standard prompting (paper Figure 1a) —
+        # one LLM call per pair, each prompt carrying the question plus its
+        # own K selected demonstrations.  This is the token load batch
+        # prompting amortizes.
+        serial_resolver = Resolver.from_dataset(
+            dataset, config.with_overrides(selection="topk-question")
+        )
+        serial_resolver.warm()
+        serial, serial_seconds = _timed(
+            lambda: list(serial_resolver.resolve_iter(iter(questions), chunk_size=1))
+        )
+
+        # Micro-batched service: the whole stream submitted up front (the
+        # deterministic serving shape), then drained by the consumer.  Warm
+        # the session before timing, matching the warmed serial baseline.
+        service = ResolutionService.from_dataset(
+            dataset,
+            ServiceConfig(
+                batcher=config, max_batch_size=MAX_BATCH_SIZE, max_wait_seconds=0.05
+            ),
+        )
+        service.resolver.warm()
+        futures = [service.submit(pair) for pair in questions]
+
+        def drain():
+            service.start()
+            return [future.result(timeout=120.0) for future in futures]
+
+        batched, batched_seconds = _timed(drain)
+
+        # Cache pass: the identical request set again, zero new LLM calls.
+        calls_before_repeat = service.stats().llm_calls
+        repeat, cache_seconds = _timed(lambda: service.resolve_many(questions))
+        stats = service.stats()
+        service.stop()
+
+        count = len(questions)
+        report = {
+            "dataset": dataset.name,
+            "pairs": count,
+            "serial": {
+                "seconds": serial_seconds,
+                "pairs_per_sec": count / serial_seconds,
+                "llm_calls": serial_resolver.usage.num_calls,
+            },
+            "batched": {
+                "seconds": batched_seconds,
+                "pairs_per_sec": count / batched_seconds,
+                "llm_calls": calls_before_repeat,
+                "speedup_vs_serial": serial_seconds / batched_seconds,
+            },
+            "cache_repeat": {
+                "seconds": cache_seconds,
+                "pairs_per_sec": count / cache_seconds,
+                "new_llm_calls": stats.llm_calls - calls_before_repeat,
+                "speedup_vs_serial": serial_seconds / cache_seconds,
+            },
+            "cache_hit_rate": stats.cache_hit_rate,
+        }
+        assert len(serial) == len(batched) == len(repeat) == count
+        return report
+
+    report = run_once(benchmark, compare)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\n\n=== service throughput (written to {REPORT_PATH.name}) ===")
+    print(json.dumps(report, indent=2))
+
+    # The amortization acceptance bar: batched serving issues far fewer LLM
+    # calls and is at least twice as fast as the per-pair serial baseline;
+    # the cache pass adds zero LLM calls and is faster still.
+    assert report["batched"]["llm_calls"] < report["serial"]["llm_calls"]
+    assert report["batched"]["speedup_vs_serial"] >= 2.0
+    assert report["cache_repeat"]["new_llm_calls"] == 0
+    assert report["cache_repeat"]["speedup_vs_serial"] > report["batched"]["speedup_vs_serial"]

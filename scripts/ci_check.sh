@@ -11,4 +11,7 @@ python -m compileall -q src
 echo "== tier-1 tests =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 
+echo "== service smoke test (repro-serve --self-test) =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.cli --self-test
+
 echo "== OK =="

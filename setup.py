@@ -12,11 +12,12 @@ _readme = Path(__file__).parent / "README.md"
 
 setup(
     name="batcher-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Cost-Effective In-Context Learning for Entity "
         "Resolution: A Design Space Exploration' (ICDE 2024) with a staged "
-        "pipeline API, concurrent LLM dispatch and a streaming Resolver"
+        "pipeline API, concurrent LLM dispatch, a streaming Resolver and a "
+        "micro-batching resolution server"
     ),
     long_description=_readme.read_text(encoding="utf-8") if _readme.exists() else "",
     long_description_content_type="text/markdown",
@@ -31,6 +32,7 @@ setup(
         "console_scripts": [
             "repro-tune-check=repro.experiments.tune_check:main",
             "repro-experiments=repro.experiments.runner:main",
+            "repro-serve=repro.service.cli:main",
         ]
     },
     classifiers=[

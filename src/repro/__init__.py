@@ -20,7 +20,11 @@ It provides:
   the streaming :class:`Resolver` session for serving ad-hoc pair streams,
 * supervised PLM-style baselines and the ManualPrompt baseline
   (:mod:`repro.baselines`),
-* the end-to-end :class:`repro.core.BatchER` facade over the pipeline, and
+* the end-to-end :class:`repro.core.BatchER` facade over the pipeline,
+* the online serving subsystem (:mod:`repro.service`): a micro-batching
+  :class:`ResolutionService` aggregating concurrent requests into shared
+  batch prompts, with a pair-level result cache, cost-aware admission and a
+  stdlib HTTP front end (``repro-serve``), and
 * experiment runners reproducing every table and figure of the paper
   (:mod:`repro.experiments`).
 
@@ -65,8 +69,9 @@ from repro.pipeline import (
     Resolver,
     StageHook,
 )
+from repro.service import ResolutionService, ResultCache, ServiceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchER",
@@ -77,9 +82,12 @@ __all__ = [
     "Pipeline",
     "PipelineContext",
     "Resolution",
+    "ResolutionService",
     "Resolver",
+    "ResultCache",
     "RunResult",
     "SerialExecutor",
+    "ServiceConfig",
     "StageHook",
     "StandardPromptingER",
     "available_datasets",

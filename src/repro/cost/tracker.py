@@ -25,6 +25,42 @@ class CostBreakdown:
         """API cost plus labeling cost."""
         return self.api_cost + self.labeling_cost
 
+    def to_dict(self) -> dict[str, float | int]:
+        """Return a plain-dict snapshot (JSON-serializable, for reports/HTTP)."""
+        return {
+            "api_cost": self.api_cost,
+            "labeling_cost": self.labeling_cost,
+            "total_cost": self.total_cost,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "num_llm_calls": self.num_llm_calls,
+            "num_labeled_pairs": self.num_labeled_pairs,
+        }
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        """Component-wise sum of two breakdowns (aggregate costs across runs)."""
+        if not isinstance(other, CostBreakdown):
+            return NotImplemented
+        return CostBreakdown(
+            api_cost=self.api_cost + other.api_cost,
+            labeling_cost=self.labeling_cost + other.labeling_cost,
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=self.completion_tokens + other.completion_tokens,
+            num_llm_calls=self.num_llm_calls + other.num_llm_calls,
+            num_labeled_pairs=self.num_labeled_pairs + other.num_labeled_pairs,
+        )
+
+    def __radd__(self, other: object) -> "CostBreakdown":
+        """Support ``sum(breakdowns)`` (whose implicit start value is ``0``)."""
+        if other == 0:
+            return self
+        return NotImplemented
+
+    @classmethod
+    def zero(cls) -> "CostBreakdown":
+        """The additive identity (an all-zero breakdown)."""
+        return cls(api_cost=0.0, labeling_cost=0.0)
+
 
 class CostTracker:
     """Accumulates the monetary cost of one framework run.

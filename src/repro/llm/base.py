@@ -41,35 +41,41 @@ class UsageRecord:
 class UsageTracker:
     """Accumulates token usage across LLM calls (the basis of the API cost).
 
-    Recording is thread-safe so that concurrent execution backends can share
-    one tracker; totals are order-independent sums, which keeps costs
-    deterministic regardless of call completion order.
+    Only running totals are kept — constant memory regardless of how many
+    calls a long-lived serving session makes.  Recording is thread-safe so
+    that concurrent execution backends can share one tracker; totals are
+    order-independent sums, which keeps costs deterministic regardless of
+    call completion order.
     """
 
-    records: list[UsageRecord] = field(default_factory=list)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _num_calls: int = 0
+    _prompt_tokens: int = 0
+    _completion_tokens: int = 0
 
     def add(self, record: UsageRecord) -> None:
         """Record the usage of one call."""
         with self._lock:
-            self.records.append(record)
+            self._num_calls += 1
+            self._prompt_tokens += record.prompt_tokens
+            self._completion_tokens += record.completion_tokens
 
     @property
     def num_calls(self) -> int:
         """Number of LLM calls recorded."""
-        return len(self.records)
+        return self._num_calls
 
     @property
     def prompt_tokens(self) -> int:
         """Total prompt tokens across all recorded calls."""
-        return sum(record.prompt_tokens for record in self.records)
+        return self._prompt_tokens
 
     @property
     def completion_tokens(self) -> int:
         """Total completion tokens across all recorded calls."""
-        return sum(record.completion_tokens for record in self.records)
+        return self._completion_tokens
 
     @property
     def total_tokens(self) -> int:
@@ -79,7 +85,9 @@ class UsageTracker:
     def reset(self) -> None:
         """Forget all recorded usage."""
         with self._lock:
-            self.records.clear()
+            self._num_calls = 0
+            self._prompt_tokens = 0
+            self._completion_tokens = 0
 
 
 class LLMClient(ABC):

@@ -59,32 +59,65 @@ class ConcurrentExecutor(ExecutionBackend):
     """Dispatch calls concurrently on a thread pool.
 
     Args:
-        max_workers: maximum number of in-flight calls.  The pool is created
-            per :meth:`map` call so a backend instance carries no OS resources
-            between runs and can be shared freely across sessions.
+        max_workers: maximum number of in-flight calls.  By default the pool
+            is created per :meth:`map` call so a backend instance carries no
+            OS resources between runs and can be shared freely across
+            sessions.
+        persistent: keep one long-lived pool across :meth:`map` calls instead.
+            A serving deployment flushing many small micro-batches avoids the
+            per-flush pool setup/teardown; the owner must call
+            :meth:`shutdown` (or use the backend as a context manager) when
+            done.
     """
 
     name = "concurrent"
 
-    def __init__(self, max_workers: int = DEFAULT_MAX_WORKERS) -> None:
+    def __init__(
+        self, max_workers: int = DEFAULT_MAX_WORKERS, persistent: bool = False
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.persistent = persistent
+        self._shut_down = False
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=max_workers) if persistent else None
+        )
 
     def map(
         self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
     ) -> list[ResultT]:
+        if self._shut_down:
+            raise RuntimeError("cannot dispatch on a shut-down ConcurrentExecutor")
         materialised: Sequence[ItemT] = list(items)
         if len(materialised) <= 1:
             return [fn(item) for item in materialised]
-        workers = min(self.max_workers, len(materialised))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        if self._pool is not None:
             # Executor.map preserves input order, which is the determinism
             # guarantee callers rely on.
+            return list(self._pool.map(fn, materialised))
+        workers = min(self.max_workers, len(materialised))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, materialised))
 
+    def shutdown(self) -> None:
+        """Release the pool; further :meth:`map` calls raise ``RuntimeError``."""
+        self._shut_down = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ConcurrentExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ConcurrentExecutor(max_workers={self.max_workers})"
+        return (
+            f"ConcurrentExecutor(max_workers={self.max_workers}, "
+            f"persistent={self.persistent})"
+        )
 
 
 def create_executor(jobs: int = 1) -> ExecutionBackend:

@@ -149,6 +149,7 @@ class SimulatedLLM(LLMClient):
         question_profile: dict[str, float],
         demonstrations: tuple[ReadDemonstration, ...],
         demo_scores: list[float],
+        demo_profiles: list[dict[str, float]],
     ) -> tuple[float, float]:
         """Exploit relevant in-context demonstrations.
 
@@ -165,10 +166,8 @@ class SimulatedLLM(LLMClient):
 
         radius = self.profile.relevance_radius
         weighted: list[tuple[float, float, float, bool]] = []  # (weight, distance, score, is_match)
-        for demo, score in zip(demonstrations, demo_scores):
-            distance = self._pair_distance(
-                question_profile, self._attribute_similarities(demo)
-            )
+        for demo, score, demo_profile in zip(demonstrations, demo_scores, demo_profiles):
+            distance = self._pair_distance(question_profile, demo_profile)
             weight = max(0.0, 1.0 - distance / radius)
             if weight > 0.0:
                 weighted.append((weight, distance, score, demo.is_match))
@@ -283,12 +282,19 @@ class SimulatedLLM(LLMClient):
             if call_rng.random() < self.profile.batch_failure_rate:
                 return "I am sorry, I cannot answer multiple questions in a single response."
 
-        demo_scores = [self._perceive(demo)[0] for demo in parsed.demonstrations]
+        # Perceive each demonstration once per prompt: every question's
+        # calibration reuses the same per-demonstration similarity profiles
+        # (recomputing them per question is quadratic in batch size).
+        demo_perceptions = [self._perceive(demo) for demo in parsed.demonstrations]
+        demo_scores = [score for score, _ in demo_perceptions]
+        demo_profiles = [profile for _, profile in demo_perceptions]
         question_perceptions = [self._perceive(question) for question in parsed.questions]
         question_scores = [score for score, _ in question_perceptions]
 
         calibrations = [
-            self._demo_calibrated_threshold(profile_vector, parsed.demonstrations, demo_scores)
+            self._demo_calibrated_threshold(
+                profile_vector, parsed.demonstrations, demo_scores, demo_profiles
+            )
             for _, profile_vector in question_perceptions
         ]
 

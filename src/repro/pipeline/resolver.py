@@ -59,6 +59,16 @@ class Resolution:
         """Whether the pair was predicted to be a match."""
         return self.label is MatchLabel.MATCH
 
+    def to_dict(self) -> dict[str, object]:
+        """Return a plain-dict snapshot (JSON-serializable, for the HTTP layer)."""
+        return {
+            "pair_id": self.pair_id,
+            "label": int(self.label),
+            "label_name": self.label.name,
+            "is_match": self.is_match,
+            "answered": self.answered,
+        }
+
 
 class Resolver:
     """A long-lived entity-resolution session over a persistent pool.
@@ -135,6 +145,25 @@ class Resolver:
     def pool_size(self) -> int:
         """Current size of the demonstration pool."""
         return len(self._pool)
+
+    def warm(self) -> int:
+        """Eagerly featurize the demonstration pool and return its size.
+
+        Featurization of a large pool is the dominant fixed cost of the first
+        resolve call; a serving deployment calls :meth:`warm` at startup so the
+        first live request does not pay it.  Idempotent: re-warming an
+        already-featurized pool is free.
+
+        Raises:
+            ValueError: if the session has no demonstrations yet.
+        """
+        if not self._pool:
+            raise ValueError(
+                "cannot warm a resolver session without demonstrations; call "
+                "add_demonstrations() (or build it with Resolver.from_dataset)"
+            )
+        self._pool_features()
+        return self.pool_size
 
     def _pool_features(self) -> np.ndarray:
         """Pool feature matrix, computed once per pool version.
@@ -223,6 +252,12 @@ class Resolver:
         Pairs are consumed lazily and flushed through the pipeline in chunks,
         so resolutions for early pairs are yielded before the stream is
         exhausted — the generator never materialises the full stream.
+
+        The stream is consumed exactly once, so single-pass iterators
+        (generators, file readers, network streams) are safe inputs; each
+        chunk is materialised internally before it is resolved.  Note this is
+        itself a generator: nothing is consumed (and nothing resolved) until
+        the returned iterator is advanced.
 
         Args:
             chunk_size: pairs per flush; defaults to ``batch_size`` squared so

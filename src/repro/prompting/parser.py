@@ -24,6 +24,14 @@ _STANDARD_ANSWER = re.compile(
     r"\b(?:answer\s*[:\-]?\s*)?(yes|no|match|non-match|not a match)\b", re.IGNORECASE
 )
 _BARE_ANSWER = re.compile(r"^\s*(yes|no)\b", re.IGNORECASE)
+# Strict line-anchored "Answer: Yes/No" form, for the single-question batch
+# fallback only: unlike the loose _STANDARD_ANSWER search, it cannot mistake
+# explanatory prose ("the names do not match exactly") for an answer — which
+# matters once parses are cached by the serving layer.
+_ANSWER_LINE = re.compile(
+    r"^\s*answer\s*[:\-]?\s*(yes|no|match|non-match|not a match)\b",
+    re.IGNORECASE | re.MULTILINE,
+)
 
 _POSITIVE_WORDS = {"yes", "match"}
 
@@ -102,5 +110,15 @@ def parse_batch_answers(response_text: str, num_questions: int) -> ParsedAnswers
             if next_label is None:
                 break
             labels[index] = next_label
+
+    # A single-question batch is often answered in standard-prompting style
+    # ("Answer: Yes, ..."), with no index and no bare leading yes/no.  This
+    # happens whenever a flush/batch degenerates to one question (e.g. a
+    # micro-batch deadline firing with a lone request queued).  Only the
+    # line-anchored form is accepted here, so prose never parses as an answer.
+    if num_questions == 1 and labels[0] is None:
+        anchored = _ANSWER_LINE.search(response_text)
+        if anchored is not None:
+            labels[0] = _word_to_label(anchored.group(1))
 
     return ParsedAnswers(labels=tuple(labels))

@@ -1,0 +1,57 @@
+"""Online serving subsystem: micro-batching resolution server.
+
+The paper amortizes per-question token cost *within* one run's batches; this
+package applies the same amortization *across concurrent callers*.  Many
+producers submit single :class:`~repro.data.schema.EntityPair` requests; a
+bounded :class:`RequestQueue` plus :class:`MicroBatcher` aggregates them and
+flushes micro-batches through one shared streaming
+:class:`~repro.pipeline.resolver.Resolver` session, so the instruction and
+demonstration tokens of each prompt are shared by questions from different
+callers.
+
+Layers:
+
+* :class:`ResultCache` — pair-level LRU keyed by canonical content
+  fingerprints (:func:`pair_fingerprint`), with optional JSONL spill /
+  warm-start; repeat queries cost zero LLM calls.
+* :class:`RequestQueue` / :class:`MicroBatcher` — bounded admission with
+  backpressure, and size-or-deadline flushing.
+* :class:`ResolutionService` — the facade: cache lookup, in-flight
+  deduplication, cost-aware admission (:class:`CostBudgetExceeded` once the
+  session budget is spent), ``submit`` / ``resolve_many`` / ``stats``.
+* :mod:`repro.service.http` — a stdlib HTTP JSON front end
+  (``POST /resolve``, ``GET /stats``, ``GET /healthz``), exposed via the
+  ``repro-serve`` console script (:mod:`repro.service.cli`).
+"""
+
+from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
+from repro.service.config import ServiceConfig
+from repro.service.microbatcher import (
+    AdmissionError,
+    MicroBatcher,
+    PendingRequest,
+    RequestQueue,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.service.service import (
+    CostBudgetExceeded,
+    ResolutionService,
+    ServiceStats,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CachedResult",
+    "CostBudgetExceeded",
+    "MicroBatcher",
+    "PendingRequest",
+    "RequestQueue",
+    "ResolutionService",
+    "ResultCache",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "pair_fingerprint",
+]

@@ -1,0 +1,130 @@
+"""Configuration of the resolution service layer.
+
+A :class:`ServiceConfig` wraps one :class:`~repro.core.config.BatcherConfig`
+(the design-space point the service resolves with) and adds the serving knobs:
+micro-batch shape, queue bounds, worker pool size, result-cache capacity and
+the cost-aware admission budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from repro.core.config import BatcherConfig
+
+#: Default number of pairs collected into one micro-batch flush.
+DEFAULT_MAX_BATCH_SIZE = 32
+
+#: Default micro-batch deadline in seconds (flush even when not full).
+DEFAULT_MAX_WAIT_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer configuration around a :class:`BatcherConfig`.
+
+    Attributes:
+        batcher: the design-space point used to resolve flushed micro-batches
+            (its ``batch_size`` still governs questions per *prompt*; a flush
+            of ``max_batch_size`` pairs is split into prompts by the pipeline).
+        max_batch_size: pairs per micro-batch flush; a flush is triggered as
+            soon as this many requests are queued.
+        max_wait_seconds: micro-batch deadline; a partial batch is flushed
+            once the oldest queued request has waited this long.  ``0`` flushes
+            whatever is immediately available.
+        queue_capacity: bound of the request queue; producers hitting a full
+            queue block (backpressure) and are rejected after
+            ``admission_timeout_seconds``.
+        admission_timeout_seconds: how long a producer may block on a full
+            queue before :class:`~repro.service.service.ServiceOverloaded` is
+            raised.
+        num_workers: thread-pool size used for concurrent prompt dispatch
+            inside each flush (1 = serial dispatch).
+        cache_capacity: maximum number of entries of the pair-level result
+            cache (LRU eviction).
+        spill_path: optional JSONL file the cache is warm-started from at
+            ``start()`` and spilled to at ``stop()``; ``None`` disables
+            persistence.
+        cost_budget: optional session budget in dollars; once the session's
+            cumulative cost (API + labeling) reaches it, new *uncached* work is
+            rejected with :class:`~repro.service.service.CostBudgetExceeded`.
+            Cache hits are always served — a budget-exhausted service degrades
+            to a cache, it does not go dark.  Admission checks *recorded*
+            cost, so the budget can be overshot by at most the cost of the
+            requests already queued or in flight when it is crossed (bounded
+            by ``queue_capacity``); size the budget with that headroom in
+            mind.
+    """
+
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS
+    queue_capacity: int = 256
+    admission_timeout_seconds: float = 5.0
+    num_workers: int = 4
+    cache_capacity: int = 4096
+    spill_path: str | None = None
+    cost_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_seconds < 0:
+            raise ValueError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.admission_timeout_seconds < 0:
+            raise ValueError(
+                "admission_timeout_seconds must be >= 0, "
+                f"got {self.admission_timeout_seconds}"
+            )
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.cost_budget is not None and self.cost_budget <= 0:
+            raise ValueError(f"cost_budget must be > 0, got {self.cost_budget}")
+
+    def with_overrides(self, **overrides: Any) -> "ServiceConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain-dict snapshot (``batcher`` nested as its own dict)."""
+        return {
+            "batcher": self.batcher.to_dict(),
+            "max_batch_size": self.max_batch_size,
+            "max_wait_seconds": self.max_wait_seconds,
+            "queue_capacity": self.queue_capacity,
+            "admission_timeout_seconds": self.admission_timeout_seconds,
+            "num_workers": self.num_workers,
+            "cache_capacity": self.cache_capacity,
+            "spill_path": self.spill_path,
+            "cost_budget": self.cost_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot.
+
+        Raises:
+            ValueError: for unknown fields (and, via the nested configs'
+                ``__post_init__``, for invalid field values).
+        """
+        known = {config_field.name for config_field in fields(cls)}
+        snapshot = dict(data)
+        unknown = set(snapshot) - known
+        if unknown:
+            raise ValueError(
+                f"unknown service config fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        batcher = snapshot.pop("batcher", None)
+        if isinstance(batcher, Mapping):
+            batcher = BatcherConfig.from_dict(batcher)
+        if batcher is not None:
+            snapshot["batcher"] = batcher
+        return cls(**snapshot)

@@ -1,0 +1,225 @@
+"""Stdlib HTTP JSON front end for a :class:`ResolutionService`.
+
+Endpoints:
+
+* ``POST /resolve`` — body ``{"pairs": [{"pair_id"?, "left": {...}, "right":
+  {...}}]}`` where ``left``/``right`` are flat attribute→value mappings;
+  responds ``{"resolutions": [Resolution.to_dict(), ...]}``.
+* ``GET /stats`` — the service's :meth:`ServiceStats.to_dict` snapshot.
+* ``GET /healthz`` — liveness probe.
+
+Error mapping: malformed requests → 400, cost-budget rejection → 429,
+queue backpressure → 503 (with ``Retry-After``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.data.schema import EntityPair, Record
+from repro.service.service import (
+    CostBudgetExceeded,
+    ResolutionService,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+#: Upper bound on accepted request bodies (1 MiB keeps parsing cheap).
+MAX_BODY_BYTES = 1 << 20
+
+#: Deadline for one HTTP resolve call (generous; micro-batches are fast).
+RESOLVE_TIMEOUT_SECONDS = 60.0
+
+_request_ids = itertools.count(1)
+
+
+class BadRequest(ValueError):
+    """A malformed ``/resolve`` payload (mapped to HTTP 400)."""
+
+
+def pair_from_json(payload: Mapping[str, Any], request_id: int) -> EntityPair:
+    """Build an :class:`EntityPair` from one ``/resolve`` payload entry.
+
+    Raises:
+        BadRequest: when the entry is not ``{"left": {...}, "right": {...}}``
+            with string attribute values.
+    """
+    if not isinstance(payload, Mapping):
+        raise BadRequest(f"pair entry must be an object, got {type(payload).__name__}")
+    sides = {}
+    for side in ("left", "right"):
+        values = payload.get(side)
+        if not isinstance(values, Mapping) or not values:
+            raise BadRequest(f"pair entry needs a non-empty {side!r} object")
+        clean: dict[str, str | None] = {}
+        for name, value in values.items():
+            if value is not None and not isinstance(value, str):
+                raise BadRequest(
+                    f"attribute {name!r} of {side!r} must be a string or null"
+                )
+            clean[str(name)] = value
+        sides[side] = clean
+    pair_id = payload.get("pair_id") or f"http-{request_id}"
+    return EntityPair(
+        pair_id=str(pair_id),
+        left=Record(record_id=f"{pair_id}-L", values=sides["left"]),
+        right=Record(record_id=f"{pair_id}-R", values=sides["right"]),
+    )
+
+
+def pairs_from_json(body: Any) -> list[EntityPair]:
+    """Parse the full ``/resolve`` body into entity pairs.
+
+    Raises:
+        BadRequest: for anything other than ``{"pairs": [entry, ...]}``.
+    """
+    if not isinstance(body, Mapping) or "pairs" not in body:
+        raise BadRequest('body must be a JSON object with a "pairs" array')
+    entries = body["pairs"]
+    if not isinstance(entries, list):
+        raise BadRequest('"pairs" must be an array')
+    return [pair_from_json(entry, next(_request_ids)) for entry in entries]
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the server's attached service."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------------
+
+    def _send_json(
+        self, status: int, payload: Mapping[str, Any], headers: Mapping[str, str] = {}
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, message: str, headers: Mapping[str, str] = {}
+    ) -> None:
+        # Error paths may not have consumed the request body; close the
+        # connection so unread bytes cannot desynchronize HTTP/1.1 keep-alive.
+        self.close_connection = True
+        self._send_json(status, {"error": message}, {"Connection": "close", **headers})
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log plumbing
+            super().log_message(format, *args)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "running": service.running,
+                    "pool_size": service.resolver.pool_size,
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.stats().to_dict())
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/resolve":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "invalid Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            return
+        raw = self.rfile.read(length)
+        try:
+            pairs = pairs_from_json(json.loads(raw.decode("utf-8")))
+        except (BadRequest, UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, str(error))
+            return
+        try:
+            resolutions = self.server.service.resolve_many(
+                pairs, timeout=RESOLVE_TIMEOUT_SECONDS
+            )
+        except CostBudgetExceeded as error:
+            self._send_error_json(429, str(error))
+            return
+        except (ServiceOverloaded, ServiceClosed) as error:
+            self._send_error_json(503, str(error), {"Retry-After": "1"})
+            return
+        # concurrent.futures.TimeoutError is only an alias of the builtin
+        # from Python 3.11; catch both to stay correct on 3.10.
+        except (TimeoutError, FutureTimeoutError):
+            self._send_error_json(503, "resolution timed out", {"Retry-After": "1"})
+            return
+        except Exception as error:  # noqa: BLE001 - a failed flush must not
+            # drop the connection without a response.
+            self._send_error_json(500, f"resolution failed: {error}")
+            return
+        self._send_json(
+            200, {"resolutions": [resolution.to_dict() for resolution in resolutions]}
+        )
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ResolutionService`.
+
+    Args:
+        service: the (started) service answering the requests.
+        host / port: bind address; port ``0`` picks a free port (see
+            :attr:`server_port` for the actual one).
+        verbose: log one line per request to stderr.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: ResolutionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _ServiceRequestHandler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        """The server's ``http://host:port`` base URL."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> "ServiceHTTPServer":
+        """Serve on a daemon thread (for tests and embedded use)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-service-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and join the background thread (if any)."""
+        super().shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,466 @@
+"""The resolution service facade: cache → admission → queue → micro-batch.
+
+:class:`ResolutionService` wraps one shared :class:`~repro.pipeline.resolver.
+Resolver` session behind a bounded request queue and a micro-batching
+consumer.  A submitted pair takes one of three paths:
+
+1. **cache hit** — the canonical content fingerprint is already cached; the
+   returned future is completed immediately at zero LLM cost;
+2. **in-flight join** — an identical pair is already queued or being resolved;
+   the new future attaches to the pending entry, so one LLM question serves
+   every duplicate submitter;
+3. **admission** — otherwise the request passes cost-aware admission (the
+   optional session ``cost_budget``) and backpressure (the bounded queue),
+   then waits for the micro-batcher to flush it through the pipeline.
+
+Requests may be submitted before :meth:`ResolutionService.start`; they simply
+queue up (capacity permitting) and are drained once the consumer starts.
+Pre-start submission gives deterministic flush compositions, which the
+self-test and benchmarks use to pin down exact outputs for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cost.tracker import CostBreakdown
+from repro.data.schema import Dataset, EntityPair
+from repro.llm.executors import ConcurrentExecutor, ExecutionBackend, SerialExecutor
+from repro.pipeline.resolver import Resolution, Resolver
+from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
+from repro.service.config import ServiceConfig
+from repro.service.microbatcher import (
+    AdmissionError,
+    MicroBatcher,
+    PendingRequest,
+    RequestQueue,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CostBudgetExceeded",
+    "ResolutionService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceStats",
+]
+
+
+class CostBudgetExceeded(AdmissionError):
+    """Raised when the session cost budget is exhausted (cache still serves)."""
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the service's counters.
+
+    Attributes:
+        submitted: requests accepted by :meth:`ResolutionService.submit`
+            (cache hits and in-flight joins included, rejections excluded).
+        resolved: futures completed with a resolution so far.
+        cache_hits / cache_misses: result-cache lookup outcomes.
+        cache_size: current number of cached entries.
+        inflight_joined: requests that attached to an already-pending
+            identical pair instead of enqueueing a duplicate.
+        rejected_overload: submissions rejected by queue backpressure.
+        rejected_budget: submissions rejected by the cost budget.
+        queue_depth: requests currently waiting in the queue.
+        flushes: micro-batches flushed through the pipeline.
+        llm_calls: cumulative LLM calls of the underlying session.
+        pool_size / num_labeled: demonstration-pool accounting of the session.
+        cost: cumulative session :class:`CostBreakdown`.
+        uptime_seconds: seconds since :meth:`ResolutionService.start` (0.0
+            before).
+        throughput_pairs_per_second: ``resolved / uptime_seconds``.
+    """
+
+    submitted: int
+    resolved: int
+    cache_hits: int
+    cache_misses: int
+    cache_size: int
+    inflight_joined: int
+    rejected_overload: int
+    rejected_budget: int
+    queue_depth: int
+    flushes: int
+    llm_calls: int
+    pool_size: int
+    num_labeled: int
+    cost: CostBreakdown
+    uptime_seconds: float
+    throughput_pairs_per_second: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a plain-dict snapshot (JSON-serializable, for ``/stats``)."""
+        return {
+            "submitted": self.submitted,
+            "resolved": self.resolved,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_size": self.cache_size,
+            "cache_hit_rate": self.cache_hit_rate,
+            "inflight_joined": self.inflight_joined,
+            "rejected_overload": self.rejected_overload,
+            "rejected_budget": self.rejected_budget,
+            "queue_depth": self.queue_depth,
+            "flushes": self.flushes,
+            "llm_calls": self.llm_calls,
+            "pool_size": self.pool_size,
+            "num_labeled": self.num_labeled,
+            "cost": self.cost.to_dict(),
+            "uptime_seconds": self.uptime_seconds,
+            "throughput_pairs_per_second": self.throughput_pairs_per_second,
+        }
+
+
+class ResolutionService:
+    """Micro-batching resolution server over one shared resolver session.
+
+    Args:
+        config: serving-layer configuration (micro-batch shape, queue bound,
+            cache capacity, cost budget); its ``batcher`` field configures the
+            underlying session.
+        resolver: optional pre-built session; by default one is created from
+            ``config.batcher`` with a worker pool of ``config.num_workers``
+            threads for concurrent prompt dispatch within each flush.
+        demonstrations: labeled pool for the default-built resolver (ignored
+            when ``resolver`` is given).
+        attributes: attribute schema for the default-built resolver.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        resolver: Resolver | None = None,
+        demonstrations: Sequence[EntityPair] = (),
+        attributes: tuple[str, ...] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._owns_executor = resolver is None
+        self._executor: ExecutionBackend | None = None
+        if resolver is None:
+            self._executor = (
+                ConcurrentExecutor(self.config.num_workers, persistent=True)
+                if self.config.num_workers > 1
+                else SerialExecutor()
+            )
+            resolver = Resolver(
+                config=self.config.batcher,
+                demonstrations=demonstrations,
+                attributes=attributes,
+                executor=self._executor,
+            )
+        self._resolver = resolver
+        self._cache = ResultCache(self.config.cache_capacity)
+        self._queue = RequestQueue(self.config.queue_capacity)
+        self._batcher = MicroBatcher(
+            self._queue,
+            self._flush,
+            max_batch_size=self.config.max_batch_size,
+            max_wait=self.config.max_wait_seconds,
+        )
+        # fingerprint -> list of (pair-as-submitted, future) awaiting one
+        # in-flight resolution.  The first entry's pair is the one resolved.
+        self._inflight: dict[str, list[tuple[EntityPair, Future]]] = {}
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._resolved = 0
+        self._inflight_joined = 0
+        self._rejected_overload = 0
+        self._rejected_budget = 0
+        self._started_at: float | None = None
+        self._stopped = False
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: Dataset, config: ServiceConfig | None = None, **kwargs
+    ) -> "ResolutionService":
+        """Build a service whose session pool is ``dataset``'s train split."""
+        return cls(
+            config=config,
+            demonstrations=list(dataset.splits.train),
+            attributes=dataset.attributes,
+            **kwargs,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ResolutionService":
+        """Warm the session, warm-start the cache, and start the consumer.
+
+        Idempotent while running.  Returns ``self`` so it chains with the
+        constructor.
+
+        Raises:
+            ServiceClosed: when restarting a stopped service.
+        """
+        if self._stopped:
+            raise ServiceClosed("service has been stopped; build a new one")
+        if self._batcher.running:
+            return self
+        if self._resolver.pool_size:
+            self._resolver.warm()
+        if self.config.spill_path is not None:
+            self._cache.warm_start(self.config.spill_path)
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+        self._batcher.start()
+        return self
+
+    def stop(self, spill: bool = True) -> None:
+        """Drain queued work, stop the consumer, and release resources.
+
+        Queued requests are still flushed before the consumer exits; anything
+        that somehow remains is failed with :class:`ServiceClosed`.
+
+        Args:
+            spill: write the cache to ``config.spill_path`` (when configured).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._batcher.stop()
+        for request in self._queue.drain():
+            self._fail(request.fingerprint, ServiceClosed("service stopped"))
+        # Spill only when this session actually started (and hence
+        # warm-started from the file): stopping a never-started service must
+        # not truncate a previous session's persisted cache.
+        if spill and self.config.spill_path is not None and self._started_at is not None:
+            self._cache.spill(self.config.spill_path)
+        if self._owns_executor and isinstance(self._executor, ConcurrentExecutor):
+            self._executor.shutdown()
+
+    def __enter__(self) -> "ResolutionService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, pair: EntityPair) -> "Future[Resolution]":
+        """Submit one pair; returns a future resolving to its resolution.
+
+        Cache hits complete immediately; identical in-flight pairs share one
+        pending resolution; everything else passes admission and queues for
+        the next micro-batch.
+
+        Raises:
+            ServiceClosed: if the service has been stopped.
+            CostBudgetExceeded: if the session cost budget is exhausted and
+                the pair is not cached.
+            ServiceOverloaded: if the queue stays full past the admission
+                timeout.
+        """
+        if self._stopped:
+            raise ServiceClosed("service has been stopped")
+        fingerprint = pair_fingerprint(pair)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            future: Future = Future()
+            future.set_result(
+                Resolution(pair=pair, label=cached.label, answered=cached.answered)
+            )
+            with self._lock:
+                self._submitted += 1
+                self._resolved += 1
+            return future
+
+        future: Future = Future()
+        if self._attach(fingerprint, pair, future, register_if_absent=False):
+            return future
+
+        # Cost-aware admission applies to *new* LLM work only: cache hits and
+        # in-flight joins are free and therefore always served.
+        budget = self.config.cost_budget
+        if budget is not None:
+            spent = self._resolver.cost().total_cost
+            if spent >= budget:
+                with self._lock:
+                    self._rejected_budget += 1
+                raise CostBudgetExceeded(
+                    f"session cost ${spent:.4f} has reached the budget "
+                    f"${budget:.4f}; only cached pairs are served"
+                )
+
+        if self._attach(fingerprint, pair, future, register_if_absent=True):
+            return future  # lost a race with a concurrent submitter: joined
+        request = PendingRequest(pair=pair, fingerprint=fingerprint, future=future)
+        try:
+            self._queue.put(request, timeout=self.config.admission_timeout_seconds)
+        except ServiceOverloaded as error:
+            with self._lock:
+                self._rejected_overload += 1
+            self._fail(fingerprint, error)  # joined duplicates must not hang
+            raise
+        except ServiceClosed as error:
+            self._fail(fingerprint, error)
+            raise
+        with self._lock:
+            self._submitted += 1
+        return future
+
+    def _attach(
+        self,
+        fingerprint: str,
+        pair: EntityPair,
+        future: Future,
+        register_if_absent: bool,
+    ) -> bool:
+        """Join an identical in-flight pair (returns ``True``), or optionally
+        register this request as the fingerprint's owner (returns ``False``)."""
+        with self._lock:
+            waiters = self._inflight.get(fingerprint)
+            if waiters is not None:
+                waiters.append((pair, future))
+                self._submitted += 1
+                self._inflight_joined += 1
+                return True
+            if register_if_absent:
+                self._inflight[fingerprint] = [(pair, future)]
+            return False
+
+    def resolve_many(
+        self, pairs: Iterable[EntityPair], timeout: float | None = 60.0
+    ) -> list[Resolution]:
+        """Submit many pairs and block until all are resolved (input order).
+
+        Args:
+            timeout: overall deadline in seconds for the whole set
+                (``None`` waits indefinitely).
+
+        Raises:
+            AdmissionError: if any submission is rejected.
+            TimeoutError: if the deadline passes before all pairs resolve.
+        """
+        futures = [self.submit(pair) for pair in pairs]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        resolutions = []
+        for future in futures:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            resolutions.append(future.result(timeout=remaining))
+        return resolutions
+
+    # -- flushing ------------------------------------------------------------
+
+    def _flush(self, batch: list[PendingRequest]) -> None:
+        """Resolve one micro-batch and fan results out to every waiter."""
+        if not batch:
+            return
+        # Defensive within-flush dedup: in-flight joining already collapses
+        # duplicates, but a representative per fingerprint keeps the pipeline
+        # input unique even if a duplicate slips through.
+        unique: dict[str, EntityPair] = {}
+        for request in batch:
+            unique.setdefault(request.fingerprint, request.pair)
+        try:
+            resolutions = self._resolver.resolve(list(unique.values()))
+        except Exception as error:  # noqa: BLE001 - failures travel via futures
+            for fingerprint in unique:
+                self._fail(fingerprint, error)
+            return
+        for fingerprint, resolution in zip(unique, resolutions):
+            # Fallback labels (answered=False) are never cached: the next
+            # request for such a pair gets a fresh LLM attempt instead of a
+            # permanently memoized guess.
+            if resolution.answered:
+                self._cache.put(
+                    fingerprint,
+                    CachedResult(label=resolution.label, answered=resolution.answered),
+                )
+            with self._lock:
+                waiters = self._inflight.pop(fingerprint, [])
+            completed = 0
+            for pair, future in waiters:
+                # A waiter may have cancelled its future; setting a result on
+                # it would raise and kill the consumer thread.
+                if not future.done():
+                    future.set_result(
+                        Resolution(
+                            pair=pair,
+                            label=resolution.label,
+                            answered=resolution.answered,
+                        )
+                    )
+                    completed += 1
+            with self._lock:
+                self._resolved += completed
+
+    def _fail(self, fingerprint: str, error: Exception) -> None:
+        with self._lock:
+            waiters = self._inflight.pop(fingerprint, [])
+        for _, future in waiters:
+            if not future.done():
+                future.set_exception(error)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def resolver(self) -> Resolver:
+        """The shared underlying session (read-only use recommended)."""
+        return self._resolver
+
+    @property
+    def cache(self) -> ResultCache:
+        """The pair-level result cache."""
+        return self._cache
+
+    @property
+    def running(self) -> bool:
+        """Whether the micro-batch consumer is running."""
+        return self._batcher.running
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the queue."""
+        return len(self._queue)
+
+    def stats(self) -> ServiceStats:
+        """Return a point-in-time snapshot of the service's counters."""
+        with self._lock:
+            submitted = self._submitted
+            resolved = self._resolved
+            inflight_joined = self._inflight_joined
+            rejected_overload = self._rejected_overload
+            rejected_budget = self._rejected_budget
+        uptime = (
+            time.monotonic() - self._started_at if self._started_at is not None else 0.0
+        )
+        return ServiceStats(
+            submitted=submitted,
+            resolved=resolved,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cache_size=len(self._cache),
+            inflight_joined=inflight_joined,
+            rejected_overload=rejected_overload,
+            rejected_budget=rejected_budget,
+            queue_depth=self.queue_depth,
+            flushes=self._batcher.num_flushes,
+            llm_calls=self._resolver.usage.num_calls,
+            pool_size=self._resolver.pool_size,
+            num_labeled=self._resolver.num_labeled,
+            cost=self._resolver.cost(),
+            uptime_seconds=uptime,
+            throughput_pairs_per_second=(resolved / uptime if uptime > 0 else 0.0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResolutionService(max_batch_size={self.config.max_batch_size}, "
+            f"queue_depth={self.queue_depth}, cache_size={len(self._cache)}, "
+            f"running={self.running})"
+        )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cost import CostTracker, LABEL_COST_PER_PAIR, api_cost, labeling_cost
 from repro.cost.labeling_cost import COST_PER_LABELING_TASK, PAIRS_PER_LABELING_TASK
+from repro.cost.tracker import CostBreakdown
 from repro.llm.base import UsageRecord, UsageTracker
 
 
@@ -67,3 +68,51 @@ class TestCostTracker:
         breakdown = tracker.breakdown()
         assert breakdown.api_cost == 0.0
         assert breakdown.total_cost == 0.0
+
+
+class TestCostBreakdownArithmetic:
+    def _breakdown(self, api, label, **kwargs):
+        return CostBreakdown(api_cost=api, labeling_cost=label, **kwargs)
+
+    def test_add_is_component_wise(self):
+        left = self._breakdown(0.1, 0.2, prompt_tokens=100, num_llm_calls=2)
+        right = self._breakdown(0.3, 0.4, completion_tokens=50, num_labeled_pairs=5)
+        total = left + right
+        assert total.api_cost == pytest.approx(0.4)
+        assert total.labeling_cost == pytest.approx(0.6)
+        assert total.prompt_tokens == 100
+        assert total.completion_tokens == 50
+        assert total.num_llm_calls == 2
+        assert total.num_labeled_pairs == 5
+        assert total.total_cost == pytest.approx(1.0)
+
+    def test_sum_over_breakdowns(self):
+        # sum() starts from 0; __radd__ makes the builtin aggregate work.
+        breakdowns = [self._breakdown(0.1, 0.0, num_llm_calls=1) for _ in range(3)]
+        total = sum(breakdowns)
+        assert total.api_cost == pytest.approx(0.3)
+        assert total.num_llm_calls == 3
+        assert sum([]) == 0  # untouched degenerate case
+
+    def test_zero_is_additive_identity(self):
+        breakdown = self._breakdown(0.5, 0.25, prompt_tokens=10)
+        assert CostBreakdown.zero() + breakdown == breakdown
+
+    def test_add_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            self._breakdown(0.1, 0.1) + 1.0
+
+    def test_to_dict_is_json_shaped(self):
+        payload = self._breakdown(0.1, 0.2, prompt_tokens=7, num_llm_calls=1).to_dict()
+        assert payload["api_cost"] == pytest.approx(0.1)
+        assert payload["total_cost"] == pytest.approx(0.3)
+        assert payload["prompt_tokens"] == 7
+        assert set(payload) == {
+            "api_cost",
+            "labeling_cost",
+            "total_cost",
+            "prompt_tokens",
+            "completion_tokens",
+            "num_llm_calls",
+            "num_labeled_pairs",
+        }

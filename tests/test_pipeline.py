@@ -59,6 +59,27 @@ class TestExecutionBackends:
         with pytest.raises(ValueError, match="jobs"):
             create_executor(0)
 
+    def test_persistent_pool_reused_across_maps(self):
+        with ConcurrentExecutor(max_workers=2, persistent=True) as executor:
+            pool = executor._pool
+            assert pool is not None
+            assert executor.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+            assert executor.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+            assert executor._pool is pool  # one long-lived pool, not per-call
+        assert executor._pool is None  # released on context exit
+
+    def test_map_after_shutdown_rejected(self):
+        executor = ConcurrentExecutor(max_workers=2, persistent=True)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shut-down"):
+            executor.map(lambda x: x, [1, 2])
+        # Shutdown also invalidates non-persistent backends (explicit
+        # lifecycle errors beat silently recreating pools).
+        per_call = ConcurrentExecutor(max_workers=2)
+        per_call.shutdown()
+        with pytest.raises(RuntimeError, match="shut-down"):
+            per_call.map(lambda x: x, [1, 2])
+
 
 class TestCompleteMany:
     def _prompts(self, dataset):

@@ -178,3 +178,26 @@ class TestBatchAnswerParsing:
             "I am sorry, I cannot answer multiple questions in a single response.", 5
         )
         assert parsed.num_unanswered == 5
+
+    def test_single_question_batch_accepts_standard_style(self):
+        # A batch that degenerates to one question (e.g. a micro-batch
+        # deadline firing with a lone request) is often answered in
+        # standard-prompting style with no index.
+        parsed = parse_batch_answers("Answer: Yes, same beer.", 1)
+        assert parsed.labels == (MatchLabel.MATCH,)
+        parsed = parse_batch_answers("Answer: No, the breweries differ.", 1)
+        assert parsed.labels == (MatchLabel.NON_MATCH,)
+
+    def test_single_question_standard_fallback_only_for_one_question(self):
+        # With several questions, an unindexed standard-style line must NOT
+        # silently answer all of them.
+        parsed = parse_batch_answers("Answer: Yes.", 3)
+        assert parsed.num_unanswered == 3
+
+    def test_single_question_prose_is_not_an_answer(self):
+        # The fallback is line-anchored: keywords buried in explanatory prose
+        # must stay unanswered (a cached misparse would be served forever).
+        parsed = parse_batch_answers(
+            "The brewery names do not match exactly, so I cannot decide.", 1
+        )
+        assert parsed.labels == (None,)

@@ -90,6 +90,57 @@ class TestIncrementalResolution:
         with pytest.raises(ValueError, match="chunk_size"):
             list(resolver.resolve_iter(unlabeled_questions, chunk_size=0))
 
+    def test_single_pass_iterator_is_safe(self, beer_dataset, unlabeled_questions):
+        # A generator can only be consumed once; resolve_iter must consume it
+        # exactly once and resolve every pair it yields.
+        config = BatcherConfig(seed=1)
+        consumed = 0
+
+        def one_shot_stream():
+            nonlocal consumed
+            for pair in unlabeled_questions:
+                consumed += 1
+                yield pair
+
+        streamed = list(
+            Resolver.from_dataset(beer_dataset, config).resolve_iter(
+                one_shot_stream(), chunk_size=8
+            )
+        )
+        assert consumed == len(unlabeled_questions)
+        assert [r.pair_id for r in streamed] == [p.pair_id for p in unlabeled_questions]
+        whole = Resolver.from_dataset(beer_dataset, config).resolve_iter(
+            iter(unlabeled_questions), chunk_size=8
+        )
+        assert [r.label for r in streamed] == [r.label for r in whole]
+
+
+class TestResolutionSnapshot:
+    def test_to_dict_is_json_shaped(self, beer_dataset, unlabeled_questions):
+        resolver = Resolver.from_dataset(beer_dataset, BatcherConfig(seed=1))
+        resolution = resolver.resolve(unlabeled_questions[:8])[0]
+        payload = resolution.to_dict()
+        assert payload["pair_id"] == resolution.pair_id
+        assert payload["label"] in (0, 1)
+        assert payload["label_name"] in ("MATCH", "NON_MATCH")
+        assert payload["is_match"] == (payload["label"] == 1)
+        assert isinstance(payload["answered"], bool)
+
+
+class TestWarm:
+    def test_warm_featurizes_pool_eagerly(self, beer_dataset):
+        resolver = Resolver.from_dataset(beer_dataset)
+        assert resolver._pool_features_cache is None
+        assert resolver.warm() == resolver.pool_size
+        assert resolver._pool_features_cache is not None
+        cached = resolver._pool_features_cache
+        resolver.warm()  # idempotent: no recomputation
+        assert resolver._pool_features_cache is cached
+
+    def test_warm_without_pool_rejected(self):
+        with pytest.raises(ValueError, match="without demonstrations"):
+            Resolver(BatcherConfig(seed=1)).warm()
+
 
 class TestSessionAccounting:
     def test_labeling_cost_paid_once_across_calls(self, beer_dataset, unlabeled_questions):
@@ -117,7 +168,7 @@ class TestSessionAccounting:
         assert resolver.usage.num_calls > calls_after_first
         assert resolver.num_resolved == 16
 
-    def test_pool_grows_with_added_demonstrations(self, beer_dataset, fz_dataset):
+    def test_pool_grows_with_added_demonstrations(self, beer_dataset):
         resolver = Resolver.from_dataset(beer_dataset)
         before = resolver.pool_size
         resolver.add_demonstrations(list(beer_dataset.splits.validation)[:5])

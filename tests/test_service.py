@@ -1,0 +1,472 @@
+"""Tests for the micro-batching ResolutionService facade."""
+
+import threading
+
+import pytest
+
+from repro.core.config import BatcherConfig
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.pipeline import Resolution, Resolver
+from repro.service import (
+    CostBudgetExceeded,
+    ResolutionService,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+)
+
+
+@pytest.fixture()
+def service_config():
+    return ServiceConfig(
+        batcher=BatcherConfig(seed=1), max_batch_size=16, max_wait_seconds=0.1
+    )
+
+
+@pytest.fixture()
+def questions(beer_dataset):
+    return [pair.without_label() for pair in list(beer_dataset.splits.test)[:48]]
+
+
+def _started_service(beer_dataset, config) -> ResolutionService:
+    return ResolutionService.from_dataset(beer_dataset, config).start()
+
+
+class TestServiceConfig:
+    def test_defaults_validate(self):
+        config = ServiceConfig()
+        assert config.max_batch_size >= 1
+        assert config.batcher.batching == "diverse"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_seconds": -0.1},
+            {"queue_capacity": 0},
+            {"admission_timeout_seconds": -1.0},
+            {"num_workers": 0},
+            {"cache_capacity": 0},
+            {"cost_budget": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            ServiceConfig(**overrides)
+
+    def test_dict_roundtrip(self):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=3, batch_size=4),
+            max_batch_size=8,
+            cost_budget=1.5,
+        )
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown service config fields"):
+            ServiceConfig.from_dict({"max_batch_sizes": 8})
+
+
+class TestMicroBatchingAmortization:
+    def test_100_concurrent_requests_issue_fewer_llm_calls_than_pairs(
+        self, beer_dataset
+    ):
+        # The acceptance scenario: 100 requests (80 unique + 20 duplicates)
+        # submitted concurrently must share batch prompts — far fewer LLM
+        # calls than pairs submitted.  The generous max_wait keeps flushes
+        # near-full even under slow CI scheduling.
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1), max_batch_size=16, max_wait_seconds=0.25
+        )
+        unique = [pair.without_label() for pair in list(beer_dataset.splits.test)[:80]]
+        workload = unique + unique[:20]
+        service = _started_service(beer_dataset, config)
+        try:
+            futures = []
+            submitted = threading.Barrier(parties=5)
+
+            def submit(chunk):
+                submitted.wait(timeout=10.0)
+                futures.extend(service.submit(pair) for pair in chunk)
+
+            threads = [
+                threading.Thread(target=submit, args=(workload[i * 20 : (i + 1) * 20],))
+                for i in range(5)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            resolutions = [future.result(timeout=60.0) for future in futures]
+            assert len(resolutions) == 100
+            stats = service.stats()
+            assert stats.submitted == 100
+            assert stats.resolved == 100
+            # Strict amortization: well under one call per submitted pair
+            # (80 unique pairs in prompt batches of 8 is 10 calls when every
+            # flush fills; the bound leaves room for ragged flush boundaries).
+            assert stats.llm_calls < 100
+            assert stats.llm_calls <= 40
+        finally:
+            service.stop()
+
+    def test_repeat_requests_hit_cache_with_zero_new_llm_calls(
+        self, beer_dataset, service_config, questions
+    ):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            first = service.resolve_many(questions)
+            calls_after_first = service.stats().llm_calls
+            assert calls_after_first > 0
+            repeat = service.resolve_many(questions)
+            stats = service.stats()
+            assert stats.llm_calls == calls_after_first
+            assert stats.cache_hits >= len(questions)
+            assert [r.label for r in repeat] == [r.label for r in first]
+        finally:
+            service.stop()
+
+    def test_cached_results_keyed_by_content_not_pair_id(
+        self, beer_dataset, service_config, questions
+    ):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            original = service.resolve_many(questions[:8])
+            renamed = [
+                EntityPair(pair_id=f"renamed-{i}", left=p.left, right=p.right)
+                for i, p in enumerate(questions[:8])
+            ]
+            calls_before = service.stats().llm_calls
+            re_resolved = service.resolve_many(renamed)
+            assert service.stats().llm_calls == calls_before
+            assert [r.label for r in re_resolved] == [r.label for r in original]
+            assert [r.pair_id for r in re_resolved] == [p.pair_id for p in renamed]
+        finally:
+            service.stop()
+
+    def test_duplicate_inflight_pairs_share_one_resolution(
+        self, beer_dataset, service_config, questions
+    ):
+        # Submit the same pair many times before starting the consumer: all
+        # futures must resolve identically off a single pipeline question.
+        service = ResolutionService.from_dataset(beer_dataset, service_config)
+        futures = [service.submit(questions[0]) for _ in range(10)]
+        futures += [service.submit(pair) for pair in questions[1:9]]
+        service.start()
+        try:
+            resolutions = [future.result(timeout=60.0) for future in futures]
+            labels = {r.label for r in resolutions[:10]}
+            assert len(labels) == 1
+            stats = service.stats()
+            assert stats.inflight_joined == 9
+            assert stats.flushes == 1  # 9 unique pairs -> one micro-batch
+        finally:
+            service.stop()
+
+    def test_deterministic_for_fixed_seed(self, beer_dataset, service_config, questions):
+        def run_once() -> list[MatchLabel]:
+            service = ResolutionService.from_dataset(beer_dataset, service_config)
+            futures = [service.submit(pair) for pair in questions]
+            service.start()
+            try:
+                return [future.result(timeout=60.0).label for future in futures]
+            finally:
+                service.stop()
+
+        assert run_once() == run_once()
+
+
+class TestEdgeCases:
+    def test_empty_request_batch_is_a_noop(self, beer_dataset, service_config):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            assert service.resolve_many([]) == []
+            service._flush([])  # a degenerate flush must not raise
+            assert service.stats().llm_calls == 0
+        finally:
+            service.stop()
+
+    def test_duplicate_pair_ids_with_different_content_in_one_flush(
+        self, beer_dataset, service_config, questions
+    ):
+        # Same pair_id, different records: both must be resolved on their own
+        # contents (the cache keys on content, never on pair_id).
+        clash_a = EntityPair(pair_id="clash", left=questions[0].left, right=questions[0].right)
+        clash_b = EntityPair(pair_id="clash", left=questions[1].left, right=questions[1].right)
+        service = ResolutionService.from_dataset(beer_dataset, service_config)
+        futures = [service.submit(clash_a), service.submit(clash_b)]
+        service.start()
+        try:
+            first, second = [future.result(timeout=60.0) for future in futures]
+            assert first.pair_id == second.pair_id == "clash"
+            # Each resolution carries the submitter's own pair: the two
+            # entries were treated as distinct questions, not collapsed by id.
+            assert first.pair is clash_a
+            assert second.pair is clash_b
+            assert service.stats().flushes == 1
+        finally:
+            service.stop()
+
+    def test_flush_smaller_than_batch_size(self, beer_dataset, questions):
+        # 3 pairs against batcher.batch_size=8: a single undersized prompt
+        # batch must still parse (including the 1-question standard-style
+        # answer fallback) and resolve every pair.
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1), max_batch_size=16, max_wait_seconds=0.02
+        )
+        service = _started_service(beer_dataset, config)
+        try:
+            resolutions = service.resolve_many(questions[:3])
+            assert len(resolutions) == 3
+            assert service.stats().llm_calls == 1
+        finally:
+            service.stop()
+
+    def test_single_pair_flush_still_answered(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            [resolution] = service.resolve_many(questions[:1])
+            assert resolution.answered  # standard-style answer fallback parses
+        finally:
+            service.stop()
+
+
+class TestAdmission:
+    def test_cost_budget_rejects_new_work_but_serves_cache(
+        self, beer_dataset, questions
+    ):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            max_batch_size=16,
+            max_wait_seconds=0.02,
+            cost_budget=0.0001,  # exhausted by the first flush
+        )
+        # Submit the warm-up set before the consumer starts, so admission sees
+        # an unspent budget for all eight and the budget is only exhausted by
+        # the flush itself.
+        service = ResolutionService.from_dataset(beer_dataset, config)
+        futures = [service.submit(pair) for pair in questions[:8]]
+        service.start()
+        try:
+            warm = [future.result(timeout=60.0) for future in futures]
+            assert len(warm) == 8
+            with pytest.raises(CostBudgetExceeded, match="budget"):
+                service.submit(questions[20])
+            # Cached pairs are still served after exhaustion.
+            cached = service.resolve_many(questions[:8])
+            assert [r.label for r in cached] == [r.label for r in warm]
+            assert service.stats().rejected_budget == 1
+        finally:
+            service.stop()
+
+    def test_overload_rejected_with_backpressure(self, beer_dataset, questions):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            max_batch_size=4,
+            queue_capacity=4,
+            admission_timeout_seconds=0.02,
+        )
+        # Consumer never started: the queue fills and stays full.
+        service = ResolutionService.from_dataset(beer_dataset, config)
+        for pair in questions[:4]:
+            service.submit(pair)
+        with pytest.raises(ServiceOverloaded, match="queue full"):
+            service.submit(questions[4])
+        assert service.stats().rejected_overload == 1
+        assert service.stats().queue_depth == 4
+        service.start()
+        try:
+            service.resolve_many(questions[5:7])  # drained queue admits again
+        finally:
+            service.stop()
+
+    def test_overload_fails_joined_duplicate_futures(self, beer_dataset, questions):
+        # A duplicate that joined an in-flight request must not hang forever
+        # when the original submission is rejected by backpressure.
+        import time as time_module
+
+        from repro.service import pair_fingerprint
+
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            queue_capacity=1,
+            admission_timeout_seconds=0.5,
+        )
+        service = ResolutionService.from_dataset(beer_dataset, config)
+        service.submit(questions[0])  # fills the queue (consumer not started)
+        errors: list[Exception] = []
+
+        def blocked_submit():
+            try:
+                service.submit(questions[1])
+            except ServiceOverloaded as error:
+                errors.append(error)
+
+        blocker = threading.Thread(target=blocked_submit)
+        blocker.start()
+        # The blocked submitter registers its in-flight entry *before* it
+        # blocks on the full queue; wait for that, then join it.
+        fingerprint = pair_fingerprint(questions[1])
+        deadline = time_module.monotonic() + 5.0
+        while fingerprint not in service._inflight:
+            assert time_module.monotonic() < deadline, "in-flight entry never appeared"
+            time_module.sleep(0.005)
+        joined = service.submit(questions[1])
+        blocker.join(timeout=5.0)
+        assert errors, "the blocked submitter must be rejected"
+        with pytest.raises(ServiceOverloaded):
+            joined.result(timeout=5.0)
+
+    def test_unanswered_resolutions_are_not_cached(self, beer_dataset, service_config):
+        from repro.llm.simulated import SimulatedLLM
+
+        class MuteLLM(SimulatedLLM):
+            def _generate(self, prompt_text):
+                return "I would rather not say."  # never parseable
+
+        resolver = Resolver(
+            config=service_config.batcher,
+            demonstrations=list(beer_dataset.splits.train),
+            attributes=beer_dataset.attributes,
+            llm=MuteLLM("gpt-3.5-03", seed=1),
+        )
+        service = ResolutionService(config=service_config, resolver=resolver).start()
+        try:
+            questions = [p.without_label() for p in list(beer_dataset.splits.test)[:4]]
+            first = service.resolve_many(questions)
+            assert all(not r.answered for r in first)
+            calls_after_first = service.stats().llm_calls
+            service.resolve_many(questions)  # must retry, not serve fallbacks
+            assert service.stats().llm_calls > calls_after_first
+            assert len(service.cache) == 0
+        finally:
+            service.stop()
+
+    def test_budget_exhaustion_still_joins_inflight_duplicates(
+        self, beer_dataset, questions
+    ):
+        # In-flight joins cost no new LLM work, so they are admitted even
+        # once the budget is spent.
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            max_batch_size=16,
+            max_wait_seconds=0.02,
+            cost_budget=0.0001,
+        )
+        service = ResolutionService.from_dataset(beer_dataset, config)
+        pending = service.submit(questions[0])  # in flight (consumer not started)
+        # Exhaust the budget on the shared session behind the service's back.
+        service.resolver.resolve(questions[8:16])
+        assert service.resolver.cost().total_cost > config.cost_budget
+        with pytest.raises(CostBudgetExceeded):
+            service.submit(questions[1])  # new work: rejected
+        duplicate = service.submit(questions[0])  # join: still admitted
+        service.start()
+        try:
+            assert pending.result(timeout=60.0).label is duplicate.result(
+                timeout=60.0
+            ).label
+            assert service.stats().inflight_joined == 1
+        finally:
+            service.stop()
+
+    def test_submit_after_stop_rejected(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        service.stop()
+        with pytest.raises(ServiceClosed):
+            service.submit(questions[0])
+        with pytest.raises(ServiceClosed):
+            service.start()
+
+
+class TestServiceLifecycle:
+    def test_context_manager_starts_and_stops(self, beer_dataset, service_config, questions):
+        with ResolutionService.from_dataset(beer_dataset, service_config) as service:
+            assert service.running
+            assert service.resolve_many(questions[:4])
+        assert not service.running
+
+    def test_start_warms_resolver_pool(self, beer_dataset, service_config):
+        service = ResolutionService.from_dataset(beer_dataset, service_config)
+        assert service.resolver._pool_features_cache is None
+        service.start()
+        try:
+            assert service.resolver._pool_features_cache is not None
+        finally:
+            service.stop()
+
+    def test_spill_and_warm_start_across_restarts(
+        self, beer_dataset, service_config, questions, tmp_path
+    ):
+        spill = str(tmp_path / "service-cache.jsonl")
+        config = service_config.with_overrides(spill_path=spill)
+        first_service = _started_service(beer_dataset, config)
+        first = first_service.resolve_many(questions[:8])
+        first_service.stop()  # spills the cache
+
+        second_service = _started_service(beer_dataset, config)
+        try:
+            revived = second_service.resolve_many(questions[:8])
+            assert second_service.stats().llm_calls == 0  # pure warm-start hits
+            assert [r.label for r in revived] == [r.label for r in first]
+        finally:
+            second_service.stop()
+
+    def test_cancelled_future_does_not_kill_the_consumer(
+        self, beer_dataset, service_config, questions
+    ):
+        service = ResolutionService.from_dataset(beer_dataset, service_config)
+        doomed = service.submit(questions[0])
+        assert doomed.cancel()  # pending future: cancellation succeeds
+        service.start()
+        try:
+            # The flush containing the cancelled future must not crash the
+            # consumer; later submissions still resolve normally.
+            survivors = service.resolve_many(questions[1:5])
+            assert len(survivors) == 4
+            assert service.running
+        finally:
+            service.stop()
+
+    def test_stop_before_start_does_not_truncate_spill_file(
+        self, beer_dataset, service_config, questions, tmp_path
+    ):
+        spill = tmp_path / "cache.jsonl"
+        config = service_config.with_overrides(spill_path=str(spill))
+        seeded = _started_service(beer_dataset, config)
+        seeded.resolve_many(questions[:8])
+        seeded.stop()
+        persisted = spill.read_text(encoding="utf-8")
+        assert persisted.strip()
+        # A service that never started (e.g. failed setup cleaned up via
+        # stop()) must not overwrite the previous session's cache.
+        ResolutionService.from_dataset(beer_dataset, config).stop()
+        assert spill.read_text(encoding="utf-8") == persisted
+
+    def test_stats_snapshot_shape(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            service.resolve_many(questions[:8])
+            stats = service.stats()
+            assert stats.resolved == 8
+            assert stats.pool_size == service.resolver.pool_size
+            assert stats.uptime_seconds > 0
+            assert stats.throughput_pairs_per_second > 0
+            payload = stats.to_dict()
+            assert payload["cost"]["total_cost"] == pytest.approx(
+                service.resolver.cost().total_cost
+            )
+            assert 0.0 <= payload["cache_hit_rate"] <= 1.0
+        finally:
+            service.stop()
+
+    def test_shared_resolver_session_is_exposed(self, beer_dataset, service_config, questions):
+        resolver = Resolver.from_dataset(beer_dataset, service_config.batcher)
+        service = ResolutionService(config=service_config, resolver=resolver).start()
+        try:
+            resolutions = service.resolve_many(questions[:4])
+            assert all(isinstance(r, Resolution) for r in resolutions)
+            assert service.resolver is resolver
+            assert resolver.num_resolved == 4
+        finally:
+            service.stop()

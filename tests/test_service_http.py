@@ -1,0 +1,135 @@
+"""Tests for the stdlib HTTP front end and the repro-serve CLI plumbing."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import BatcherConfig
+from repro.service import ResolutionService, ServiceConfig
+from repro.service.cli import main as serve_main
+from repro.service.http import BadRequest, ServiceHTTPServer, pairs_from_json
+
+
+@pytest.fixture(scope="module")
+def http_server(beer_dataset):
+    config = ServiceConfig(
+        batcher=BatcherConfig(seed=1), max_batch_size=8, max_wait_seconds=0.02
+    )
+    service = ResolutionService.from_dataset(beer_dataset, config).start()
+    server = ServiceHTTPServer(service, port=0).serve_in_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        server.address + path,
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, http_server):
+        status, payload = _get(http_server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["running"] is True
+        assert payload["pool_size"] > 0
+
+    def test_resolve_roundtrip(self, http_server, beer_dataset):
+        pair = beer_dataset.splits.test[0]
+        status, payload = _post(
+            http_server,
+            "/resolve",
+            {
+                "pairs": [
+                    {
+                        "pair_id": "q1",
+                        "left": dict(pair.left.values),
+                        "right": dict(pair.right.values),
+                    }
+                ]
+            },
+        )
+        assert status == 200
+        [resolution] = payload["resolutions"]
+        assert resolution["pair_id"] == "q1"
+        assert resolution["label"] in (0, 1)
+        assert resolution["label_name"] in ("MATCH", "NON_MATCH")
+        assert isinstance(resolution["answered"], bool)
+
+    def test_resolve_without_pair_id_gets_generated_one(self, http_server):
+        status, payload = _post(
+            http_server,
+            "/resolve",
+            {"pairs": [{"left": {"name": "pale ale"}, "right": {"name": "Pale Ale"}}]},
+        )
+        assert status == 200
+        assert payload["resolutions"][0]["pair_id"].startswith("http-")
+
+    def test_stats_reflects_resolved_requests(self, http_server):
+        status, payload = _get(http_server, "/stats")
+        assert status == 200
+        assert payload["resolved"] >= 1
+        assert payload["cost"]["total_cost"] >= 0.0
+        assert "cache_hit_rate" in payload
+
+    def test_unknown_path_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(http_server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_malformed_body_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(http_server, "/resolve", {"not-pairs": []})
+        assert excinfo.value.code == 400
+        assert "pairs" in json.loads(excinfo.value.read())["error"]
+
+    def test_non_string_attribute_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                http_server,
+                "/resolve",
+                {"pairs": [{"left": {"abv": 5.2}, "right": {"abv": "5.2"}}]},
+            )
+        assert excinfo.value.code == 400
+
+
+class TestPayloadParsing:
+    def test_rejects_non_object_entries(self):
+        with pytest.raises(BadRequest, match="must be an object"):
+            pairs_from_json({"pairs": ["nope"]})
+
+    def test_rejects_missing_side(self):
+        with pytest.raises(BadRequest, match="'right'"):
+            pairs_from_json({"pairs": [{"left": {"name": "x"}}]})
+
+    def test_accepts_null_values(self):
+        [pair] = pairs_from_json(
+            {"pairs": [{"left": {"name": "x", "abv": None}, "right": {"name": "y"}}]}
+        )
+        assert pair.left.value("abv") is None
+        assert pair.right.value("name") == "y"
+
+
+class TestSelfTestCLI:
+    def test_self_test_exits_zero_and_reports_ok(self, capsys):
+        assert serve_main(["--self-test"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["requests"] == 100
+        assert all(report["checks"].values())
+        assert report["first_pass"]["llm_calls"] < report["requests"]
