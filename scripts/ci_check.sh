@@ -14,4 +14,10 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 echo "== service smoke test (repro-serve --self-test) =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.cli --self-test
 
+echo "== feature engine smoke benchmark (BENCH_features.json) =="
+# --min-speedup 0: the smoke run checks the equivalence oracles and emits the
+# report; the wall-clock floor stays for manual/release invocations only
+# (timing assertions on shared CI runners are load-dependent).
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_feature_engine.py --min-speedup 0 > /dev/null
+
 echo "== OK =="

@@ -8,7 +8,9 @@ It provides:
   (:mod:`repro.data`),
 * string similarity, tokenization and embedding substrates (:mod:`repro.text`),
 * clustering (:mod:`repro.clustering`) and feature extraction
-  (:mod:`repro.features`),
+  (:mod:`repro.features`) behind a content-addressed columnar feature engine
+  (:class:`FeatureStore`) shared by the pipeline, resolver sessions and the
+  service,
 * the BatchER design space: question batching (:mod:`repro.batching`) and
   demonstration selection (:mod:`repro.selection`) including the covering-based
   strategy built on greedy set cover,
@@ -62,6 +64,7 @@ from repro.llm.executors import (
     SerialExecutor,
     create_executor,
 )
+from repro.features import FeatureStore
 from repro.pipeline import (
     Pipeline,
     PipelineContext,
@@ -71,13 +74,14 @@ from repro.pipeline import (
 )
 from repro.service import ResolutionService, ResultCache, ServiceConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchER",
     "BatcherConfig",
     "ConcurrentExecutor",
     "ExecutionBackend",
+    "FeatureStore",
     "MatchingMetrics",
     "Pipeline",
     "PipelineContext",

@@ -47,6 +47,12 @@ class QuestionBatcher(ABC):
     #: Strategy name used in configuration and reports.
     name: str = "batcher"
 
+    #: Metric of the pairwise question-distance matrix this strategy can
+    #: consume (clustering-based batchers), or ``None`` when it ignores
+    #: distances entirely (random batching) — the pipeline uses this to skip
+    #: computing a matrix nobody reads.
+    distance_metric: str | None = None
+
     def __init__(self, batch_size: int = 8, seed: int = 0) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -55,18 +61,31 @@ class QuestionBatcher(ABC):
 
     @abstractmethod
     def create_batches(
-        self, questions: Sequence[EntityPair], features: np.ndarray
+        self,
+        questions: Sequence[EntityPair],
+        features: np.ndarray,
+        distances: np.ndarray | None = None,
     ) -> list[QuestionBatch]:
         """Group ``questions`` into batches.
 
         Implementations must place every question in exactly one batch and must
         not exceed ``batch_size`` questions per batch.
+
+        Args:
+            questions: the question pairs, in evaluation order.
+            features: ``(len(questions), d)`` feature matrix.
+            distances: optional precomputed pairwise distance matrix over
+                ``features`` in this strategy's :attr:`distance_metric` (the
+                feature engine caches one per run); computed on demand when
+                omitted.
         """
 
-    def _cluster_questions(self, features: np.ndarray) -> list[list[int]]:
+    def _cluster_questions(
+        self, features: np.ndarray, distances: np.ndarray | None = None
+    ) -> list[list[int]]:
         """Cluster question feature vectors with DBSCAN (noise → singleton clusters)."""
         clusterer = DBSCAN(min_samples=2)
-        result = clusterer.fit(np.asarray(features, dtype=float))
+        result = clusterer.fit(np.asarray(features, dtype=float), distances=distances)
         return result.clusters(include_noise_as_singletons=True)
 
     def _make_batches(

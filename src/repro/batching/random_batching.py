@@ -22,7 +22,10 @@ class RandomQuestionBatcher(QuestionBatcher):
     name = "random"
 
     def create_batches(
-        self, questions: Sequence[EntityPair], features: np.ndarray
+        self,
+        questions: Sequence[EntityPair],
+        features: np.ndarray,
+        distances: np.ndarray | None = None,
     ) -> list[QuestionBatch]:
         indices = list(range(len(questions)))
         rng = random.Random(self.seed)

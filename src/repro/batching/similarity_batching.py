@@ -24,14 +24,18 @@ class SimilarityQuestionBatcher(QuestionBatcher):
     """Fill each batch from within a single cluster of similar questions."""
 
     name = "similar"
+    distance_metric = "euclidean"
 
     def create_batches(
-        self, questions: Sequence[EntityPair], features: np.ndarray
+        self,
+        questions: Sequence[EntityPair],
+        features: np.ndarray,
+        distances: np.ndarray | None = None,
     ) -> list[QuestionBatch]:
         if not questions:
             return []
         rng = random.Random(self.seed)
-        clusters = self._cluster_questions(features)
+        clusters = self._cluster_questions(features, distances=distances)
         groups: list[list[int]] = []
 
         # Stage 1: carve full batches out of every cluster.

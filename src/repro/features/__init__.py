@@ -12,16 +12,25 @@ implemented:
 
 Both expose the same interface, so the rest of the pipeline is agnostic to the
 extractor choice (which is exactly what Exp-6 / Table VII varies).
+
+Consumers featurize through the columnar feature engine
+(:class:`FeatureStore`): a content-addressed, memoizing store that computes
+misses in vectorised batches and caches one pairwise-distance matrix per run.
+The scalar ``extract`` path is kept as the equivalence oracle.
 """
 
 from repro.features.base import FeatureExtractor
+from repro.features.engine import FeatureStore, FeatureStoreStats, create_feature_store
 from repro.features.structure_aware import StructureAwareExtractor
 from repro.features.semantic import SemanticExtractor
 from repro.features.factory import create_feature_extractor
 
 __all__ = [
     "FeatureExtractor",
+    "FeatureStore",
+    "FeatureStoreStats",
     "SemanticExtractor",
     "StructureAwareExtractor",
     "create_feature_extractor",
+    "create_feature_store",
 ]

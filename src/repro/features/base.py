@@ -23,13 +23,21 @@ class FeatureExtractor(ABC):
 
     @abstractmethod
     def extract(self, pair: EntityPair) -> np.ndarray:
-        """Return the feature vector of one entity pair."""
+        """Return the feature vector of one entity pair.
+
+        The scalar path is the *equivalence oracle* for the vectorised
+        :meth:`extract_matrix`: implementations must keep both bit-identical
+        (``extract_matrix(pairs)[i] == extract(pairs[i])``), which the feature
+        engine's equivalence tests enforce.
+        """
 
     def extract_matrix(self, pairs: Sequence[EntityPair]) -> np.ndarray:
         """Return an ``(n, d)`` matrix of feature vectors for ``pairs``.
 
-        The default implementation loops over :meth:`extract`; subclasses may
-        override for a vectorised path.
+        This is the primary featurization API — all pipeline consumers call
+        it (usually through a :class:`~repro.features.engine.FeatureStore`),
+        and subclasses override it with a columnar/vectorised implementation.
+        The default implementation loops over the scalar :meth:`extract`.
         """
         if not pairs:
             return np.zeros((0, self.dimension), dtype=float)

@@ -1,0 +1,312 @@
+"""The columnar feature engine: a content-addressed store of feature vectors.
+
+Featurization is the CPU hot path of the whole framework — batching quality
+and demonstration-selection quality both rest on the feature vectors (paper
+Section III-B), and the same pairs are featurized again and again by the
+pipeline's featurize stage, a ``Resolver``'s persistent pool and every service
+flush.  :class:`FeatureStore` turns those three scalar paths into one shared
+subsystem:
+
+* **content addressing** — vectors are keyed by the canonical
+  :func:`~repro.data.fingerprint.pair_fingerprint` (the same scheme as the
+  service's pair-level result cache), so any two pairs with identical record
+  contents share one cached vector regardless of ids or submitters;
+* **columnar misses** — pairs absent from the store are featurized in one
+  :meth:`~repro.features.base.FeatureExtractor.extract_matrix` call, hitting
+  the extractors' vectorized paths (per-attribute similarity columns, batched
+  sentence encoding) instead of per-pair Python loops;
+* **one distance matrix per run** — the pairwise distance matrix over a
+  feature matrix is cached by content digest, so clustering-based batchers and
+  the covering selector share a single computation instead of each calling
+  :func:`~repro.clustering.distance.pairwise_distances`.
+
+The store is thread-safe: a service flushes micro-batches from its consumer
+thread while HTTP handler threads read statistics.  Miss computation is
+serialized under a dedicated lock (the wrapped extractors keep unsynchronized
+memo caches), while lookups, stats and gets stay concurrent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.clustering.distance import pairwise_distances
+from repro.data.fingerprint import pair_fingerprint
+from repro.data.schema import EntityPair
+from repro.features.base import FeatureExtractor
+
+#: Default bound on the number of cached feature vectors.
+DEFAULT_CAPACITY = 65536
+
+#: Default bound on the number of cached pairwise-distance matrices.
+DEFAULT_DISTANCE_CACHE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class FeatureStoreStats:
+    """A point-in-time snapshot of a store's counters.
+
+    Attributes:
+        size: number of cached feature vectors.
+        capacity: maximum number of cached vectors (LRU eviction beyond).
+        hits / misses: vector lookup outcomes across all ``extract_matrix``
+            calls (one lookup per input pair).
+        evictions: vectors dropped by the LRU bound so far.
+        distance_hits / distance_misses: pairwise-distance matrix cache
+            outcomes.
+    """
+
+    size: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    distance_hits: int
+    distance_misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of vector lookups served from the store (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a plain-dict snapshot (JSON-serializable, for ``/stats``)."""
+        return {
+            "size": self.size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "distance_hits": self.distance_hits,
+            "distance_misses": self.distance_misses,
+        }
+
+
+class FeatureStore:
+    """Content-addressed, memoizing front end over one feature extractor.
+
+    Args:
+        extractor: the extractor computing vectors for cache misses; its
+            vectorized ``extract_matrix`` is the only computation path used.
+        capacity: maximum number of cached vectors; the least-recently-used
+            vector is evicted on overflow.
+        distance_cache_size: number of pairwise-distance matrices kept (a run
+            needs one; a handful covers interleaved sessions).
+    """
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        capacity: int = DEFAULT_CAPACITY,
+        distance_cache_size: int = DEFAULT_DISTANCE_CACHE_SIZE,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if distance_cache_size < 1:
+            raise ValueError(
+                f"distance_cache_size must be >= 1, got {distance_cache_size}"
+            )
+        self.extractor = extractor
+        self.capacity = capacity
+        self.distance_cache_size = distance_cache_size
+        self._vectors: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._distances: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
+        self._lock = threading.RLock()
+        # Serializes extractor computation: the extractors' internal memo
+        # caches (value-pair similarities, text vectors, feature hashes) are
+        # not synchronized, so only one thread may compute misses at a time.
+        self._compute_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._distance_hits = 0
+        self._distance_misses = 0
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the stored feature vectors."""
+        return self.extractor.dimension
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped extractor."""
+        return self.extractor.name
+
+    @property
+    def spill_tag(self) -> str:
+        """Provenance tag recorded next to vectors in service spill files.
+
+        Combines the extractor name and its attribute schema, so a
+        warm-start can reject vectors computed by a different extractor
+        variant (same dimension, different metric) or over a different
+        schema.  The schema is encoded as the tuple ``repr`` — an
+        unambiguous quoting, so attribute names containing delimiter
+        characters cannot make two different schemas collide.
+        """
+        attributes = tuple(getattr(self.extractor, "attributes", ()))
+        return f"{self.extractor.name}/{attributes!r}"
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._vectors)
+
+    # -- vector store --------------------------------------------------------
+
+    def fingerprint(self, pair: EntityPair) -> str:
+        """Canonical content fingerprint of ``pair`` (the store's key)."""
+        return pair_fingerprint(pair)
+
+    def get(self, fingerprint: str) -> np.ndarray | None:
+        """Return a copy of the cached vector for ``fingerprint``, if any."""
+        with self._lock:
+            vector = self._vectors.get(fingerprint)
+            if vector is None:
+                return None
+            self._vectors.move_to_end(fingerprint)
+            return vector.copy()
+
+    def put(self, fingerprint: str, vector: np.ndarray) -> None:
+        """Insert (or refresh) a vector, evicting the LRU entry on overflow.
+
+        Raises:
+            ValueError: if the vector's shape does not match the extractor's
+                dimension (guards warm-starts against a changed schema).
+        """
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected a vector of shape ({self.dimension},), "
+                f"got {vector.shape}"
+            )
+        with self._lock:
+            self._store(fingerprint, vector.copy())
+
+    def _store(self, fingerprint: str, vector: np.ndarray) -> None:
+        """Insert under the lock; the caller owns ``vector``."""
+        self._vectors[fingerprint] = vector
+        self._vectors.move_to_end(fingerprint)
+        while len(self._vectors) > self.capacity:
+            self._vectors.popitem(last=False)
+            self._evictions += 1
+
+    def extract_matrix(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Return the ``(n, d)`` feature matrix of ``pairs``, memoized.
+
+        Pairs already in the store (by content fingerprint) reuse their cached
+        vector; the remaining distinct pairs are featurized in one columnar
+        ``extract_matrix`` call on the wrapped extractor.  Output rows are
+        bit-identical to scalar per-pair extraction, so store-served runs
+        reproduce store-free runs exactly.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros((0, self.dimension), dtype=float)
+        fingerprints = [pair_fingerprint(pair) for pair in pairs]
+
+        matrix = np.empty((len(pairs), self.dimension), dtype=float)
+        missing: dict[str, EntityPair] = {}
+        missing_rows: list[int] = []
+        with self._lock:
+            for row, (pair, fingerprint) in enumerate(zip(pairs, fingerprints)):
+                vector = self._vectors.get(fingerprint)
+                if vector is not None:
+                    self._vectors.move_to_end(fingerprint)
+                    self._hits += 1
+                    matrix[row] = vector
+                else:
+                    self._misses += 1
+                    missing.setdefault(fingerprint, pair)
+                    missing_rows.append(row)
+
+        if missing:
+            with self._compute_lock:
+                computed = self.extractor.extract_matrix(list(missing.values()))
+            by_fingerprint = dict(zip(missing, computed))
+            with self._lock:
+                for fingerprint, vector in by_fingerprint.items():
+                    self._store(fingerprint, np.array(vector, dtype=float))
+                for row in missing_rows:
+                    matrix[row] = by_fingerprint[fingerprints[row]]
+        return matrix
+
+    # -- pairwise distances --------------------------------------------------
+
+    def pairwise_distances(
+        self, features: np.ndarray, metric: str = "euclidean"
+    ) -> np.ndarray:
+        """Pairwise distance matrix of ``features``, cached by content digest.
+
+        The cache key is a digest of the matrix bytes plus the metric, so the
+        clustering-based batchers and the covering selector — which all look
+        at the same question feature matrix within one run — share a single
+        computation.  Returns a read-only view; callers needing to mutate it
+        should copy.
+        """
+        features = np.ascontiguousarray(np.asarray(features, dtype=float))
+        digest = hashlib.blake2b(features.tobytes(), digest_size=16)
+        digest.update(str(features.shape).encode("ascii"))
+        key = (digest.hexdigest(), metric)
+        with self._lock:
+            cached = self._distances.get(key)
+            if cached is not None:
+                self._distances.move_to_end(key)
+                self._distance_hits += 1
+                return cached
+            self._distance_misses += 1
+        distances = pairwise_distances(features, metric=metric)
+        distances.setflags(write=False)
+        with self._lock:
+            self._distances[key] = distances
+            self._distances.move_to_end(key)
+            while len(self._distances) > self.distance_cache_size:
+                self._distances.popitem(last=False)
+        return distances
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> FeatureStoreStats:
+        """Return a point-in-time snapshot of the store's counters."""
+        with self._lock:
+            return FeatureStoreStats(
+                size=len(self._vectors),
+                capacity=self.capacity,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                distance_hits=self._distance_hits,
+                distance_misses=self._distance_misses,
+            )
+
+    def clear(self) -> None:
+        """Drop every cached vector and distance matrix (counters kept)."""
+        with self._lock:
+            self._vectors.clear()
+            self._distances.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"FeatureStore(extractor={self.name!r}, size={stats.size}, "
+            f"capacity={stats.capacity}, hit_rate={stats.hit_rate:.2f})"
+        )
+
+
+def create_feature_store(
+    variant: str,
+    attributes: tuple[str, ...],
+    capacity: int = DEFAULT_CAPACITY,
+) -> FeatureStore:
+    """Build a :class:`FeatureStore` over one of the paper's extractor variants."""
+    from repro.features.factory import create_feature_extractor
+
+    return FeatureStore(
+        create_feature_extractor(variant, attributes), capacity=capacity
+    )

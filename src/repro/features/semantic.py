@@ -44,3 +44,19 @@ class SemanticExtractor(FeatureExtractor):
     def extract(self, pair: EntityPair) -> np.ndarray:
         text = serialize_pair(pair, self.attributes)
         return np.asarray(self.encoder.encode(text), dtype=float)
+
+    def extract_matrix(self, pairs) -> np.ndarray:
+        """Columnar featurization: serialize all pairs, encode them in one batch.
+
+        Delegates to the encoder's vectorized ``encode_batch`` (text-level
+        dedup, feature-hash memoization, single sparse accumulation pass);
+        bit-identical to the scalar :meth:`extract` loop.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros((0, self.dimension), dtype=float)
+        texts = [serialize_pair(pair, self.attributes) for pair in pairs]
+        encode_batch = getattr(self.encoder, "encode_batch", None)
+        if encode_batch is None:  # injected encoder without a batch path
+            return np.vstack([np.asarray(self.encoder.encode(text), dtype=float) for text in texts])
+        return np.asarray(encode_batch(texts), dtype=float)

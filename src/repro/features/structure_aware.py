@@ -7,6 +7,16 @@ the token Jaccard similarity (BatchER-JAC) between ``a.attr_i`` and
 ``b.attr_i``.  Missing values are handled explicitly: a missing-vs-present
 attribute contributes 0 similarity, and missing-vs-missing contributes a
 neutral 0.5 (the pair gives no evidence either way on that attribute).
+
+:meth:`StructureAwareExtractor.extract_matrix` is the columnar primary path:
+each attribute column is processed at once — the column's distinct value
+pairs are computed a single time and the column is filled in one vectorized
+assignment — with results memoized across calls (ER attribute columns are
+highly repetitive: brewery names, genres, manufacturers — so the expensive
+Levenshtein dynamic program runs only on distinct value pairs; the string
+similarity itself is inherently scalar).  The scalar
+:meth:`~StructureAwareExtractor.extract` remains the equivalence oracle: both
+paths produce bit-identical vectors.
 """
 
 from __future__ import annotations
@@ -19,6 +29,9 @@ from repro.text.similarity import get_similarity_function
 
 #: Similarity assigned when both attribute values are missing.
 BOTH_MISSING_SIMILARITY = 0.5
+
+#: Bound on the memoized (left value, right value) -> similarity cache.
+DEFAULT_VALUE_CACHE_SIZE = 262144
 
 
 class StructureAwareExtractor(FeatureExtractor):
@@ -43,6 +56,11 @@ class StructureAwareExtractor(FeatureExtractor):
         self.similarity_name = similarity
         self._similarity = get_similarity_function(similarity)
         self.name = f"structure-{'lr' if similarity == 'levenshtein_ratio' else similarity}"
+        # (left value, right value) -> similarity, shared by every attribute
+        # column (the similarity function only sees the values) and kept
+        # across calls.  Cleared wholesale on overflow: cheap, rare, and
+        # deterministic.
+        self._value_cache: dict[tuple[str | None, str | None], float] = {}
 
     @property
     def dimension(self) -> int:
@@ -58,6 +76,17 @@ class StructureAwareExtractor(FeatureExtractor):
             return 0.0
         return float(self._similarity(left, right))
 
+    def _cached_similarity(self, left: str | None, right: str | None) -> float:
+        """Memoized :meth:`attribute_similarity` over raw value pairs."""
+        key = (left, right)
+        cached = self._value_cache.get(key)
+        if cached is None:
+            cached = self.attribute_similarity(left, right)
+            if len(self._value_cache) >= DEFAULT_VALUE_CACHE_SIZE:
+                self._value_cache.clear()
+            self._value_cache[key] = cached
+        return cached
+
     def extract(self, pair: EntityPair) -> np.ndarray:
         vector = np.empty(self.dimension, dtype=float)
         for index, attribute in enumerate(self.attributes):
@@ -65,3 +94,28 @@ class StructureAwareExtractor(FeatureExtractor):
                 pair.left.value(attribute), pair.right.value(attribute)
             )
         return vector
+
+    def extract_matrix(self, pairs) -> np.ndarray:
+        """Columnar featurization: one similarity column per attribute.
+
+        Each attribute column is processed as a whole: the column's *distinct*
+        value pairs are computed once (memoized across calls and columns, so
+        the underlying string similarity — inherently a scalar computation —
+        runs once per distinct value pair instead of once per entity pair),
+        then the column is filled in a single vectorized assignment.
+        Bit-identical to the scalar :meth:`extract` loop.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros((0, self.dimension), dtype=float)
+        matrix = np.empty((len(pairs), self.dimension), dtype=float)
+        for column, attribute in enumerate(self.attributes):
+            keys = [
+                (pair.left.value(attribute), pair.right.value(attribute))
+                for pair in pairs
+            ]
+            similarities = {
+                key: self._cached_similarity(*key) for key in dict.fromkeys(keys)
+            }
+            matrix[:, column] = [similarities[key] for key in keys]
+        return matrix

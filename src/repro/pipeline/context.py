@@ -25,6 +25,7 @@ from repro.core.config import BatcherConfig
 from repro.core.result import RunResult
 from repro.cost.tracker import CostTracker
 from repro.data.schema import Dataset, EntityPair, MatchLabel
+from repro.features.engine import FeatureStore
 from repro.llm.base import LLMClient, LLMResponse
 from repro.llm.registry import create_llm
 from repro.prompting.prompt import Prompt
@@ -57,6 +58,11 @@ class PipelineContext:
         prelabeled_pool_indices: pool indices whose labeling cost was already
             paid (a :class:`~repro.pipeline.resolver.Resolver` session pays for
             each demonstration only once across many resolve calls).
+        feature_store: the columnar feature engine used to featurize (and to
+            serve the run's cached pairwise-distance matrix).  A long-lived
+            session (``Resolver``, the service) pre-sets a shared store so
+            vectors are memoized across calls; ``Featurize`` builds an
+            ephemeral one otherwise.
         question_features / pool_features: feature matrices (``Featurize``).
         batches: question batches (``BatchQuestions``).
         selection: per-batch demonstrations (``SelectDemonstrations``).
@@ -84,6 +90,7 @@ class PipelineContext:
     dataset_name: str = "stream"
     method: str | None = None
     prelabeled_pool_indices: frozenset[int] = frozenset()
+    feature_store: FeatureStore | None = None
     question_features: np.ndarray | None = None
     pool_features: np.ndarray | None = None
     batches: list[QuestionBatch] | None = None

@@ -18,6 +18,7 @@ cheaper than independent runs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -26,7 +27,7 @@ import numpy as np
 from repro.core.config import BatcherConfig
 from repro.cost.tracker import CostBreakdown, CostTracker
 from repro.data.schema import Dataset, EntityPair, MatchLabel
-from repro.features.factory import create_feature_extractor
+from repro.features.engine import FeatureStore, create_feature_store
 from repro.llm.base import LLMClient, UsageTracker
 from repro.llm.executors import ExecutionBackend
 from repro.llm.registry import create_llm
@@ -103,6 +104,8 @@ class Resolver:
         self._pipeline = Pipeline.default(executor=executor, evaluate=False, hooks=hooks)
         self._pool: list[EntityPair] = []
         self._pool_features_cache: np.ndarray | None = None
+        self._feature_store: FeatureStore | None = None
+        self._feature_store_lock = threading.Lock()
         self._labeled_indices: set[int] = set()
         self._cost = CostTracker(self.config.model)
         self._cost.attach_usage(self._llm.usage)
@@ -165,18 +168,35 @@ class Resolver:
         self._pool_features()
         return self.pool_size
 
+    @property
+    def feature_store(self) -> FeatureStore | None:
+        """The session's columnar feature engine (``None`` until the attribute
+        schema is known, i.e. before the first demonstrations arrive).
+
+        Creation is locked: the property is read concurrently (e.g. a stats
+        thread alongside the service's flush thread), and a check-then-set
+        race must never replace a populated store with an empty one.
+        """
+        if self._feature_store is None and self.attributes is not None:
+            with self._feature_store_lock:
+                if self._feature_store is None:
+                    self._feature_store = create_feature_store(
+                        self.config.feature_extractor, self.attributes
+                    )
+        return self._feature_store
+
     def _pool_features(self) -> np.ndarray:
         """Pool feature matrix, computed once per pool version.
 
         A long-lived session resolves many small chunks against the same
-        (large) pool; caching the pool featurization makes each resolve call
-        pay only for the incoming questions.
+        (large) pool; the matrix is cached per pool version, and the vectors
+        behind it live in the session's content-addressed feature store — so
+        growing the pool re-featurizes only the new demonstrations.
         """
         if self._pool_features_cache is None:
-            extractor = create_feature_extractor(
-                self.config.feature_extractor, self.attributes
-            )
-            self._pool_features_cache = extractor.extract_matrix(self._pool)
+            store = self.feature_store
+            assert store is not None  # self._pool is non-empty here
+            self._pool_features_cache = store.extract_matrix(self._pool)
         return self._pool_features_cache
 
     # -- session accounting --------------------------------------------------
@@ -227,6 +247,7 @@ class Resolver:
             prelabeled_pool_indices=frozenset(self._labeled_indices),
             reset_usage=False,
         )
+        context.feature_store = self.feature_store
         context.pool_features = self._pool_features()
         try:
             self._pipeline.run(context)

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.batching.base import validate_batching
 from repro.batching.factory import create_batcher
 from repro.core.result import RunResult
 from repro.data.schema import MatchLabel
 from repro.evaluation.metrics import evaluate_predictions
-from repro.features.factory import create_feature_extractor
+from repro.features.engine import FeatureStore, create_feature_store
 from repro.llm.executors import ExecutionBackend
 from repro.pipeline.context import PipelineContext
 from repro.prompting.batch import BatchPromptBuilder
@@ -51,25 +53,36 @@ class PipelineStage(ABC):
 class Featurize(PipelineStage):
     """Extract feature matrices for the questions and the demonstration pool.
 
-    Matrices already present on the context are kept — a session that caches
-    pool features across calls (e.g. a ``Resolver``) pre-sets
+    Featurization goes through the context's columnar
+    :class:`~repro.features.engine.FeatureStore` (an ephemeral one is built
+    when a long-lived session did not pre-set a shared store), so repeated
+    pair contents reuse memoized vectors and misses are computed in vectorized
+    batches.  Matrices already present on the context are kept — a session
+    that caches pool features across calls (e.g. a ``Resolver``) pre-sets
     ``pool_features`` and only the questions are featurized.
     """
 
     name = "featurize"
 
     def run(self, context: PipelineContext) -> None:
-        extractor = create_feature_extractor(
-            context.config.feature_extractor, context.attributes
-        )
+        if context.feature_store is None:
+            context.feature_store = create_feature_store(
+                context.config.feature_extractor, context.attributes
+            )
+        store = context.feature_store
         if context.question_features is None:
-            context.question_features = extractor.extract_matrix(context.questions)
+            context.question_features = store.extract_matrix(context.questions)
         if context.pool_features is None:
-            context.pool_features = extractor.extract_matrix(context.pool)
+            context.pool_features = store.extract_matrix(context.pool)
 
 
 class BatchQuestions(PipelineStage):
-    """Group the questions into batches with the configured strategy."""
+    """Group the questions into batches with the configured strategy.
+
+    Clustering-based strategies consume the engine's cached pairwise
+    question-distance matrix, so batching and the covering selector share one
+    computation per run instead of each calling ``pairwise_distances``.
+    """
 
     name = "batch-questions"
 
@@ -79,7 +92,12 @@ class BatchQuestions(PipelineStage):
         batcher = create_batcher(
             config.batching, batch_size=config.batch_size, seed=config.seed
         )
-        batches = batcher.create_batches(context.questions, features)
+        distances = None
+        if batcher.distance_metric is not None and context.feature_store is not None:
+            distances = context.feature_store.pairwise_distances(
+                features, metric=batcher.distance_metric
+            )
+        batches = batcher.create_batches(context.questions, features, distances=distances)
         validate_batching(batches, len(context.questions), config.batch_size)
         context.batches = batches
 
@@ -101,8 +119,21 @@ class SelectDemonstrations(PipelineStage):
             seed=config.seed,
             threshold_percentile=config.threshold_percentile,
         )
+        question_distances = None
+        if (
+            selector.uses_question_distances
+            and context.feature_store is not None
+            and np.asarray(question_features).shape[0] >= 2
+        ):
+            question_distances = context.feature_store.pairwise_distances(
+                question_features, metric=selector.metric
+            )
         selection = selector.select(
-            batches, question_features, context.pool, pool_features
+            batches,
+            question_features,
+            context.pool,
+            pool_features,
+            question_distances=question_distances,
         )
         context.selection = selection
         newly_labeled = (

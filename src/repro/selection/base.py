@@ -76,6 +76,11 @@ class DemonstrationSelector(ABC):
     #: Strategy name used in configuration and reports.
     name: str = "selector"
 
+    #: Whether :meth:`select` consumes the pairwise question-distance matrix
+    #: (the covering strategy's threshold rule); the pipeline only fetches the
+    #: engine-cached matrix for strategies that read it.
+    uses_question_distances: bool = False
+
     def __init__(
         self, num_demonstrations: int = 8, metric: str = "euclidean", seed: int = 0
     ) -> None:
@@ -92,6 +97,7 @@ class DemonstrationSelector(ABC):
         question_features: np.ndarray,
         pool: Sequence[EntityPair],
         pool_features: np.ndarray,
+        question_distances: np.ndarray | None = None,
     ) -> SelectionResult:
         """Select demonstrations for every batch.
 
@@ -102,6 +108,10 @@ class DemonstrationSelector(ABC):
             pool: the unlabeled demonstration pool (gold labels are present on
                 the pairs but conceptually hidden until selected).
             pool_features: ``(len(pool), d)`` feature matrix of the pool.
+            question_distances: optional precomputed pairwise distance matrix
+                over ``question_features`` in this selector's ``metric`` (the
+                feature engine caches one per run); only strategies with
+                :attr:`uses_question_distances` read it.
         """
 
     # -- shared helpers ----------------------------------------------------

@@ -59,6 +59,7 @@ class CoveringSelector(DemonstrationSelector):
     """
 
     name = "covering"
+    uses_question_distances = True
 
     def __init__(
         self,
@@ -82,14 +83,26 @@ class CoveringSelector(DemonstrationSelector):
 
     # -- threshold ----------------------------------------------------------
 
-    def resolve_threshold(self, question_features: np.ndarray) -> float:
-        """Compute the covering radius ``t`` from the question feature vectors."""
+    def resolve_threshold(
+        self,
+        question_features: np.ndarray,
+        question_distances: np.ndarray | None = None,
+    ) -> float:
+        """Compute the covering radius ``t`` from the question feature vectors.
+
+        Args:
+            question_distances: optional precomputed pairwise distance matrix
+                over the question features in ``self.metric`` (the feature
+                engine caches one per run); computed on demand when omitted.
+        """
         if self.threshold is not None:
             return self.threshold
         features = np.asarray(question_features, dtype=float)
         if features.shape[0] < 2:
             return 1.0
-        distances = pairwise_distances(features, metric=self.metric)
+        distances = question_distances
+        if distances is None:
+            distances = pairwise_distances(features, metric=self.metric)
         off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
         positive = off_diagonal[off_diagonal > 0.0]
         if positive.size == 0:
@@ -104,11 +117,12 @@ class CoveringSelector(DemonstrationSelector):
         question_features: np.ndarray,
         pool: Sequence[EntityPair],
         pool_features: np.ndarray,
+        question_distances: np.ndarray | None = None,
     ) -> SelectionResult:
         if not pool:
             raise ValueError("the demonstration pool is empty")
         question_features = np.asarray(question_features, dtype=float)
-        threshold = self.resolve_threshold(question_features)
+        threshold = self.resolve_threshold(question_features, question_distances)
         distances = self._question_to_pool_distances(question_features, pool_features)
         num_questions = distances.shape[0]
         num_pool = distances.shape[1]

@@ -29,6 +29,7 @@ class TopKBatchSelector(DemonstrationSelector):
         question_features: np.ndarray,
         pool: Sequence[EntityPair],
         pool_features: np.ndarray,
+        question_distances: np.ndarray | None = None,
     ) -> SelectionResult:
         if not pool:
             raise ValueError("the demonstration pool is empty")

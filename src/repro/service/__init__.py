@@ -12,8 +12,10 @@ callers.
 Layers:
 
 * :class:`ResultCache` — pair-level LRU keyed by canonical content
-  fingerprints (:func:`pair_fingerprint`), with optional JSONL spill /
-  warm-start; repeat queries cost zero LLM calls.
+  fingerprints (:func:`pair_fingerprint`, shared with the columnar feature
+  engine), with optional JSONL spill / warm-start; repeat queries cost zero
+  LLM calls, and spilled entries carry their feature vectors so a restart
+  warm-starts the session's :class:`~repro.features.engine.FeatureStore` too.
 * :class:`RequestQueue` / :class:`MicroBatcher` — bounded admission with
   backpressure, and size-or-deadline flushing.
 * :class:`ResolutionService` — the facade: cache lookup, in-flight

@@ -5,48 +5,26 @@ retries, mirrored catalogs).  Caching by a *canonical content fingerprint* —
 not by ``pair_id`` — means any two requests about the same record contents hit
 the same entry, so repeat queries cost zero LLM calls regardless of who
 submitted them or what ids they used.
+
+The fingerprint scheme (:func:`~repro.data.fingerprint.pair_fingerprint`) is
+shared with the columnar feature engine, so the spill file can carry each
+entry's feature vector alongside its judgement: a warm-started service
+repopulates both the result cache *and* the feature store from one JSONL file.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator, Sequence
 
-from repro.data.schema import EntityPair, MatchLabel
+from repro.data.fingerprint import pair_fingerprint
+from repro.data.schema import MatchLabel
 
-
-def pair_fingerprint(pair: EntityPair) -> str:
-    """Return the canonical content fingerprint of an entity pair.
-
-    The fingerprint hashes the attribute values of both records (attribute
-    order normalised, missing values skipped) and deliberately ignores
-    ``pair_id`` and record ids: two pairs with identical contents are the same
-    cache entry.  Left/right order is preserved — ER pairs are directed
-    (table A vs. table B).
-
-    Every field is length-prefixed, so the encoding is unambiguous for
-    arbitrary attribute names and values (no separator byte a hostile client
-    string could collide with).
-    """
-    digest = hashlib.blake2b(digest_size=16)
-    for record in (pair.left, pair.right):
-        present = [
-            (name, value)
-            for name, value in sorted(record.values.items())
-            if value is not None
-        ]
-        digest.update(f"{len(present)};".encode("ascii"))
-        for name, value in present:
-            for text in (name, value):
-                encoded = text.encode("utf-8")
-                digest.update(f"{len(encoded)}:".encode("ascii"))
-                digest.update(encoded)
-    return digest.hexdigest()
+__all__ = ["CachedResult", "ResultCache", "pair_fingerprint"]
 
 
 @dataclass(frozen=True)
@@ -130,34 +108,62 @@ class ResultCache:
         with self._lock:
             return list(self._entries.items())
 
-    def spill(self, path: str | Path) -> int:
+    def spill(
+        self,
+        path: str | Path,
+        vector_lookup: Callable[[str], Sequence[float] | None] | None = None,
+        vector_tag: str | None = None,
+    ) -> int:
         """Write all entries to ``path`` as JSONL (LRU order, oldest first).
 
         Returns the number of entries written.  The file is a warm-start
         artifact, not a database: :meth:`warm_start` replays it through
         :meth:`put`, so capacity and recency semantics are preserved.
+
+        Args:
+            vector_lookup: optional callable mapping a fingerprint to its
+                feature vector (or ``None``); when it yields one, the entry
+                gains a ``"vector"`` field, letting :meth:`warm_start` seed a
+                feature store alongside the result cache.
+            vector_tag: provenance tag written as the ``"extractor"`` field of
+                every vector-carrying entry (the feature store's spill tag);
+                warm-start uses it to reject vectors from a different
+                extractor variant or attribute schema.
         """
         entries = self._snapshot()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as handle:
             for fingerprint, result in entries:
-                handle.write(
-                    json.dumps(
-                        {
-                            "fingerprint": fingerprint,
-                            "label": int(result.label),
-                            "answered": result.answered,
-                        }
-                    )
-                    + "\n"
-                )
+                entry: dict[str, object] = {
+                    "fingerprint": fingerprint,
+                    "label": int(result.label),
+                    "answered": result.answered,
+                }
+                if vector_lookup is not None:
+                    vector = vector_lookup(fingerprint)
+                    if vector is not None:
+                        entry["vector"] = [float(value) for value in vector]
+                        if vector_tag is not None:
+                            entry["extractor"] = vector_tag
+                handle.write(json.dumps(entry) + "\n")
         return len(entries)
 
-    def warm_start(self, path: str | Path) -> int:
+    def warm_start(
+        self,
+        path: str | Path,
+        on_vector: Callable[[str, list[float], str | None], None] | None = None,
+    ) -> int:
         """Load entries spilled by :meth:`spill`; missing file is a no-op.
 
-        Returns the number of entries loaded.
+        Returns the number of entries loaded.  Files written before the
+        vector extension (no ``"vector"`` fields) load unchanged.
+
+        Args:
+            on_vector: optional callback invoked with ``(fingerprint, vector,
+                extractor_tag)`` for entries carrying a spilled feature
+                vector — the service uses it to seed the feature store after
+                checking the tag against the current extractor.
 
         Raises:
             ValueError: if the file exists but a line is not a valid entry.
@@ -173,11 +179,25 @@ class ResultCache:
                 result = CachedResult(
                     label=MatchLabel(entry["label"]), answered=bool(entry["answered"])
                 )
+                vector = entry.get("vector")
+                if vector is not None:
+                    if not isinstance(vector, list):
+                        raise ValueError(
+                            f"'vector' must be a list, got {type(vector).__name__}"
+                        )
+                    vector = [float(value) for value in vector]
+                tag = entry.get("extractor")
+                if tag is not None and not isinstance(tag, str):
+                    raise ValueError(
+                        f"'extractor' must be a string, got {type(tag).__name__}"
+                    )
             except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
                 raise ValueError(
                     f"invalid cache spill entry at {path}:{line_number}: {error}"
                 ) from error
             self.put(fingerprint, result)
+            if vector is not None and on_vector is not None:
+                on_vector(fingerprint, vector, tag)
             loaded += 1
         return loaded
 

@@ -93,6 +93,7 @@ def run_self_test(
 
     first = report["first_pass"]
     repeat = report["repeat"]
+    feature_store = repeat.get("feature_store") or {}
     checks = {
         "fewer_llm_calls_than_requests": first["llm_calls"] < len(workload),
         "duplicates_joined_in_flight": first["inflight_joined"] >= 1,
@@ -101,11 +102,17 @@ def run_self_test(
             and repeat["cache_hits"] >= len(unique)
         ),
         "deterministic_labels_for_fixed_seed": labels == labels_again,
+        # The columnar feature engine memoizes every vector the session
+        # computed (pool + questions), content-addressed by fingerprint.
+        "feature_store_holds_session_vectors": (
+            feature_store.get("size", 0) >= len(unique)
+        ),
     }
     report.update(
         {
             "requests": len(workload),
             "unique_pairs": len(unique),
+            "feature_store": feature_store,
             "checks": checks,
             "ok": all(checks.values()),
         }

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from repro.cost.tracker import CostBreakdown
 from repro.data.schema import Dataset, EntityPair
+from repro.features.engine import FeatureStoreStats
 from repro.llm.executors import ConcurrentExecutor, ExecutionBackend, SerialExecutor
 from repro.pipeline.resolver import Resolution, Resolver
 from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
@@ -75,6 +76,9 @@ class ServiceStats:
         llm_calls: cumulative LLM calls of the underlying session.
         pool_size / num_labeled: demonstration-pool accounting of the session.
         cost: cumulative session :class:`CostBreakdown`.
+        feature_store: snapshot of the session's columnar feature-vector
+            store (size, hit rate, evictions); ``None`` before the store
+            exists (no demonstrations yet).
         uptime_seconds: seconds since :meth:`ResolutionService.start` (0.0
             before).
         throughput_pairs_per_second: ``resolved / uptime_seconds``.
@@ -94,6 +98,7 @@ class ServiceStats:
     pool_size: int
     num_labeled: int
     cost: CostBreakdown
+    feature_store: FeatureStoreStats | None
     uptime_seconds: float
     throughput_pairs_per_second: float
 
@@ -121,6 +126,9 @@ class ServiceStats:
             "pool_size": self.pool_size,
             "num_labeled": self.num_labeled,
             "cost": self.cost.to_dict(),
+            "feature_store": (
+                self.feature_store.to_dict() if self.feature_store is not None else None
+            ),
             "uptime_seconds": self.uptime_seconds,
             "throughput_pairs_per_second": self.throughput_pairs_per_second,
         }
@@ -175,6 +183,9 @@ class ResolutionService:
         # fingerprint -> list of (pair-as-submitted, future) awaiting one
         # in-flight resolution.  The first entry's pair is the one resolved.
         self._inflight: dict[str, list[tuple[EntityPair, Future]]] = {}
+        # Spilled feature vectors that arrived before the session's feature
+        # store existed (schema not yet known); seeded once it does.
+        self._pending_vectors: dict[str, tuple[list[float], str | None]] = {}
         self._lock = threading.Lock()
         self._submitted = 0
         self._resolved = 0
@@ -214,7 +225,7 @@ class ResolutionService:
         if self._resolver.pool_size:
             self._resolver.warm()
         if self.config.spill_path is not None:
-            self._cache.warm_start(self.config.spill_path)
+            self._cache.warm_start(self.config.spill_path, on_vector=self._seed_vector)
         if self._started_at is None:
             self._started_at = time.monotonic()
         self._batcher.start()
@@ -239,9 +250,68 @@ class ResolutionService:
         # warm-started from the file): stopping a never-started service must
         # not truncate a previous session's persisted cache.
         if spill and self.config.spill_path is not None and self._started_at is not None:
-            self._cache.spill(self.config.spill_path)
+            self._drain_pending_vectors()
+            store = self._resolver.feature_store
+            if store is not None:
+                self._cache.spill(
+                    self.config.spill_path,
+                    vector_lookup=store.get,
+                    vector_tag=store.spill_tag,
+                )
+            else:
+                # The schema was never learned this session, so the store was
+                # never built: write the still-buffered warm-start vectors
+                # back out instead of silently dropping them from the file.
+                with self._lock:
+                    pending = dict(self._pending_vectors)
+                tags = {tag for _, tag in pending.values()}
+                tag = tags.pop() if len(tags) == 1 else None
+                self._cache.spill(
+                    self.config.spill_path,
+                    vector_lookup=(
+                        (lambda fingerprint: pending.get(fingerprint, (None, None))[0])
+                        if tag is not None
+                        else None
+                    ),
+                    vector_tag=tag,
+                )
         if self._owns_executor and isinstance(self._executor, ConcurrentExecutor):
             self._executor.shutdown()
+
+    def _seed_vector(
+        self, fingerprint: str, vector: list[float], tag: str | None
+    ) -> None:
+        """Seed the session's feature store with one spilled vector.
+
+        Vectors are skipped silently unless both their provenance tag
+        (extractor variant + attribute schema) and their dimensionality match
+        the current store — a spill file from a session with a different
+        configuration must not poison the store.  The tag check matters even
+        when dimensions agree: e.g. the ``lr`` and ``jaccard`` structure-aware
+        extractors share a dimension but produce different vectors.
+
+        When the store does not exist yet (attribute schema still unknown),
+        the vector is buffered and seeded once it does — otherwise a session
+        that learns its schema only after ``start()`` would drop every
+        spilled vector and re-spill the file without them.
+        """
+        store = self._resolver.feature_store
+        if store is None:
+            with self._lock:
+                self._pending_vectors[fingerprint] = (vector, tag)
+            return
+        if tag != store.spill_tag or len(vector) != store.dimension:
+            return
+        store.put(fingerprint, vector)
+
+    def _drain_pending_vectors(self) -> None:
+        """Seed buffered spill vectors once the feature store exists."""
+        if not self._pending_vectors or self._resolver.feature_store is None:
+            return
+        with self._lock:
+            pending, self._pending_vectors = self._pending_vectors, {}
+        for fingerprint, (vector, tag) in pending.items():
+            self._seed_vector(fingerprint, vector, tag)
 
     def __enter__(self) -> "ResolutionService":
         return self.start()
@@ -267,6 +337,8 @@ class ResolutionService:
         """
         if self._stopped:
             raise ServiceClosed("service has been stopped")
+        if self._pending_vectors:
+            self._drain_pending_vectors()
         fingerprint = pair_fingerprint(pair)
         cached = self._cache.get(fingerprint)
         if cached is not None:
@@ -360,6 +432,9 @@ class ResolutionService:
         """Resolve one micro-batch and fan results out to every waiter."""
         if not batch:
             return
+        # First resolutions may establish the attribute schema (and hence the
+        # feature store); seed any warm-start vectors that were waiting on it.
+        self._drain_pending_vectors()
         # Defensive within-flush dedup: in-flight joining already collapses
         # duplicates, but a representative per fingerprint keeps the pipeline
         # input unique even if a duplicate slips through.
@@ -430,6 +505,8 @@ class ResolutionService:
 
     def stats(self) -> ServiceStats:
         """Return a point-in-time snapshot of the service's counters."""
+        if self._pending_vectors:
+            self._drain_pending_vectors()
         with self._lock:
             submitted = self._submitted
             resolved = self._resolved
@@ -439,6 +516,7 @@ class ResolutionService:
         uptime = (
             time.monotonic() - self._started_at if self._started_at is not None else 0.0
         )
+        store = self._resolver.feature_store
         return ServiceStats(
             submitted=submitted,
             resolved=resolved,
@@ -454,6 +532,7 @@ class ResolutionService:
             pool_size=self._resolver.pool_size,
             num_labeled=self._resolver.num_labeled,
             cost=self._resolver.cost(),
+            feature_store=store.stats() if store is not None else None,
             uptime_seconds=uptime,
             throughput_pairs_per_second=(resolved / uptime if uptime > 0 else 0.0),
         )

@@ -12,6 +12,14 @@ term-frequency scaling and L2-normalises the result.  Cosine / Euclidean
 proximity of the resulting vectors then tracks surface-level textual overlap,
 which is exactly what an off-the-shelf sentence encoder gives an ER pipeline
 that never fine-tunes it.
+
+:meth:`HashingSentenceEncoder.encode_batch` is the hot path used by the
+columnar feature engine: it deduplicates repeated texts, memoizes per-text
+vectors across calls, caches feature hashes (the dominant cost — one blake2b
+digest per distinct n-gram), and accumulates all remaining texts in a single
+sparse ``np.add.at`` pass.  Its output is bit-identical to per-text
+:meth:`~HashingSentenceEncoder.encode` calls, which the equivalence tests pin
+down.
 """
 
 from __future__ import annotations
@@ -23,6 +31,13 @@ import re
 import numpy as np
 
 _WORD_PATTERN = re.compile(r"[a-z0-9]+")
+
+#: Bound on the per-text vector memo (entries are dropped FIFO on overflow).
+DEFAULT_TEXT_CACHE_SIZE = 65536
+
+#: Bound on the feature-hash memo (cleared wholesale on overflow; n-gram
+#: variety grows slowly, so a clear is rare and cheap).
+DEFAULT_HASH_CACHE_SIZE = 1 << 20
 
 
 def _stable_hash(text: str) -> int:
@@ -50,12 +65,21 @@ class HashingSentenceEncoder:
         dimension: int = 256,
         use_char_ngrams: bool = True,
         use_word_bigrams: bool = True,
+        text_cache_size: int = DEFAULT_TEXT_CACHE_SIZE,
     ) -> None:
         if dimension <= 0:
             raise ValueError(f"dimension must be positive, got {dimension}")
+        if text_cache_size < 0:
+            raise ValueError(f"text_cache_size must be >= 0, got {text_cache_size}")
         self.dimension = dimension
         self.use_char_ngrams = use_char_ngrams
         self.use_word_bigrams = use_word_bigrams
+        self.text_cache_size = text_cache_size
+        # feature n-gram -> (vector index, sign); shared across every text, so
+        # each distinct n-gram pays its blake2b digest exactly once.
+        self._hash_cache: dict[str, tuple[int, float]] = {}
+        # text -> finished unit-norm vector (never handed out without a copy).
+        self._text_cache: dict[str, np.ndarray] = {}
 
     def _features(self, text: str) -> list[str]:
         words = _WORD_PATTERN.findall(text.lower())
@@ -72,29 +96,114 @@ class HashingSentenceEncoder:
                 )
         return features
 
+    def _hashed(self, feature: str) -> tuple[int, float]:
+        """Vector index and sign of one feature, via the shared hash cache."""
+        cached = self._hash_cache.get(feature)
+        if cached is None:
+            feature_hash = _stable_hash(feature)
+            cached = (
+                feature_hash % self.dimension,
+                1.0 if (feature_hash >> 32) % 2 == 0 else -1.0,
+            )
+            if len(self._hash_cache) >= DEFAULT_HASH_CACHE_SIZE:
+                self._hash_cache.clear()
+            self._hash_cache[feature] = cached
+        return cached
+
+    def _remember(self, text: str, vector: np.ndarray) -> None:
+        """Memoize a finished vector, dropping the oldest entries on overflow."""
+        if self.text_cache_size == 0:
+            return
+        self._text_cache[text] = vector
+        while len(self._text_cache) > self.text_cache_size:
+            self._text_cache.pop(next(iter(self._text_cache)))
+
     def encode(self, text: str | None) -> np.ndarray:
         """Encode one sentence into a unit-norm vector of ``self.dimension`` floats."""
-        vector = np.zeros(self.dimension, dtype=np.float64)
         if not text:
-            return vector
+            return np.zeros(self.dimension, dtype=np.float64)
+        cached = self._text_cache.get(text)
+        if cached is not None:
+            return cached.copy()
+        vector = np.zeros(self.dimension, dtype=np.float64)
         counts: dict[str, int] = {}
         for feature in self._features(text):
             counts[feature] = counts.get(feature, 0) + 1
         for feature, count in counts.items():
-            feature_hash = _stable_hash(feature)
-            index = feature_hash % self.dimension
-            sign = 1.0 if (feature_hash >> 32) % 2 == 0 else -1.0
+            index, sign = self._hashed(feature)
             vector[index] += sign * (1.0 + math.log(count))
         norm = float(np.linalg.norm(vector))
         if norm > 0.0:
             vector /= norm
-        return vector
+        self._remember(text, vector)
+        return vector.copy()
 
     def encode_batch(self, texts: list[str]) -> np.ndarray:
-        """Encode a list of sentences into a ``(len(texts), dimension)`` matrix."""
+        """Encode a list of sentences into a ``(len(texts), dimension)`` matrix.
+
+        This is the vectorized path: repeated texts are deduplicated, memoized
+        vectors are reused across calls, and every remaining text is
+        accumulated in one sparse ``np.add.at`` pass instead of per-text
+        Python loops.  The result is bit-identical to stacking per-text
+        :meth:`encode` calls (``np.add.at`` applies updates unbuffered in
+        coordinate order, matching the scalar accumulation order).
+        """
         if not texts:
             return np.zeros((0, self.dimension), dtype=np.float64)
-        return np.vstack([self.encode(text) for text in texts])
+
+        # Dedup in first-appearance order; figure out which texts still need
+        # to be computed (empty texts map to the zero vector directly).
+        unique: dict[str, int] = {}
+        for text in texts:
+            key = text or ""
+            if key not in unique:
+                unique[key] = len(unique)
+        resolved: dict[str, np.ndarray] = {}
+        pending: list[str] = []
+        for text in unique:
+            if not text:
+                resolved[text] = np.zeros(self.dimension, dtype=np.float64)
+                continue
+            cached = self._text_cache.get(text)
+            if cached is not None:
+                resolved[text] = cached
+            else:
+                pending.append(text)
+
+        if pending:
+            # Single sparse accumulation pass over all pending texts: build
+            # (row, column, value) coordinates in exactly the order the scalar
+            # path would apply them, then apply them all at once.
+            rows: list[int] = []
+            columns: list[int] = []
+            values: list[float] = []
+            for row, text in enumerate(pending):
+                counts: dict[str, int] = {}
+                for feature in self._features(text):
+                    counts[feature] = counts.get(feature, 0) + 1
+                for feature, count in counts.items():
+                    index, sign = self._hashed(feature)
+                    rows.append(row)
+                    columns.append(index)
+                    values.append(sign * (1.0 + math.log(count)))
+            block = np.zeros((len(pending), self.dimension), dtype=np.float64)
+            np.add.at(
+                block,
+                (np.asarray(rows, dtype=np.intp), np.asarray(columns, dtype=np.intp)),
+                np.asarray(values, dtype=np.float64),
+            )
+            for row, text in enumerate(pending):
+                vector = block[row]
+                norm = float(np.linalg.norm(vector))
+                if norm > 0.0:
+                    vector /= norm
+                resolved[text] = vector
+                self._remember(text, vector.copy())
+
+        matrix = np.empty((len(texts), self.dimension), dtype=np.float64)
+        for position, text in enumerate(texts):
+            matrix[position] = resolved[text or ""]
+        return matrix
 
     def similarity(self, left: str, right: str) -> float:
         """Cosine similarity between the embeddings of two sentences."""
