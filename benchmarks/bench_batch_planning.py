@@ -1,0 +1,336 @@
+"""Benchmark: dense-matrix batch planning vs. the sparse neighbor-graph path.
+
+*Batch planning* is everything between featurization and prompting: DBSCAN
+clustering of the question feature vectors and covering-based demonstration
+selection.  The pre-refactor implementation materialised the dense ``(n, n)``
+pairwise matrix (plus the dense ``(n, m)`` question-to-pool matrix) and walked
+them with per-point Python loops; the sparse path answers the same radius
+queries over blocked CSR neighbor graphs
+(:mod:`repro.clustering.neighbors`) with a lazy-greedy set cover.
+
+The two arms are compared at identical, pre-resolved radii on a synthetic
+Gaussian-blob workload, and the benchmark *asserts* that they produce
+identical cluster labels and identical demonstration selections — it is an
+equivalence oracle as much as a stopwatch.  Peak planning memory is measured
+with ``tracemalloc`` (numpy buffers included), so the report shows both the
+wall-time speedup and the collapse from quadratic to blocked memory.
+
+Besides optional timing floors, the run emits ``BENCH_planning.json`` in the
+repository root with the headline numbers.  The file is a machine-local
+artifact (gitignored), not a tracked result.
+
+Standalone (the CI smoke invocation uses ``--small --min-speedup 0``)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_planning.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.batching.base import QuestionBatch
+from repro.clustering.dbscan import DBSCAN, NOISE_LABEL
+from repro.clustering.distance import pairwise_distances
+from repro.clustering.neighbors import NeighborPlanner, sample_percentile_radius
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.selection.covering import CoveringSelector
+from repro.selection.set_cover import greedy_set_cover_eager
+from repro.text.tokenizer import ApproxTokenizer
+
+#: Where the headline numbers land (repository root).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_planning.json"
+
+#: Default question-set sizes (dense vs sparse compared at every size).
+DEFAULT_SIZES = (2000, 8000, 20000)
+
+#: Sizes of the CI smoke run.
+SMALL_SIZES = (300, 600)
+
+#: Feature dimensionality of the synthetic workload.
+DIMENSION = 8
+
+#: Points per Gaussian blob (controls neighbourhood density).
+BLOB_SIZE = 40
+
+#: Percentile used to resolve the shared eps / covering threshold t.  Low on
+#: purpose: realistic planning radii keep neighbourhoods small relative to n.
+RADIUS_PERCENTILE = 0.5
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def make_workload(n: int, m: int, seed: int = 11):
+    """Synthetic planning workload: blobby question/pool features + pairs."""
+    rng = np.random.default_rng(seed)
+    num_blobs = max(1, n // BLOB_SIZE)
+    centers = rng.normal(scale=4.0, size=(num_blobs, DIMENSION))
+    assignments = rng.integers(0, num_blobs, size=n)
+    question_features = centers[assignments] + rng.normal(scale=0.25, size=(n, DIMENSION))
+    pool_assignments = rng.integers(0, num_blobs, size=m)
+    pool_features = centers[pool_assignments] + rng.normal(scale=0.25, size=(m, DIMENSION))
+
+    def make_pair(tag: str, index: int, label: MatchLabel | None) -> EntityPair:
+        values = {"name": f"{tag} item {index}", "price": str(index % 997)}
+        return EntityPair(
+            pair_id=f"{tag}-{index}",
+            left=Record(record_id=f"{tag}-l{index}", values=values),
+            right=Record(record_id=f"{tag}-r{index}", values=values),
+            label=label,
+        )
+
+    questions = [make_pair("q", i, None) for i in range(n)]
+    pool = [make_pair("d", i, MatchLabel(int(rng.integers(0, 2)))) for i in range(m)]
+    return question_features, pool_features, questions, pool
+
+
+def make_batches(questions, batch_size: int = 8, seed: int = 5) -> list[QuestionBatch]:
+    """Chunk a shuffled question order into batches (shared by both arms)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(questions))
+    batches = []
+    for batch_id, start in enumerate(range(0, len(order), batch_size)):
+        indices = tuple(int(i) for i in order[start : start + batch_size])
+        batches.append(
+            QuestionBatch(
+                batch_id=batch_id,
+                indices=indices,
+                pairs=tuple(questions[i] for i in indices),
+            )
+        )
+    return batches
+
+
+# -- the dense baseline: the pre-refactor planning implementation -------------
+
+
+def baseline_dbscan(features: np.ndarray, eps: float, min_samples: int = 2):
+    """Pre-refactor DBSCAN: dense matrix, per-point neighbour lists, list BFS."""
+    n = features.shape[0]
+    distances = pairwise_distances(features)
+    neighbour_lists = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    core_mask = np.array(
+        [len(neighbours) >= min_samples for neighbours in neighbour_lists]
+    )
+    labels = np.full(n, NOISE_LABEL, dtype=int)
+    cluster_id = 0
+    for point in range(n):
+        if labels[point] != NOISE_LABEL or not core_mask[point]:
+            continue
+        labels[point] = cluster_id
+        frontier = list(neighbour_lists[point])
+        while frontier:
+            neighbour = int(frontier.pop())
+            if labels[neighbour] == NOISE_LABEL:
+                labels[neighbour] = cluster_id
+                if core_mask[neighbour]:
+                    frontier.extend(
+                        int(candidate)
+                        for candidate in neighbour_lists[neighbour]
+                        if labels[candidate] == NOISE_LABEL
+                    )
+        cluster_id += 1
+    return labels
+
+
+def baseline_covering(
+    batches, question_features, pool, pool_features, threshold: float
+):
+    """Pre-refactor covering selection: dense (n, m) matrix, eager set cover."""
+    from repro.clustering.distance import cross_distances
+    from repro.data.serialization import serialize_pair
+
+    tokenizer = ApproxTokenizer()
+    distances = cross_distances(question_features, pool_features)
+    num_questions, num_pool = distances.shape
+    coverage = [
+        frozenset(np.flatnonzero(distances[:, demo] < threshold).tolist())
+        for demo in range(num_pool)
+    ]
+    generation = greedy_set_cover_eager(num_questions, coverage, weights=None)
+    demonstration_set = list(generation.selected)
+    for question_index in sorted(generation.uncovered_items):
+        nearest = int(np.argmin(distances[question_index]))
+        if nearest not in demonstration_set:
+            demonstration_set.append(nearest)
+    token_weights = {
+        demo: max(1.0, float(tokenizer.count(serialize_pair(pool[demo]))))
+        for demo in demonstration_set
+    }
+    per_batch = []
+    for batch in batches:
+        batch_questions = list(batch.indices)
+        local_coverage = []
+        for demo in demonstration_set:
+            local_coverage.append(
+                frozenset(
+                    position
+                    for position, question_index in enumerate(batch_questions)
+                    if distances[question_index, demo] < threshold
+                )
+            )
+        solution = greedy_set_cover_eager(
+            len(batch_questions),
+            local_coverage,
+            weights=[token_weights[demo] for demo in demonstration_set],
+        )
+        chosen = [demonstration_set[position] for position in solution.selected]
+        for position in sorted(solution.uncovered_items):
+            question_index = batch_questions[position]
+            nearest_demo = min(
+                demonstration_set, key=lambda demo: distances[question_index, demo]
+            )
+            if nearest_demo not in chosen:
+                chosen.append(nearest_demo)
+        per_batch.append(tuple(dict.fromkeys(chosen)))
+    return tuple(per_batch)
+
+
+# -- the two arms --------------------------------------------------------------
+
+
+def run_dense_arm(question_features, pool_features, pool, batches, eps, threshold):
+    labels = baseline_dbscan(question_features, eps)
+    selections = baseline_covering(
+        batches, question_features, pool, pool_features, threshold
+    )
+    return labels, selections
+
+
+def run_sparse_arm(question_features, pool_features, pool, batches, eps, threshold):
+    planner = NeighborPlanner(dense_threshold=0)
+    labels = DBSCAN(eps=eps, min_samples=2, planner=planner).fit(question_features).labels
+    selector = CoveringSelector(threshold=threshold, planner=planner)
+    result = selector.select(batches, question_features, pool, pool_features)
+    selections = tuple(batch.pool_indices for batch in result.per_batch)
+    return labels, selections
+
+
+def _traced(fn):
+    """Run ``fn`` and return (result, seconds, peak_traced_bytes)."""
+    tracemalloc.start()
+    try:
+        result, seconds = _timed(fn)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, seconds, peak
+
+
+def run_planning_bench(sizes, min_speedup: float, seed: int) -> dict[str, object]:
+    results = []
+    for n in sizes:
+        m = max(50, min(2000, n // 10))
+        question_features, pool_features, questions, pool = make_workload(n, m, seed)
+        batches = make_batches(questions)
+        # Both arms plan at identical radii, resolved once from a seeded
+        # sample — radius resolution is part of the planner but not of this
+        # stopwatch, which isolates the geometry consumers.
+        eps = sample_percentile_radius(question_features, RADIUS_PERCENTILE)
+        threshold = sample_percentile_radius(
+            question_features, RADIUS_PERCENTILE * 0.8
+        )
+
+        (dense_out, dense_seconds, dense_peak) = _traced(
+            lambda: run_dense_arm(
+                question_features, pool_features, pool, batches, eps, threshold
+            )
+        )
+        (sparse_out, sparse_seconds, sparse_peak) = _traced(
+            lambda: run_sparse_arm(
+                question_features, pool_features, pool, batches, eps, threshold
+            )
+        )
+        dense_labels, dense_selections = dense_out
+        sparse_labels, sparse_selections = sparse_out
+        if not np.array_equal(dense_labels, sparse_labels):
+            raise AssertionError(f"n={n}: sparse DBSCAN labels diverge from dense")
+        if dense_selections != sparse_selections:
+            raise AssertionError(f"n={n}: sparse covering selections diverge from dense")
+        entry = {
+            "n": n,
+            "m": m,
+            "batches": len(batches),
+            "dense_seconds": round(dense_seconds, 4),
+            "sparse_seconds": round(sparse_seconds, 4),
+            "speedup": round(dense_seconds / sparse_seconds, 2) if sparse_seconds else None,
+            "dense_peak_bytes": dense_peak,
+            "sparse_peak_bytes": sparse_peak,
+            "dense_matrix_bytes": n * n * 8,
+            "equal": True,
+        }
+        results.append(entry)
+        print(
+            f"n={n:>6} m={m:>5}  dense {dense_seconds:8.2f}s / {dense_peak / 1e6:9.1f} MB"
+            f"   sparse {sparse_seconds:8.2f}s / {sparse_peak / 1e6:9.1f} MB"
+            f"   speedup {entry['speedup']}x",
+            file=sys.stderr,
+        )
+    largest = results[-1]
+    report = {
+        "workload": {
+            "dimension": DIMENSION,
+            "blob_size": BLOB_SIZE,
+            "radius_percentile": RADIUS_PERCENTILE,
+            "seed": seed,
+        },
+        "results": results,
+        "headline": {
+            "n": largest["n"],
+            "speedup": largest["speedup"],
+            "dense_peak_bytes": largest["dense_peak_bytes"],
+            "sparse_peak_bytes": largest["sparse_peak_bytes"],
+            "memory_ratio": round(
+                largest["dense_peak_bytes"] / max(1, largest["sparse_peak_bytes"]), 2
+            ),
+        },
+    }
+    if min_speedup > 0 and largest["speedup"] < min_speedup:
+        raise AssertionError(
+            f"headline speedup {largest['speedup']}x below the floor {min_speedup}x"
+        )
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=lambda text: tuple(int(part) for part in text.split(",")),
+        default=None,
+        help="comma-separated question-set sizes (default: 2000,8000,20000)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="tiny sizes for the CI smoke run (equality oracle, no timing floor)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the largest-n speedup reaches this floor (0 disables)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--report", type=Path, default=REPORT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    sizes = args.sizes or (SMALL_SIZES if args.small else DEFAULT_SIZES)
+    report = run_planning_bench(sizes, args.min_speedup, args.seed)
+    args.report.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -20,4 +20,14 @@ echo "== feature engine smoke benchmark (BENCH_features.json) =="
 # (timing assertions on shared CI runners are load-dependent).
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_feature_engine.py --min-speedup 0 > /dev/null
 
+echo "== batch planning smoke benchmark (BENCH_planning.json) =="
+# --small --min-speedup 0: a timing-independent run of the dense-vs-sparse
+# planning oracle — it *asserts* identical DBSCAN labels and covering
+# selections between the two paths; the 5x speedup floor is checked by the
+# full-size manual invocation (benchmarks/bench_batch_planning.py --min-speedup 5).
+# The smoke report goes to a scratch file so it never clobbers a full-size
+# BENCH_planning.json with small-n numbers.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_batch_planning.py \
+  --small --min-speedup 0 --report "$(mktemp)" > /dev/null
+
 echo "== OK =="

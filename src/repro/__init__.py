@@ -74,7 +74,7 @@ from repro.pipeline import (
 )
 from repro.service import ResolutionService, ResultCache, ServiceConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchER",

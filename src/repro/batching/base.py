@@ -9,6 +9,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.clustering.dbscan import DBSCAN
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.schema import EntityPair
 
 
@@ -65,6 +66,7 @@ class QuestionBatcher(ABC):
         questions: Sequence[EntityPair],
         features: np.ndarray,
         distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> list[QuestionBatch]:
         """Group ``questions`` into batches.
 
@@ -76,16 +78,26 @@ class QuestionBatcher(ABC):
             features: ``(len(questions), d)`` feature matrix.
             distances: optional precomputed pairwise distance matrix over
                 ``features`` in this strategy's :attr:`distance_metric` (the
-                feature engine caches one per run); computed on demand when
-                omitted.
+                feature engine caches one for small question sets); computed
+                on demand when omitted.
+            planner: optional dense/sparse routing policy
+                (:class:`~repro.clustering.neighbors.NeighborPlanner`) for the
+                clustering step; above the planner's dense threshold DBSCAN
+                runs over a sparse epsilon-neighbor graph instead of a dense
+                matrix.  Ignored by strategies that never look at distances.
         """
 
     def _cluster_questions(
-        self, features: np.ndarray, distances: np.ndarray | None = None
+        self,
+        features: np.ndarray,
+        distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> list[list[int]]:
         """Cluster question feature vectors with DBSCAN (noise → singleton clusters)."""
         clusterer = DBSCAN(min_samples=2)
-        result = clusterer.fit(np.asarray(features, dtype=float), distances=distances)
+        result = clusterer.fit(
+            np.asarray(features, dtype=float), distances=distances, planner=planner
+        )
         return result.clusters(include_noise_as_singletons=True)
 
     def _make_batches(

@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.batching.base import QuestionBatch, QuestionBatcher
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.schema import EntityPair
 
 
@@ -28,10 +29,11 @@ class DiversityQuestionBatcher(QuestionBatcher):
         questions: Sequence[EntityPair],
         features: np.ndarray,
         distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> list[QuestionBatch]:
         if not questions:
             return []
-        clusters = self._cluster_questions(features, distances=distances)
+        clusters = self._cluster_questions(features, distances=distances, planner=planner)
         # Clusters are FIFO queues, largest first, so early batches are maximally diverse.
         queues: deque[deque[int]] = deque(
             deque(cluster) for cluster in sorted(clusters, key=len, reverse=True)

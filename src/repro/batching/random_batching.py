@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.batching.base import QuestionBatch, QuestionBatcher
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.schema import EntityPair
 
 
@@ -26,6 +27,7 @@ class RandomQuestionBatcher(QuestionBatcher):
         questions: Sequence[EntityPair],
         features: np.ndarray,
         distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> list[QuestionBatch]:
         indices = list(range(len(questions)))
         rng = random.Random(self.seed)

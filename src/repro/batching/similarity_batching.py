@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.batching.base import QuestionBatch, QuestionBatcher
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.schema import EntityPair
 
 
@@ -31,11 +32,12 @@ class SimilarityQuestionBatcher(QuestionBatcher):
         questions: Sequence[EntityPair],
         features: np.ndarray,
         distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> list[QuestionBatch]:
         if not questions:
             return []
         rng = random.Random(self.seed)
-        clusters = self._cluster_questions(features, distances=distances)
+        clusters = self._cluster_questions(features, distances=distances, planner=planner)
         groups: list[list[int]] = []
 
         # Stage 1: carve full batches out of every cluster.

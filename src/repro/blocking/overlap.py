@@ -51,12 +51,13 @@ class TokenOverlapBlocker(Blocker):
 
     def block(self, table_a: Table, table_b: Table) -> BlockingResult:
         attributes = self.attributes or table_a.attributes
-        tokens_b = {
-            record.record_id: self._record_tokens(record, attributes) for record in table_b
-        }
+        # Token sets are keyed by *position*, matching the positional posting
+        # lists: keying by record_id would silently merge records that share
+        # an id (dirty tables do contain duplicate ids) and drop their tokens.
+        tokens_b = [self._record_tokens(record, attributes) for record in table_b]
         index_b: dict[str, list[int]] = defaultdict(list)
-        for position, record in enumerate(table_b):
-            for token in tokens_b[record.record_id]:
+        for position, record_tokens in enumerate(tokens_b):
+            for token in record_tokens:
                 index_b[token].append(position)
 
         pairs = []

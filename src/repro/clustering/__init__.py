@@ -5,15 +5,36 @@ choice); K-Means is provided as an alternative so the clustering choice itself
 can be ablated.  Both are implemented from scratch on top of numpy.
 """
 
-from repro.clustering.distance import pairwise_distances, euclidean_distance
+from repro.clustering.distance import (
+    elementwise_distances,
+    euclidean_distance,
+    pairwise_distances,
+)
 from repro.clustering.dbscan import DBSCAN, DBSCANResult
 from repro.clustering.kmeans import KMeans, KMeansResult
+from repro.clustering.neighbors import (
+    NeighborGraph,
+    NeighborPlanner,
+    build_cross_neighbor_graph,
+    build_neighbor_graph,
+    default_planner,
+    dense_percentile_radius,
+    sample_percentile_radius,
+)
 
 __all__ = [
     "DBSCAN",
     "DBSCANResult",
     "KMeans",
     "KMeansResult",
+    "NeighborGraph",
+    "NeighborPlanner",
+    "build_cross_neighbor_graph",
+    "build_neighbor_graph",
+    "default_planner",
+    "dense_percentile_radius",
+    "elementwise_distances",
     "euclidean_distance",
     "pairwise_distances",
+    "sample_percentile_radius",
 ]

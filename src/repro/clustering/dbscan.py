@@ -1,11 +1,22 @@
 """DBSCAN density clustering (Ester et al., KDD 1996).
 
 The paper clusters question feature vectors with DBSCAN before batching
-(Section III).  This implementation works directly on a precomputed distance
-matrix (or computes one from feature vectors), assigns cluster labels
-``0..k-1`` and marks noise points with ``-1``.  For the batching pipeline the
-downstream code treats every noise point as its own singleton cluster, because
-every question must end up in exactly one batch.
+(Section III).  This implementation runs its core mask and breadth-first
+expansion over the index arrays of a CSR-style
+:class:`~repro.clustering.neighbors.NeighborGraph`: frontiers are numpy
+arrays, neighbour gathers are vectorized, and an enqueued mask guarantees
+every point enters a frontier at most once.  Where the graph comes from is a
+routing decision made by a :class:`~repro.clustering.neighbors.NeighborPlanner`:
+
+* small inputs threshold the dense pairwise matrix (usually cached by the
+  feature engine) — the historical code path, bit-identical labels;
+* large inputs build the graph with blocked radius joins and resolve the
+  automatic ``eps`` from a seeded distance sample, so the dense ``(n, n)``
+  matrix is never materialised.
+
+Labels ``0..k-1`` are assigned in seed order and noise points are marked
+``-1``; downstream batching treats every noise point as its own singleton
+cluster, because every question must end up in exactly one batch.
 """
 
 from __future__ import annotations
@@ -14,7 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.clustering.distance import pairwise_distances
+from repro.clustering.neighbors import (
+    NeighborGraph,
+    NeighborPlanner,
+    default_planner,
+    dense_percentile_radius,
+)
 
 #: Label assigned by DBSCAN to noise points.
 NOISE_LABEL = -1
@@ -67,6 +83,8 @@ class DBSCAN:
         min_samples: minimum neighbourhood size for a core point.
         eps_percentile: percentile used by the automatic radius rule.
         metric: distance metric (``"euclidean"`` or ``"cosine"``).
+        planner: dense/sparse routing policy; defaults to the process-wide
+            :func:`~repro.clustering.neighbors.default_planner`.
     """
 
     def __init__(
@@ -75,6 +93,7 @@ class DBSCAN:
         min_samples: int = 3,
         eps_percentile: float = 15.0,
         metric: str = "euclidean",
+        planner: NeighborPlanner | None = None,
     ) -> None:
         if eps is not None and eps <= 0.0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -86,23 +105,28 @@ class DBSCAN:
         self.min_samples = min_samples
         self.eps_percentile = eps_percentile
         self.metric = metric
+        self.planner = planner
 
     def _resolve_eps(self, distances: np.ndarray) -> float:
+        """The automatic radius rule over a precomputed dense matrix."""
         if self.eps is not None:
             return self.eps
-        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
-        positive = off_diagonal[off_diagonal > 0.0]
-        if positive.size == 0:
-            return 1.0
-        return float(np.percentile(positive, self.eps_percentile))
+        return dense_percentile_radius(distances, self.eps_percentile)
 
-    def fit(self, features: np.ndarray, distances: np.ndarray | None = None) -> DBSCANResult:
+    def fit(
+        self,
+        features: np.ndarray,
+        distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
+    ) -> DBSCANResult:
         """Cluster the row vectors of ``features``.
 
         Args:
             features: ``(n, d)`` feature matrix (ignored when ``distances`` is
                 supplied, except for its row count).
-            distances: optional precomputed ``(n, n)`` distance matrix.
+            distances: optional precomputed ``(n, n)`` distance matrix; when
+                supplied the run is always dense (the historical contract).
+            planner: per-call override of the dense/sparse routing policy.
         """
         features = np.asarray(features, dtype=float)
         if features.ndim != 2:
@@ -114,33 +138,78 @@ class DBSCAN:
                 num_clusters=0,
                 core_point_mask=np.empty(0, dtype=bool),
             )
-        if distances is None:
-            distances = pairwise_distances(features, metric=self.metric)
-        eps = self._resolve_eps(distances)
-
-        neighbour_lists = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
-        core_mask = np.array(
-            [len(neighbours) >= self.min_samples for neighbours in neighbour_lists]
+        if distances is not None:
+            # Caller-supplied matrix: always dense, no planner involved.
+            eps = self._resolve_eps(distances)
+            graph = NeighborGraph.from_dense(
+                distances, eps, metric=self.metric, inclusive=True
+            )
+            return self._fit_graph(graph)
+        # The planner routes (and counts) both regimes; its dense regime
+        # thresholds the provider-cached matrix, so results are identical to
+        # passing that matrix explicitly.
+        active = planner or self.planner or default_planner()
+        eps = (
+            self.eps
+            if self.eps is not None
+            else active.resolve_radius(features, self.eps_percentile, self.metric)
         )
+        graph = active.graph(features, eps, metric=self.metric, inclusive=True)
+        return self._fit_graph(graph)
 
+    def _fit_graph(self, graph: NeighborGraph) -> DBSCANResult:
+        """Label the points of an inclusive epsilon self-join graph.
+
+        The expansion works directly on the graph's CSR arrays: each BFS level
+        gathers the neighbour ranges of the level's core points in one shot,
+        and the ``enqueued`` mask keeps any point from entering a frontier
+        twice (the pre-graph implementation could re-append the same neighbour
+        many times in dense clusters).  Cluster seeds are visited in index
+        order, so labels — including border points contested between clusters,
+        which go to the earliest-seeded cluster — match the classic
+        per-point-loop implementation exactly.
+        """
+        n = graph.num_rows
+        indptr, indices = graph.indptr, graph.indices
+        degrees = graph.degrees()
+        # The graph excludes self-edges; the classic neighbourhood includes
+        # the point itself, hence the +1.
+        core_mask = (degrees + 1) >= self.min_samples
         labels = np.full(n, NOISE_LABEL, dtype=int)
+        enqueued = np.zeros(n, dtype=bool)
         cluster_id = 0
         for point in range(n):
             if labels[point] != NOISE_LABEL or not core_mask[point]:
                 continue
-            # Breadth-first expansion from this unassigned core point.
             labels[point] = cluster_id
-            frontier = list(neighbour_lists[point])
-            while frontier:
-                neighbour = int(frontier.pop())
-                if labels[neighbour] == NOISE_LABEL:
-                    labels[neighbour] = cluster_id
-                    if core_mask[neighbour]:
-                        frontier.extend(
-                            int(candidate)
-                            for candidate in neighbour_lists[neighbour]
-                            if labels[candidate] == NOISE_LABEL
-                        )
+            enqueued[point] = True
+            frontier = indices[indptr[point] : indptr[point + 1]]
+            frontier = frontier[~enqueued[frontier]]
+            enqueued[frontier] = True
+            while frontier.size:
+                labels[frontier] = cluster_id
+                # Only core members of the level expand the cluster.
+                expanders = frontier[core_mask[frontier]]
+                if expanders.size == 0:
+                    break
+                starts = indptr[expanders]
+                counts = degrees[expanders]
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                # Gather all expander neighbour ranges without a per-point loop.
+                offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                flat = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(offsets[:-1], counts)
+                    + np.repeat(starts, counts)
+                )
+                candidates = indices[flat]
+                candidates = candidates[~enqueued[candidates]]
+                if candidates.size == 0:
+                    break
+                frontier = np.unique(candidates)
+                enqueued[frontier] = True
             cluster_id += 1
-
         return DBSCANResult(labels=labels, num_clusters=cluster_id, core_point_mask=core_mask)

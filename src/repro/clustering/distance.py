@@ -88,6 +88,39 @@ def pairwise_distances(matrix: np.ndarray, metric: str = "euclidean") -> np.ndar
     return distances
 
 
+def elementwise_distances(
+    left: np.ndarray, right: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """Row-aligned distances between two equal-shape stacks of vectors.
+
+    ``result[i] = distance(left[i], right[i])`` — the vectorized counterpart
+    of calling the scalar distance per row (the sparse planner's radius
+    sampler draws random pairs this way).  Follows the zero-vector
+    conventions of :func:`pairwise_distances` for the cosine metric: two zero
+    vectors coincide, a zero vector is maximally distant from everything
+    else.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    if metric == "euclidean":
+        delta = left - right
+        return np.sqrt(np.sum(delta * delta, axis=1))
+    if metric == "cosine":
+        left_norm = np.linalg.norm(left, axis=1)
+        right_norm = np.linalg.norm(right, axis=1)
+        safe_left = np.where(left_norm == 0.0, 1.0, left_norm)
+        safe_right = np.where(right_norm == 0.0, 1.0, right_norm)
+        similarity = np.sum(
+            (left / safe_left[:, None]) * (right / safe_right[:, None]), axis=1
+        )
+        distances = 1.0 - np.clip(similarity, -1.0, 1.0)
+        left_zero = left_norm == 0.0
+        right_zero = right_norm == 0.0
+        distances = np.where(left_zero ^ right_zero, 1.0, distances)
+        return np.where(left_zero & right_zero, 0.0, distances)
+    raise KeyError(f"unknown metric {metric!r}; expected 'euclidean' or 'cosine'")
+
+
 def cross_distances(
     left: np.ndarray, right: np.ndarray, metric: str = "euclidean"
 ) -> np.ndarray:

@@ -93,11 +93,20 @@ class KMeans:
         rng = np.random.default_rng(self.seed)
         centroids = self._init_centroids(data, k, rng)
 
+        # Distances are translation-invariant: centring the data (and the
+        # centroids, below) keeps the expanded-norm identity numerically
+        # stable for data living far from the origin, where |x|^2 + |c|^2
+        # would otherwise swallow the much smaller cross term.
+        offset = data.mean(axis=0)
+        centered = data - offset
+        centered_squared_norms = np.sum(centered * centered, axis=1)
         labels = np.zeros(n, dtype=int)
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
-            distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
-            labels = np.argmin(distances, axis=1)
+            squared = self._squared_distances(
+                centered, centered_squared_norms, centroids - offset
+            )
+            labels = np.argmin(squared, axis=1)
             new_centroids = centroids.copy()
             for cluster in range(k):
                 members = data[labels == cluster]
@@ -108,8 +117,30 @@ class KMeans:
             if movement <= self.tolerance:
                 break
 
-        final_distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
-        inertia = float(np.sum(np.min(final_distances, axis=1) ** 2))
+        final_squared = self._squared_distances(
+            centered, centered_squared_norms, centroids - offset
+        )
+        inertia = float(np.sum(np.min(final_squared, axis=1)))
         return KMeansResult(
             labels=labels, centroids=centroids, inertia=inertia, iterations=iterations
         )
+
+    @staticmethod
+    def _squared_distances(
+        data: np.ndarray, data_squared_norms: np.ndarray, centroids: np.ndarray
+    ) -> np.ndarray:
+        """Squared point-to-centroid distances via the expanded-norm identity.
+
+        ``|x - c|^2 = |x|^2 + |c|^2 - 2 x.c`` keeps the computation at one
+        ``(n, k)`` matrix product instead of broadcasting an ``(n, k, d)``
+        difference tensor — the assignment step's memory no longer scales
+        with the feature dimension.
+        """
+        centroid_squared_norms = np.sum(centroids * centroids, axis=1)
+        squared = (
+            data_squared_norms[:, None]
+            + centroid_squared_norms[None, :]
+            - 2.0 * data @ centroids.T
+        )
+        np.maximum(squared, 0.0, out=squared)
+        return squared

@@ -1,0 +1,566 @@
+"""Sparse epsilon-neighbor graphs: batch planning past the dense O(n^2) wall.
+
+Batch planning — DBSCAN clustering of question feature vectors (paper Section
+III) and covering-based demonstration selection (Sections IV-D/V) — only ever
+asks two questions of the pairwise geometry:
+
+* *which points lie within a radius of each point* (the DBSCAN epsilon
+  neighbourhood, the covering radius ``t``), and
+* *what is a percentile of the pairwise distance distribution* (the automatic
+  ``eps`` / threshold rules).
+
+Neither needs the dense ``(n, n)`` distance matrix that
+:func:`~repro.clustering.distance.pairwise_distances` materialises (~80 GB of
+float64 at n = 100k).  This module answers both questions with bounded memory:
+
+* :class:`NeighborGraph` — a CSR-style epsilon-neighbor graph: for every row
+  point, the column points within ``radius``, stored as two flat index arrays.
+* :func:`build_neighbor_graph` / :func:`build_cross_neighbor_graph` — blocked
+  radius joins: distances are computed in fixed-size row blocks (peak memory
+  ``O(block_size * n)``) and only the edges within the radius are kept.
+* :func:`sample_percentile_radius` — percentile radii resolved from a seeded
+  sample of pairwise distances instead of the full matrix.
+* :class:`NeighborPlanner` — the policy object deciding, per planning request,
+  whether to serve the classic dense matrix (small inputs, where the cached
+  matrix is cheap and the historical code path stays byte-identical) or the
+  sparse blocked path (large inputs, where the dense matrix must never be
+  materialised).
+
+The planner is threaded through the
+:class:`~repro.features.engine.FeatureStore`, the clustering-based batchers,
+:class:`~repro.clustering.dbscan.DBSCAN` and the covering selector; both
+regimes are golden-tested to produce identical plans on fixed seeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.clustering.distance import (
+    cross_distances,
+    elementwise_distances,
+    pairwise_distances,
+)
+
+#: Inputs with at most this many points use the dense distance-matrix path.
+DEFAULT_DENSE_THRESHOLD = 2048
+
+#: Rows per block in blocked radius joins (peak slab = block_size * n floats).
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Pairwise distances sampled when resolving a percentile radius sparsely.
+DEFAULT_SAMPLE_SIZE = 262_144
+
+#: Seed of the radius-sampling RNG (fixed: planning must be reproducible).
+DEFAULT_SAMPLE_SEED = 0
+
+
+@dataclass(frozen=True)
+class NeighborGraph:
+    """A CSR-style epsilon-neighbor graph.
+
+    Row ``i`` owns the column indices ``indices[indptr[i]:indptr[i + 1]]`` —
+    the points within ``radius`` of point ``i`` under ``metric``.  For
+    self-joins (:func:`build_neighbor_graph`) rows and columns index the same
+    point set and self-edges are excluded; for cross joins
+    (:func:`build_cross_neighbor_graph`) rows are the left set (questions) and
+    columns the right set (pool demonstrations).
+
+    Attributes:
+        indptr: ``(num_rows + 1,)`` row pointer array.
+        indices: ``(num_edges,)`` column indices, ascending within each row.
+        num_cols: size of the column point set.
+        radius: the join radius the graph was built with.
+        metric: distance metric of the join.
+        inclusive: whether the radius comparison was ``<=`` (DBSCAN's
+            epsilon rule) or strict ``<`` (the covering rule).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_cols: int
+    radius: float
+    metric: str
+    inclusive: bool
+
+    @property
+    def num_rows(self) -> int:
+        """Number of row points."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of stored edges."""
+        return int(self.indptr[-1])
+
+    def neighbors(self, row: int) -> np.ndarray:
+        """Column indices within the radius of ``row`` (a read-only view)."""
+        return self.indices[self.indptr[row] : self.indptr[row + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Per-row neighbour counts."""
+        return np.diff(self.indptr)
+
+    def transpose(self) -> "NeighborGraph":
+        """The column-to-row view of this graph (e.g. demo -> questions)."""
+        counts = np.bincount(self.indices, minlength=self.num_cols)
+        indptr = np.zeros(self.num_cols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(self.indices, kind="stable")
+        rows = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return NeighborGraph(
+            indptr=indptr,
+            indices=rows[order],
+            num_cols=self.num_rows,
+            radius=self.radius,
+            metric=self.metric,
+            inclusive=self.inclusive,
+        )
+
+    @classmethod
+    def from_dense(
+        cls,
+        distances: np.ndarray,
+        radius: float,
+        metric: str = "euclidean",
+        inclusive: bool = True,
+    ) -> "NeighborGraph":
+        """Build the graph from a precomputed dense distance matrix.
+
+        This is the small-n path: the dense matrix is already cached by the
+        feature engine, so thresholding it reproduces the historical
+        neighbourhoods bit-for-bit.  Self-edges (the diagonal) are excluded
+        for square matrices.
+        """
+        distances = np.asarray(distances)
+        mask = distances <= radius if inclusive else distances < radius
+        if mask.ndim != 2:
+            raise ValueError(f"expected a 2-D distance matrix, got shape {mask.shape}")
+        if mask.shape[0] == mask.shape[1]:
+            np.fill_diagonal(mask, False)
+        rows, cols = np.nonzero(mask)
+        counts = np.bincount(rows, minlength=mask.shape[0])
+        indptr = np.zeros(mask.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(
+            indptr=indptr,
+            indices=cols.astype(np.int64, copy=False),
+            num_cols=mask.shape[1],
+            radius=float(radius),
+            metric=metric,
+            inclusive=inclusive,
+        )
+
+
+def _assemble(
+    blocks_indices: list[np.ndarray], counts: np.ndarray, num_cols: int,
+    radius: float, metric: str, inclusive: bool,
+) -> NeighborGraph:
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = (
+        np.concatenate(blocks_indices)
+        if blocks_indices
+        else np.empty(0, dtype=np.int64)
+    )
+    return NeighborGraph(
+        indptr=indptr,
+        indices=indices.astype(np.int64, copy=False),
+        num_cols=num_cols,
+        radius=float(radius),
+        metric=metric,
+        inclusive=inclusive,
+    )
+
+
+def _zero_row_mask(features: np.ndarray, metric: str) -> np.ndarray | None:
+    """Mask of zero-norm rows, needed to patch cosine self-join slabs."""
+    if metric != "cosine":
+        return None
+    mask = np.linalg.norm(features, axis=1) == 0.0
+    return mask if bool(np.any(mask)) else None
+
+
+def _self_join_slab(
+    features: np.ndarray,
+    start: int,
+    stop: int,
+    metric: str,
+    zero_mask: np.ndarray | None,
+) -> np.ndarray:
+    """One ``(stop - start, n)`` distance slab of the self-join.
+
+    Matches :func:`~repro.clustering.distance.pairwise_distances` semantics:
+    :func:`~repro.clustering.distance.cross_distances` reports two zero
+    vectors as maximally distant under the cosine metric, while the dense
+    self-join treats them as coincident — the patch keeps blocked graphs
+    bit-compatible with dense-matrix graphs.
+    """
+    slab = cross_distances(features[start:stop], features, metric=metric)
+    if zero_mask is not None:
+        block_zero = zero_mask[start:stop]
+        if bool(np.any(block_zero)):
+            slab[np.ix_(block_zero, zero_mask)] = 0.0
+    return slab
+
+
+def build_neighbor_graph(
+    features: np.ndarray,
+    radius: float,
+    metric: str = "euclidean",
+    inclusive: bool = True,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> NeighborGraph:
+    """Blocked epsilon self-join: edges between points within ``radius``.
+
+    Distances are computed one ``(block_size, n)`` slab at a time, so peak
+    memory is bounded by the block size regardless of ``n``; the dense
+    ``(n, n)`` matrix is never materialised.  Self-edges are excluded.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    n = features.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    blocks: list[np.ndarray] = []
+    zero_mask = _zero_row_mask(features, metric)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        slab = _self_join_slab(features, start, stop, metric, zero_mask)
+        mask = slab <= radius if inclusive else slab < radius
+        # Exclude the diagonal of the self-join: the slab's local row r is
+        # global point start + r.
+        local = np.arange(stop - start)
+        mask[local, local + start] = False
+        rows, cols = np.nonzero(mask)
+        counts[start:stop] = np.bincount(rows, minlength=stop - start)
+        blocks.append(cols)
+    return _assemble(blocks, counts, n, radius, metric, inclusive)
+
+
+def build_cross_neighbor_graph(
+    left: np.ndarray,
+    right: np.ndarray,
+    radius: float,
+    metric: str = "euclidean",
+    inclusive: bool = False,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    return_nearest: bool = False,
+) -> tuple[NeighborGraph, np.ndarray | None]:
+    """Blocked radius join between two point sets (questions -> pool).
+
+    Returns the left-to-right :class:`NeighborGraph` and, when
+    ``return_nearest`` is set, the per-left-row index of the nearest right
+    point (``np.argmin`` semantics: first column on exact ties) computed from
+    the same slabs — the covering selector's fallback rule needs it and this
+    avoids a second pass over the distances.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    if left.ndim != 2 or right.ndim != 2:
+        raise ValueError("both inputs must be 2-D matrices")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    if right.shape[0] == 0:
+        raise ValueError("cannot radius-join against an empty right point set")
+    n = left.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    blocks: list[np.ndarray] = []
+    nearest = np.zeros(n, dtype=np.int64) if return_nearest else None
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        slab = cross_distances(left[start:stop], right, metric=metric)
+        mask = slab <= radius if inclusive else slab < radius
+        rows, cols = np.nonzero(mask)
+        counts[start:stop] = np.bincount(rows, minlength=stop - start)
+        blocks.append(cols)
+        if nearest is not None:
+            nearest[start:stop] = np.argmin(slab, axis=1)
+    graph = _assemble(blocks, counts, right.shape[0], radius, metric, inclusive)
+    return graph, nearest
+
+
+def dense_percentile_radius(distances: np.ndarray, percentile: float) -> float:
+    """The historical percentile-radius rule over a dense distance matrix.
+
+    Takes the given percentile of the *positive off-diagonal* entries,
+    falling back to 1.0 when every off-diagonal distance is zero (all points
+    coincide).  This is the single definition shared by DBSCAN's automatic
+    ``eps``, the covering threshold ``t`` and the planner's dense regime —
+    the dense/sparse plan identity rests on all of them using the same rule.
+    """
+    off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
+    positive = off_diagonal[off_diagonal > 0.0]
+    if positive.size == 0:
+        return 1.0
+    return float(np.percentile(positive, percentile))
+
+
+def sample_percentile_radius(
+    features: np.ndarray,
+    percentile: float,
+    metric: str = "euclidean",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = DEFAULT_SAMPLE_SEED,
+    chunk_size: int = 8192,
+) -> float:
+    """Percentile of the pairwise distance distribution from a seeded sample.
+
+    The dense rules (:class:`~repro.clustering.dbscan.DBSCAN`'s automatic
+    ``eps``, the covering threshold ``t``) take a percentile of all positive
+    off-diagonal distances — an O(n^2) computation over an O(n^2) matrix.
+    This resolver never materialises the matrix:
+
+    * **exact regime** — when the full off-diagonal population ``n * (n - 1)``
+      fits in ``sample_size``, every off-diagonal distance is enumerated in
+      blocked slabs; the result is bit-identical to the dense rules (each
+      unordered pair contributes both of its symmetric entries, exactly as
+      the dense off-diagonal does).
+    * **sampled regime** — otherwise, ``sample_size`` ordered pairs
+      ``(i, j), i != j`` are drawn uniformly with a seeded RNG and only those
+      distances are computed (in chunks, memory-bounded).  Deterministic
+      given the seed.
+
+    Returns 1.0 when there are fewer than two points or every considered
+    distance is zero, matching the dense rules' degenerate fallback.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+    if not 0.0 < percentile < 100.0:
+        raise ValueError("percentile must be in (0, 100)")
+    if sample_size < 1:
+        raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+    n = features.shape[0]
+    if n < 2:
+        return 1.0
+    if n * (n - 1) <= sample_size:
+        # Exact regime: the full off-diagonal population fits in the sample
+        # budget, so the percentile is taken over all of it — computed with
+        # the same dense kernel as the historical rules, because BLAS results
+        # are shape-dependent in the last ulp and the radii must be
+        # bit-identical for the dense and sparse plans to coincide.  Memory
+        # stays bounded: n^2 <= sample_size + n, i.e. a few megabytes at the
+        # default budget.
+        return dense_percentile_radius(
+            pairwise_distances(features, metric=metric), percentile
+        )
+    positives: list[np.ndarray] = []
+    rng = np.random.default_rng(seed)
+    left_index = rng.integers(0, n, size=sample_size)
+    offset = rng.integers(1, n, size=sample_size)
+    right_index = (left_index + offset) % n
+    for start in range(0, sample_size, chunk_size):
+        stop = min(start + chunk_size, sample_size)
+        distances = elementwise_distances(
+            features[left_index[start:stop]],
+            features[right_index[start:stop]],
+            metric,
+        )
+        positives.append(distances[distances > 0.0])
+    sampled = np.concatenate(positives)
+    if sampled.size == 0:
+        return 1.0
+    return float(np.percentile(sampled, percentile))
+
+
+#: Type of the dense-matrix provider a planner delegates small inputs to.
+DenseDistanceProvider = Callable[[np.ndarray, str], np.ndarray]
+
+
+@dataclass
+class PlannerStats:
+    """Counters of a :class:`NeighborPlanner`'s routing decisions."""
+
+    dense_graphs: int = 0
+    sparse_graphs: int = 0
+    cross_joins: int = 0
+    dense_radii: int = 0
+    sampled_radii: int = 0
+    edges_built: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (JSON-serializable, for service ``/stats``)."""
+        return {
+            "dense_graphs": self.dense_graphs,
+            "sparse_graphs": self.sparse_graphs,
+            "cross_joins": self.cross_joins,
+            "dense_radii": self.dense_radii,
+            "sampled_radii": self.sampled_radii,
+            "edges_built": self.edges_built,
+        }
+
+
+class NeighborPlanner:
+    """Routing policy between dense-matrix and sparse-graph batch planning.
+
+    Small inputs (``n <= dense_threshold``) keep the historical dense path:
+    the full distance matrix (typically already cached by the feature engine)
+    is thresholded into a graph, and percentile radii are exact — this is the
+    regime every pre-existing test and fixed-seed run lives in.  Large inputs
+    switch to blocked radius joins and sampled radii, so the dense O(n^2)
+    matrix is never materialised above the threshold.
+
+    Args:
+        dense_threshold: maximum point count for the dense regime; ``0``
+            forces the sparse path everywhere (used by the equivalence tests).
+        block_size: rows per slab in blocked joins.
+        sample_size: pairwise distances sampled by the percentile estimator.
+        seed: seed of the sampling RNG.
+        dense_distances: provider of dense matrices for the small regime;
+            defaults to :func:`~repro.clustering.distance.pairwise_distances`.
+            The feature engine injects its per-run matrix cache here.
+    """
+
+    def __init__(
+        self,
+        dense_threshold: int = DEFAULT_DENSE_THRESHOLD,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        seed: int = DEFAULT_SAMPLE_SEED,
+        dense_distances: DenseDistanceProvider | None = None,
+    ) -> None:
+        if dense_threshold < 0:
+            raise ValueError(f"dense_threshold must be >= 0, got {dense_threshold}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.dense_threshold = dense_threshold
+        self.block_size = block_size
+        self.sample_size = sample_size
+        self.seed = seed
+        self._dense_distances = dense_distances or (
+            lambda features, metric: pairwise_distances(features, metric=metric)
+        )
+        self._stats = PlannerStats()
+        self._lock = threading.Lock()
+
+    # -- routing -------------------------------------------------------------
+
+    def use_dense(self, num_points: int) -> bool:
+        """Whether a self-join over ``num_points`` points stays dense."""
+        return num_points <= self.dense_threshold
+
+    def use_dense_cross(self, num_rows: int, num_cols: int) -> bool:
+        """Whether a ``(num_rows, num_cols)`` cross join stays dense.
+
+        The dense cross matrix is allowed as long as its cell count does not
+        exceed that of the largest allowed square matrix.
+        """
+        return num_rows * num_cols <= self.dense_threshold * self.dense_threshold
+
+    def dense_distances(self, features: np.ndarray, metric: str) -> np.ndarray:
+        """The dense pairwise matrix for the small regime (provider-backed)."""
+        return self._dense_distances(features, metric)
+
+    # -- percentile radii ----------------------------------------------------
+
+    def resolve_radius(
+        self, features: np.ndarray, percentile: float, metric: str = "euclidean"
+    ) -> float:
+        """Percentile radius over the pairwise distances of ``features``.
+
+        Dense regime: exact percentile of all positive off-diagonal entries
+        (bit-identical to the historical rules).  Sparse regime: seeded
+        sample via :func:`sample_percentile_radius`.
+        """
+        features = np.asarray(features, dtype=float)
+        n = features.shape[0]
+        if n < 2:
+            return 1.0
+        if self.use_dense(n):
+            with self._lock:
+                self._stats.dense_radii += 1
+            return dense_percentile_radius(
+                self.dense_distances(features, metric), percentile
+            )
+        with self._lock:
+            self._stats.sampled_radii += 1
+        return sample_percentile_radius(
+            features,
+            percentile,
+            metric=metric,
+            sample_size=self.sample_size,
+            seed=self.seed,
+        )
+
+    # -- graphs --------------------------------------------------------------
+
+    def graph(
+        self,
+        features: np.ndarray,
+        radius: float,
+        metric: str = "euclidean",
+        inclusive: bool = True,
+    ) -> NeighborGraph:
+        """Epsilon self-join graph, dense-thresholded or sparse-blocked."""
+        features = np.asarray(features, dtype=float)
+        if self.use_dense(features.shape[0]):
+            graph = NeighborGraph.from_dense(
+                self.dense_distances(features, metric),
+                radius,
+                metric=metric,
+                inclusive=inclusive,
+            )
+            with self._lock:
+                self._stats.dense_graphs += 1
+                self._stats.edges_built += graph.num_edges
+            return graph
+        graph = build_neighbor_graph(
+            features, radius, metric=metric, inclusive=inclusive,
+            block_size=self.block_size,
+        )
+        with self._lock:
+            self._stats.sparse_graphs += 1
+            self._stats.edges_built += graph.num_edges
+        return graph
+
+    def cross_graph(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        radius: float,
+        metric: str = "euclidean",
+        inclusive: bool = False,
+        return_nearest: bool = False,
+    ) -> tuple[NeighborGraph, np.ndarray | None]:
+        """Blocked radius join between two point sets (always memory-bounded)."""
+        graph, nearest = build_cross_neighbor_graph(
+            left, right, radius, metric=metric, inclusive=inclusive,
+            block_size=self.block_size, return_nearest=return_nearest,
+        )
+        with self._lock:
+            self._stats.cross_joins += 1
+            self._stats.edges_built += graph.num_edges
+        return graph, nearest
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> PlannerStats:
+        """A point-in-time copy of the routing counters."""
+        with self._lock:
+            return PlannerStats(**self._stats.to_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NeighborPlanner(dense_threshold={self.dense_threshold}, "
+            f"block_size={self.block_size}, sample_size={self.sample_size})"
+        )
+
+
+#: Module-level default planner used when no caller supplies one.
+_DEFAULT_PLANNER = NeighborPlanner()
+
+
+def default_planner() -> NeighborPlanner:
+    """The process-wide default :class:`NeighborPlanner`."""
+    return _DEFAULT_PLANNER

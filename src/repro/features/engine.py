@@ -18,7 +18,13 @@ subsystem:
 * **one distance matrix per run** — the pairwise distance matrix over a
   feature matrix is cached by content digest, so clustering-based batchers and
   the covering selector share a single computation instead of each calling
-  :func:`~repro.clustering.distance.pairwise_distances`.
+  :func:`~repro.clustering.distance.pairwise_distances`;
+* **one planning policy per store** — the store owns a
+  :class:`~repro.clustering.neighbors.NeighborPlanner` wired to its distance
+  cache: question sets up to the planner's dense threshold keep the cached
+  dense matrix (the historical, byte-identical path), larger ones plan over
+  sparse epsilon-neighbor graphs built in fixed-size blocks so the dense
+  ``(n, n)`` matrix is never materialised.
 
 The store is thread-safe: a service flushes micro-batches from its consumer
 thread while HTTP handler threads read statistics.  Miss computation is
@@ -31,12 +37,13 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.clustering.distance import pairwise_distances
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.fingerprint import pair_fingerprint
 from repro.data.schema import EntityPair
 from repro.features.base import FeatureExtractor
@@ -60,6 +67,9 @@ class FeatureStoreStats:
         evictions: vectors dropped by the LRU bound so far.
         distance_hits / distance_misses: pairwise-distance matrix cache
             outcomes.
+        planning: routing counters of the store's
+            :class:`~repro.clustering.neighbors.NeighborPlanner` (dense vs
+            sparse graphs built, radii sampled, edges kept).
     """
 
     size: int
@@ -69,6 +79,7 @@ class FeatureStoreStats:
     evictions: int
     distance_hits: int
     distance_misses: int
+    planning: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +98,7 @@ class FeatureStoreStats:
             "evictions": self.evictions,
             "distance_hits": self.distance_hits,
             "distance_misses": self.distance_misses,
+            "planning": dict(self.planning),
         }
 
 
@@ -100,6 +112,14 @@ class FeatureStore:
             vector is evicted on overflow.
         distance_cache_size: number of pairwise-distance matrices kept (a run
             needs one; a handful covers interleaved sessions).
+        planner: dense/sparse batch-planning policy; by default a
+            :class:`~repro.clustering.neighbors.NeighborPlanner` wired to this
+            store's distance cache, so dense-regime planning reuses the
+            per-run cached matrix.
+        dense_planning_threshold: convenience override of the default
+            planner's dense threshold (``0`` forces sparse planning
+            everywhere — used by the equivalence tests); ignored when an
+            explicit ``planner`` is supplied.
     """
 
     def __init__(
@@ -107,6 +127,8 @@ class FeatureStore:
         extractor: FeatureExtractor,
         capacity: int = DEFAULT_CAPACITY,
         distance_cache_size: int = DEFAULT_DISTANCE_CACHE_SIZE,
+        planner: NeighborPlanner | None = None,
+        dense_planning_threshold: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -117,6 +139,12 @@ class FeatureStore:
         self.extractor = extractor
         self.capacity = capacity
         self.distance_cache_size = distance_cache_size
+        if planner is None:
+            planner_kwargs = {"dense_distances": self.pairwise_distances}
+            if dense_planning_threshold is not None:
+                planner_kwargs["dense_threshold"] = dense_planning_threshold
+            planner = NeighborPlanner(**planner_kwargs)
+        self.planner = planner
         self._vectors: OrderedDict[str, np.ndarray] = OrderedDict()
         self._distances: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
         self._lock = threading.RLock()
@@ -283,6 +311,7 @@ class FeatureStore:
                 evictions=self._evictions,
                 distance_hits=self._distance_hits,
                 distance_misses=self._distance_misses,
+                planning=self.planner.stats().to_dict(),
             )
 
     def clear(self) -> None:
@@ -303,10 +332,13 @@ def create_feature_store(
     variant: str,
     attributes: tuple[str, ...],
     capacity: int = DEFAULT_CAPACITY,
+    dense_planning_threshold: int | None = None,
 ) -> FeatureStore:
     """Build a :class:`FeatureStore` over one of the paper's extractor variants."""
     from repro.features.factory import create_feature_extractor
 
     return FeatureStore(
-        create_feature_extractor(variant, attributes), capacity=capacity
+        create_feature_extractor(variant, attributes),
+        capacity=capacity,
+        dense_planning_threshold=dense_planning_threshold,
     )

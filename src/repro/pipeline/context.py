@@ -59,10 +59,12 @@ class PipelineContext:
             paid (a :class:`~repro.pipeline.resolver.Resolver` session pays for
             each demonstration only once across many resolve calls).
         feature_store: the columnar feature engine used to featurize (and to
-            serve the run's cached pairwise-distance matrix).  A long-lived
-            session (``Resolver``, the service) pre-sets a shared store so
-            vectors are memoized across calls; ``Featurize`` builds an
-            ephemeral one otherwise.
+            serve the run's cached pairwise-distance matrix and its
+            :class:`~repro.clustering.neighbors.NeighborPlanner`, which routes
+            batch planning between the dense-matrix and sparse-graph
+            regimes).  A long-lived session (``Resolver``, the service)
+            pre-sets a shared store so vectors are memoized across calls;
+            ``Featurize`` builds an ephemeral one otherwise.
         question_features / pool_features: feature matrices (``Featurize``).
         batches: question batches (``BatchQuestions``).
         selection: per-batch demonstrations (``SelectDemonstrations``).

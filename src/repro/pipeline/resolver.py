@@ -169,6 +169,21 @@ class Resolver:
         return self.pool_size
 
     @property
+    def planner(self):
+        """The session's batch-planning policy, or ``None`` before the store
+        exists.
+
+        A :class:`~repro.clustering.neighbors.NeighborPlanner` owned by the
+        session's feature store: resolve calls over small chunks plan against
+        the cached dense matrix, while large chunks (or a large persistent
+        pool on the covering path) plan over sparse epsilon-neighbor graphs
+        with bounded memory.  Exposed so serving deployments can inspect the
+        routing counters next to :meth:`cost` and :attr:`usage`.
+        """
+        store = self.feature_store
+        return store.planner if store is not None else None
+
+    @property
     def feature_store(self) -> FeatureStore | None:
         """The session's columnar feature engine (``None`` until the attribute
         schema is known, i.e. before the first demonstrations arrive).

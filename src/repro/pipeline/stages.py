@@ -16,14 +16,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-import numpy as np
-
 from repro.batching.base import validate_batching
 from repro.batching.factory import create_batcher
 from repro.core.result import RunResult
 from repro.data.schema import MatchLabel
 from repro.evaluation.metrics import evaluate_predictions
-from repro.features.engine import FeatureStore, create_feature_store
+from repro.features.engine import create_feature_store
 from repro.llm.executors import ExecutionBackend
 from repro.pipeline.context import PipelineContext
 from repro.prompting.batch import BatchPromptBuilder
@@ -79,9 +77,12 @@ class Featurize(PipelineStage):
 class BatchQuestions(PipelineStage):
     """Group the questions into batches with the configured strategy.
 
-    Clustering-based strategies consume the engine's cached pairwise
-    question-distance matrix, so batching and the covering selector share one
-    computation per run instead of each calling ``pairwise_distances``.
+    The feature store's :class:`~repro.clustering.neighbors.NeighborPlanner`
+    routes the clustering geometry: question sets up to the planner's dense
+    threshold consume the engine's cached pairwise distance matrix (shared
+    with the covering selector), larger ones cluster over a sparse
+    epsilon-neighbor graph built in fixed-size blocks — the dense ``(n, n)``
+    matrix is never materialised above the threshold.
     """
 
     name = "batch-questions"
@@ -92,18 +93,26 @@ class BatchQuestions(PipelineStage):
         batcher = create_batcher(
             config.batching, batch_size=config.batch_size, seed=config.seed
         )
-        distances = None
-        if batcher.distance_metric is not None and context.feature_store is not None:
-            distances = context.feature_store.pairwise_distances(
-                features, metric=batcher.distance_metric
-            )
-        batches = batcher.create_batches(context.questions, features, distances=distances)
+        # The planner routes dense vs sparse itself; its dense regime reads
+        # the engine's cached matrix (the store wires dense_distances to its
+        # per-run distance cache), so no matrix is prefetched here.
+        planner = (
+            context.feature_store.planner if context.feature_store is not None else None
+        )
+        batches = batcher.create_batches(context.questions, features, planner=planner)
         validate_batching(batches, len(context.questions), config.batch_size)
         context.batches = batches
 
 
 class SelectDemonstrations(PipelineStage):
-    """Select (and pay the labeling cost for) per-batch demonstrations."""
+    """Select (and pay the labeling cost for) per-batch demonstrations.
+
+    The covering strategy consumes the store's cached dense distance matrix
+    only for question sets within the planner's dense threshold; above it the
+    selector plans over blocked sparse radius joins (see
+    :mod:`repro.clustering.neighbors`), never materialising the dense
+    question-pairwise or question-to-pool matrices.
+    """
 
     name = "select-demonstrations"
 
@@ -119,21 +128,18 @@ class SelectDemonstrations(PipelineStage):
             seed=config.seed,
             threshold_percentile=config.threshold_percentile,
         )
-        question_distances = None
-        if (
-            selector.uses_question_distances
-            and context.feature_store is not None
-            and np.asarray(question_features).shape[0] >= 2
-        ):
-            question_distances = context.feature_store.pairwise_distances(
-                question_features, metric=selector.metric
-            )
+        # As in BatchQuestions, the planner is the single routing point: its
+        # dense regime resolves the covering threshold from the engine-cached
+        # matrix, its sparse regime samples radii and radius-joins blockwise.
+        planner = (
+            context.feature_store.planner if context.feature_store is not None else None
+        )
         selection = selector.select(
             batches,
             question_features,
             context.pool,
             pool_features,
-            question_distances=question_distances,
+            planner=planner,
         )
         context.selection = selection
         newly_labeled = (

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.batching.base import QuestionBatch
 from repro.clustering.distance import cross_distances
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.schema import EntityPair
 
 
@@ -98,6 +99,7 @@ class DemonstrationSelector(ABC):
         pool: Sequence[EntityPair],
         pool_features: np.ndarray,
         question_distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> SelectionResult:
         """Select demonstrations for every batch.
 
@@ -110,8 +112,13 @@ class DemonstrationSelector(ABC):
             pool_features: ``(len(pool), d)`` feature matrix of the pool.
             question_distances: optional precomputed pairwise distance matrix
                 over ``question_features`` in this selector's ``metric`` (the
-                feature engine caches one per run); only strategies with
-                :attr:`uses_question_distances` read it.
+                feature engine caches one for small question sets); only
+                strategies with :attr:`uses_question_distances` read it.
+            planner: optional dense/sparse routing policy
+                (:class:`~repro.clustering.neighbors.NeighborPlanner`);
+                strategies that can plan over sparse neighbor graphs (the
+                covering strategy) use it to avoid dense distance matrices on
+                large inputs, the rest ignore it.
         """
 
     # -- shared helpers ----------------------------------------------------

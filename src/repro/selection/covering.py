@@ -16,6 +16,16 @@ The distance threshold ``t`` defaults to the paper's rule: the 8th percentile
 of all pairwise question distances.  Questions that no pool demonstration can
 cover within ``t`` fall back to their single nearest demonstration so that the
 prompt never leaves a question without any reference.
+
+Scaling: the coverage relation "question q is within ``t`` of demonstration
+d" is all the geometry either phase needs, and a
+:class:`~repro.clustering.neighbors.NeighborPlanner` decides how to obtain
+it.  Small problems keep the historical dense ``(n, m)`` question-to-pool
+matrix; large ones build a sparse question→pool radius graph in fixed-size
+row blocks (peak memory bounded by the block size) and resolve ``t`` from a
+seeded distance sample, so neither the ``(n, n)`` nor the ``(n, m)`` matrix
+is ever materialised.  Both paths produce identical selections on the same
+threshold and are golden-tested against each other.
 """
 
 from __future__ import annotations
@@ -26,7 +36,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.batching.base import QuestionBatch
-from repro.clustering.distance import pairwise_distances
+from repro.clustering.distance import cross_distances
+from repro.clustering.neighbors import (
+    NeighborPlanner,
+    default_planner,
+    dense_percentile_radius,
+)
 from repro.data.schema import EntityPair
 from repro.data.serialization import serialize_pair
 from repro.selection.base import DemonstrationSelector, SelectionResult
@@ -56,6 +71,9 @@ class CoveringSelector(DemonstrationSelector):
         threshold: explicit radius overriding the percentile rule.
         tokenizer: tokenizer used to weight demonstrations by token count in
             the Batch Covering phase.
+        planner: dense/sparse routing policy for the coverage geometry;
+            defaults to the process-wide
+            :func:`~repro.clustering.neighbors.default_planner`.
     """
 
     name = "covering"
@@ -69,6 +87,7 @@ class CoveringSelector(DemonstrationSelector):
         threshold_percentile: float = DEFAULT_THRESHOLD_PERCENTILE,
         threshold: float | None = None,
         tokenizer: ApproxTokenizer | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> None:
         super().__init__(num_demonstrations=num_demonstrations, metric=metric, seed=seed)
         if not 0.0 < threshold_percentile < 100.0:
@@ -78,6 +97,7 @@ class CoveringSelector(DemonstrationSelector):
         self.threshold_percentile = threshold_percentile
         self.threshold = threshold
         self.tokenizer = tokenizer or ApproxTokenizer()
+        self.planner = planner
         #: Diagnostics of the last :meth:`select` call (None before the first call).
         self.last_diagnostics: CoveringDiagnostics | None = None
 
@@ -87,27 +107,28 @@ class CoveringSelector(DemonstrationSelector):
         self,
         question_features: np.ndarray,
         question_distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> float:
         """Compute the covering radius ``t`` from the question feature vectors.
 
         Args:
             question_distances: optional precomputed pairwise distance matrix
                 over the question features in ``self.metric`` (the feature
-                engine caches one per run); computed on demand when omitted.
+                engine caches one per run for small question sets).  When
+                omitted, the planner resolves the percentile radius — exactly
+                for small inputs, from a seeded distance sample for large
+                ones — without materialising the ``(n, n)`` matrix.
+            planner: per-call override of the routing policy.
         """
         if self.threshold is not None:
             return self.threshold
         features = np.asarray(question_features, dtype=float)
         if features.shape[0] < 2:
             return 1.0
-        distances = question_distances
-        if distances is None:
-            distances = pairwise_distances(features, metric=self.metric)
-        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
-        positive = off_diagonal[off_diagonal > 0.0]
-        if positive.size == 0:
-            return 1.0
-        return float(np.percentile(positive, self.threshold_percentile))
+        if question_distances is not None:
+            return dense_percentile_radius(question_distances, self.threshold_percentile)
+        active = planner or self.planner or default_planner()
+        return active.resolve_radius(features, self.threshold_percentile, self.metric)
 
     # -- selection ----------------------------------------------------------
 
@@ -118,11 +139,34 @@ class CoveringSelector(DemonstrationSelector):
         pool: Sequence[EntityPair],
         pool_features: np.ndarray,
         question_distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> SelectionResult:
         if not pool:
             raise ValueError("the demonstration pool is empty")
         question_features = np.asarray(question_features, dtype=float)
-        threshold = self.resolve_threshold(question_features, question_distances)
+        pool_features = np.asarray(pool_features, dtype=float)
+        threshold = self.resolve_threshold(
+            question_features, question_distances, planner=planner
+        )
+        active = planner or self.planner or default_planner()
+        num_questions = question_features.shape[0]
+        num_pool = len(pool)
+        if active.use_dense_cross(num_questions, num_pool):
+            return self._select_dense(batches, question_features, pool, pool_features, threshold)
+        return self._select_sparse(
+            batches, question_features, pool, pool_features, threshold, active
+        )
+
+    # -- dense path (small n * m: the historical implementation) -------------
+
+    def _select_dense(
+        self,
+        batches: Sequence[QuestionBatch],
+        question_features: np.ndarray,
+        pool: Sequence[EntityPair],
+        pool_features: np.ndarray,
+        threshold: float,
+    ) -> SelectionResult:
         distances = self._question_to_pool_distances(question_features, pool_features)
         num_questions = distances.shape[0]
         num_pool = distances.shape[1]
@@ -143,11 +187,7 @@ class CoveringSelector(DemonstrationSelector):
             if nearest not in demonstration_set:
                 demonstration_set.append(nearest)
 
-        # Token weights for the Batch Covering phase.
-        token_weights = {
-            demo: max(1.0, float(self.tokenizer.count(serialize_pair(pool[demo]))))
-            for demo in demonstration_set
-        }
+        token_weights = self._token_weights(pool, demonstration_set)
 
         # Phase 2: Batch Covering — per batch, cover its questions with the
         # minimum token weight subset of the demonstration set.
@@ -186,3 +226,108 @@ class CoveringSelector(DemonstrationSelector):
             fallback_questions=len(fallback_questions),
         )
         return self._build_result(batches, per_batch, pool)
+
+    # -- sparse path (blocked radius joins, no dense matrices) ---------------
+
+    def _select_sparse(
+        self,
+        batches: Sequence[QuestionBatch],
+        question_features: np.ndarray,
+        pool: Sequence[EntityPair],
+        pool_features: np.ndarray,
+        threshold: float,
+        planner: NeighborPlanner,
+    ) -> SelectionResult:
+        num_questions = question_features.shape[0]
+        num_pool = len(pool)
+        # One blocked pass over the question-to-pool geometry yields both the
+        # strict-radius coverage graph and each question's nearest pool
+        # demonstration (the phase-1 fallback rule).
+        graph, nearest = planner.cross_graph(
+            question_features,
+            pool_features,
+            threshold,
+            metric=self.metric,
+            inclusive=False,
+            return_nearest=True,
+        )
+        assert nearest is not None
+
+        # Phase 1 over the transposed graph: demo -> covered questions.
+        by_demo = graph.transpose()
+        coverage = [
+            frozenset(by_demo.neighbors(demo).tolist()) for demo in range(num_pool)
+        ]
+        generation = greedy_set_cover(num_questions, coverage, weights=None)
+        demonstration_set = list(generation.selected)
+
+        fallback_questions = sorted(generation.uncovered_items)
+        for question_index in fallback_questions:
+            nearest_demo = int(nearest[question_index])
+            if nearest_demo not in demonstration_set:
+                demonstration_set.append(nearest_demo)
+
+        token_weights = self._token_weights(pool, demonstration_set)
+
+        # Phase 2 reads the same graph: a question's covering demos are its
+        # graph neighbours, intersected with the demonstration set.
+        demo_lookup = set(demonstration_set)
+        covering_demos: dict[int, set[int]] = {}
+        for batch in batches:
+            for question_index in batch.indices:
+                if question_index not in covering_demos:
+                    covering_demos[question_index] = demo_lookup.intersection(
+                        graph.neighbors(question_index).tolist()
+                    )
+
+        per_batch: list[list[int]] = []
+        for batch in batches:
+            batch_questions = list(batch.indices)
+            positions_by_demo: dict[int, list[int]] = {}
+            for position, question_index in enumerate(batch_questions):
+                for demo in covering_demos[question_index]:
+                    positions_by_demo.setdefault(demo, []).append(position)
+            local_coverage = [
+                frozenset(positions_by_demo.get(demo, ()))
+                for demo in demonstration_set
+            ]
+            solution = greedy_set_cover(
+                len(batch_questions),
+                local_coverage,
+                weights=[token_weights[demo] for demo in demonstration_set],
+            )
+            chosen = [demonstration_set[position] for position in solution.selected]
+            for position in sorted(solution.uncovered_items):
+                question_index = batch_questions[position]
+                # One (1, |Ds|) distance row on demand — cheaper than keeping
+                # the full matrix for the rare fallback questions.  Ordering
+                # by demonstration_set keeps the first-minimum tie-break of
+                # the dense path's ``min``.
+                row = cross_distances(
+                    question_features[question_index : question_index + 1],
+                    pool_features[demonstration_set],
+                    metric=self.metric,
+                )[0]
+                nearest_demo = demonstration_set[int(np.argmin(row))]
+                if nearest_demo not in chosen:
+                    chosen.append(nearest_demo)
+            per_batch.append(chosen)
+
+        self.last_diagnostics = CoveringDiagnostics(
+            threshold=threshold,
+            demonstration_set_size=len(demonstration_set),
+            uncovered_questions=len(generation.uncovered_items),
+            fallback_questions=len(fallback_questions),
+        )
+        return self._build_result(batches, per_batch, pool)
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _token_weights(
+        self, pool: Sequence[EntityPair], demonstration_set: Sequence[int]
+    ) -> dict[int, float]:
+        """Token weights of the generated set for the Batch Covering phase."""
+        return {
+            demo: max(1.0, float(self.tokenizer.count(serialize_pair(pool[demo]))))
+            for demo in demonstration_set
+        }

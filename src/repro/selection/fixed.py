@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.batching.base import QuestionBatch
+from repro.clustering.neighbors import NeighborPlanner
 from repro.data.schema import EntityPair
 from repro.selection.base import DemonstrationSelector, SelectionResult
 
@@ -30,6 +31,7 @@ class FixedDemonstrationSelector(DemonstrationSelector):
         pool: Sequence[EntityPair],
         pool_features: np.ndarray,
         question_distances: np.ndarray | None = None,
+        planner: NeighborPlanner | None = None,
     ) -> SelectionResult:
         if not pool:
             raise ValueError("the demonstration pool is empty")

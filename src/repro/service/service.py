@@ -77,8 +77,9 @@ class ServiceStats:
         pool_size / num_labeled: demonstration-pool accounting of the session.
         cost: cumulative session :class:`CostBreakdown`.
         feature_store: snapshot of the session's columnar feature-vector
-            store (size, hit rate, evictions); ``None`` before the store
-            exists (no demonstrations yet).
+            store (size, hit rate, evictions, and the ``planning`` routing
+            counters of its sparse-neighbor-graph planner); ``None`` before
+            the store exists (no demonstrations yet).
         uptime_seconds: seconds since :meth:`ResolutionService.start` (0.0
             before).
         throughput_pairs_per_second: ``resolved / uptime_seconds``.

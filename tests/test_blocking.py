@@ -62,6 +62,34 @@ class TestTokenOverlapBlocker:
         result = TokenOverlapBlocker().block(table_a, table_b)
         assert result.total_possible_pairs == len(table_a) * len(table_b)
 
+    def test_duplicate_record_ids_in_table_b(self):
+        # Two B records share a record_id but have different contents; token
+        # sets must be keyed by position (like the posting lists), not by id —
+        # keying by id used to overwrite one record's tokens with the other's.
+        attributes = ("name", "brand")
+        table_a = Table(
+            "A",
+            attributes,
+            (
+                Record("A-0", {"name": "samsung led tv 40 inch", "brand": "samsung"}),
+                Record("A-1", {"name": "sony wireless headphones", "brand": "sony"}),
+            ),
+        )
+        table_b = Table(
+            "B",
+            attributes,
+            (
+                Record("B-dup", {"name": "samsung 40 inch led television", "brand": "samsung"}),
+                Record("B-dup", {"name": "sony headphones wireless over ear", "brand": "sony"}),
+            ),
+        )
+        result = TokenOverlapBlocker(min_overlap=2).block(table_a, table_b)
+        surviving = {(p.left.record_id, p.right.values["name"]) for p in result.candidates}
+        assert ("A-0", "samsung 40 inch led television") in surviving
+        assert ("A-1", "sony headphones wireless over ear") in surviving
+        # The unrelated cross pairs must not survive the duplicate-id merge.
+        assert ("A-0", "sony headphones wireless over ear") not in surviving
+
     def test_recall_on_generated_dataset(self, wa_dataset):
         blocker = TokenOverlapBlocker(attributes=("title", "brand", "modelno"), min_overlap=2)
         result = blocker.block(wa_dataset.table_a, wa_dataset.table_b)

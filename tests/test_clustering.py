@@ -10,6 +10,7 @@ from repro.clustering.dbscan import DBSCAN, NOISE_LABEL
 from repro.clustering.distance import (
     cosine_distance,
     cross_distances,
+    elementwise_distances,
     euclidean_distance,
     get_distance_function,
     pairwise_distances,
@@ -56,6 +57,26 @@ class TestDistances:
         matrix = cross_distances(left, right)
         assert matrix.shape == (8, 6)
         assert matrix[0, 0] == pytest.approx(euclidean_distance(left[0], right[0]), abs=1e-8)
+
+    def test_elementwise_matches_pairwise_conventions(self):
+        # elementwise_distances(left, right)[i] must equal the corresponding
+        # pairwise/cross entries, including the cosine zero-vector rules.
+        rng = np.random.default_rng(4)
+        left = rng.normal(size=(6, 3))
+        right = rng.normal(size=(6, 3))
+        left[0] = 0.0
+        right[0] = 0.0  # zero-zero -> 0.0 under cosine
+        left[1] = 0.0  # zero vs non-zero -> 1.0 under cosine
+        for metric in ("euclidean", "cosine"):
+            expected = pairwise_distances(np.vstack([left, right]), metric=metric)[
+                np.arange(6), np.arange(6) + 6
+            ]
+            actual = elementwise_distances(left, right, metric=metric)
+            assert np.allclose(actual, expected, atol=1e-12)
+        assert elementwise_distances(left[:1], right[:1], metric="cosine")[0] == 0.0
+        assert elementwise_distances(left[1:2], right[1:2], metric="cosine")[0] == 1.0
+        with pytest.raises(KeyError):
+            elementwise_distances(left, right, metric="manhattan")
 
     def test_unknown_metric_raises(self):
         with pytest.raises(KeyError):
@@ -169,3 +190,13 @@ class TestKMeans:
     def test_empty_input(self):
         result = KMeans(num_clusters=3).fit(np.zeros((0, 2)))
         assert result.labels.size == 0
+
+    def test_far_from_origin_blobs(self):
+        # The expanded-norm assignment centres the data first, so clusters
+        # separated by ~1 unit are still resolved at a ~1e7 common offset
+        # (|x|^2 + |c|^2 would otherwise swallow the cross term).
+        data = two_blobs(15, separation=5.0) + 1e7
+        result = KMeans(num_clusters=2, seed=0).fit(data)
+        assert len(set(result.labels[:15])) == 1
+        assert len(set(result.labels[15:])) == 1
+        assert result.labels[0] != result.labels[-1]

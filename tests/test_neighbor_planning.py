@@ -1,0 +1,356 @@
+"""Tests for the sparse neighbor-graph planning subsystem.
+
+The contract under test is *equivalence*: for any input, planning over the
+sparse blocked path (forced via ``NeighborPlanner(dense_threshold=0)``) must
+produce exactly the plans of the historical dense-matrix path — DBSCAN
+labels, covering selections, set-cover solutions and end-to-end pipeline
+results alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batching.diversity_batching import DiversityQuestionBatcher
+from repro.clustering.dbscan import DBSCAN
+from repro.clustering.distance import cross_distances, pairwise_distances
+from repro.clustering.neighbors import (
+    NeighborGraph,
+    NeighborPlanner,
+    build_cross_neighbor_graph,
+    build_neighbor_graph,
+    default_planner,
+    sample_percentile_radius,
+)
+from repro.data.schema import EntityPair, MatchLabel, Record
+from repro.selection.covering import CoveringSelector
+
+SPARSE = dict(dense_threshold=0, block_size=13)
+
+
+def random_features(seed, n=None, d=None, degenerate=True):
+    rng = np.random.default_rng(seed)
+    n = n if n is not None else int(rng.integers(2, 120))
+    d = d if d is not None else int(rng.integers(1, 9))
+    features = rng.normal(size=(n, d))
+    if degenerate:
+        if seed % 4 == 0:
+            features[: n // 3] = features[0]  # duplicate rows
+        if seed % 7 == 0:
+            features[:] = 0.0  # all-zero vectors
+        elif seed % 5 == 0:
+            features[n // 2 :] = 0.0  # mixed zero rows
+    return features
+
+
+def make_pair(index, label=MatchLabel.MATCH):
+    values = {"name": f"item {index}", "price": str(index)}
+    return EntityPair(
+        pair_id=f"p{index}",
+        left=Record(record_id=f"l{index}", values=values),
+        right=Record(record_id=f"r{index}", values=values),
+        label=label,
+    )
+
+
+class TestNeighborGraph:
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+    @pytest.mark.parametrize("inclusive", [True, False])
+    def test_blocked_graph_matches_dense_adjacency(self, metric, inclusive):
+        for seed in range(8):
+            features = random_features(seed)
+            distances = pairwise_distances(features, metric=metric)
+            positive = distances[distances > 0]
+            radius = float(np.median(positive)) if positive.size else 0.5
+            graph = build_neighbor_graph(
+                features, radius, metric=metric, inclusive=inclusive, block_size=7
+            )
+            dense = NeighborGraph.from_dense(
+                distances, radius, metric=metric, inclusive=inclusive
+            )
+            assert np.array_equal(graph.indptr, dense.indptr)
+            assert np.array_equal(graph.indices, dense.indices)
+
+    def test_neighbors_sorted_and_self_excluded(self):
+        features = random_features(3)
+        graph = build_neighbor_graph(features, 1.0, block_size=5)
+        for row in range(graph.num_rows):
+            neighbours = graph.neighbors(row)
+            assert row not in neighbours
+            assert np.array_equal(neighbours, np.sort(neighbours))
+
+    def test_empty_and_single_point(self):
+        empty = build_neighbor_graph(np.zeros((0, 3)), 1.0)
+        assert empty.num_rows == 0 and empty.num_edges == 0
+        single = build_neighbor_graph(np.zeros((1, 3)), 1.0)
+        assert single.num_rows == 1 and single.num_edges == 0
+
+    def test_transpose_roundtrip(self):
+        features = random_features(9)
+        graph = build_neighbor_graph(features, 1.5, block_size=11)
+        transposed = graph.transpose()
+        assert transposed.num_rows == graph.num_cols
+        back = transposed.transpose()
+        assert np.array_equal(back.indptr, graph.indptr)
+        assert np.array_equal(back.indices, graph.indices)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+    def test_cross_graph_matches_dense_and_nearest(self, metric):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            left = random_features(seed, n=int(rng.integers(1, 60)))
+            right = random_features(
+                seed + 100, n=int(rng.integers(1, 40)), d=left.shape[1]
+            )
+            distances = cross_distances(left, right, metric=metric)
+            radius = float(np.median(distances))
+            graph, nearest = build_cross_neighbor_graph(
+                left, right, radius, metric=metric, block_size=9, return_nearest=True
+            )
+            rows, cols = np.nonzero(distances < radius)
+            assert np.array_equal(graph.indices, cols)
+            assert np.array_equal(graph.degrees(), np.bincount(rows, minlength=len(left)))
+            assert np.array_equal(nearest, np.argmin(distances, axis=1))
+
+    def test_cross_graph_rejects_empty_right(self):
+        with pytest.raises(ValueError):
+            build_cross_neighbor_graph(np.zeros((2, 3)), np.zeros((0, 3)), 1.0)
+
+
+class TestSamplePercentileRadius:
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+    def test_exact_regime_matches_dense_percentile(self, metric):
+        for seed in range(8):
+            features = random_features(seed)
+            n = features.shape[0]
+            distances = pairwise_distances(features, metric=metric)
+            off = distances[~np.eye(n, dtype=bool)]
+            positive = off[off > 0.0]
+            expected = (
+                1.0 if positive.size == 0 else float(np.percentile(positive, 15.0))
+            )
+            assert sample_percentile_radius(features, 15.0, metric=metric) == expected
+
+    def test_sampled_regime_deterministic_and_positive(self):
+        features = np.random.default_rng(0).normal(size=(300, 4))
+        first = sample_percentile_radius(features, 10.0, sample_size=2000, seed=3)
+        second = sample_percentile_radius(features, 10.0, sample_size=2000, seed=3)
+        other_seed = sample_percentile_radius(features, 10.0, sample_size=2000, seed=4)
+        assert first == second > 0.0
+        assert other_seed > 0.0
+
+    def test_degenerate_inputs(self):
+        assert sample_percentile_radius(np.zeros((0, 3)), 15.0) == 1.0
+        assert sample_percentile_radius(np.zeros((1, 3)), 15.0) == 1.0
+        assert sample_percentile_radius(np.zeros((40, 3)), 15.0) == 1.0
+        # identical points in the sampled regime: every distance is zero
+        identical = np.ones((200, 2))
+        assert sample_percentile_radius(identical, 15.0, sample_size=100) == 1.0
+
+    def test_validation(self):
+        features = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            sample_percentile_radius(features, 0.0)
+        with pytest.raises(ValueError):
+            sample_percentile_radius(features, 15.0, sample_size=0)
+        with pytest.raises(ValueError):
+            sample_percentile_radius(np.zeros(3), 15.0)
+
+
+class TestNeighborPlanner:
+    def test_routing_thresholds(self):
+        planner = NeighborPlanner(dense_threshold=10)
+        assert planner.use_dense(10) and not planner.use_dense(11)
+        assert planner.use_dense_cross(10, 10) and not planner.use_dense_cross(101, 1)
+        forced = NeighborPlanner(dense_threshold=0)
+        assert not forced.use_dense(1)
+        assert not forced.use_dense_cross(1, 1)
+
+    def test_resolve_radius_matches_dense_rule(self):
+        features = random_features(2)
+        n = features.shape[0]
+        distances = pairwise_distances(features)
+        off = distances[~np.eye(n, dtype=bool)]
+        expected = float(np.percentile(off[off > 0.0], 15.0))
+        dense = NeighborPlanner(dense_threshold=4096)
+        sparse = NeighborPlanner(**SPARSE)
+        assert dense.resolve_radius(features, 15.0) == expected
+        # the sparse planner's exact regime reproduces the same value
+        assert sparse.resolve_radius(features, 15.0) == expected
+
+    def test_stats_counters(self):
+        features = random_features(1, n=20)
+        planner = NeighborPlanner(**SPARSE)
+        planner.graph(features, 1.0)
+        planner.resolve_radius(features, 15.0)
+        planner.cross_graph(features, features, 1.0)
+        stats = planner.stats().to_dict()
+        assert stats["sparse_graphs"] == 1
+        assert stats["dense_graphs"] == 0
+        assert stats["cross_joins"] == 1
+        assert stats["edges_built"] > 0
+        dense = NeighborPlanner(dense_threshold=4096)
+        dense.graph(features, 1.0)
+        assert dense.stats().dense_graphs == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeighborPlanner(dense_threshold=-1)
+        with pytest.raises(ValueError):
+            NeighborPlanner(block_size=0)
+        with pytest.raises(ValueError):
+            NeighborPlanner(sample_size=0)
+
+    def test_default_planner_is_shared(self):
+        assert default_planner() is default_planner()
+
+
+class TestSparseDBSCANEquivalence:
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+    @pytest.mark.parametrize("min_samples", [1, 2, 3])
+    def test_labels_match_dense_across_seeds(self, metric, min_samples):
+        for seed in range(12):
+            features = random_features(seed)
+            dense = DBSCAN(min_samples=min_samples, metric=metric).fit(features)
+            sparse = DBSCAN(
+                min_samples=min_samples,
+                metric=metric,
+                planner=NeighborPlanner(**SPARSE),
+            ).fit(features)
+            assert np.array_equal(dense.labels, sparse.labels)
+            assert dense.num_clusters == sparse.num_clusters
+            assert np.array_equal(dense.core_point_mask, sparse.core_point_mask)
+
+    def test_explicit_eps_and_degenerate_inputs(self):
+        planner = NeighborPlanner(**SPARSE)
+        empty = DBSCAN(planner=planner).fit(np.zeros((0, 2)))
+        assert empty.num_clusters == 0
+        single = DBSCAN(planner=planner).fit(np.zeros((1, 2)))
+        assert single.labels.size == 1
+        blob = np.zeros((10, 2))
+        dense = DBSCAN(eps=0.5, min_samples=2).fit(blob)
+        sparse = DBSCAN(eps=0.5, min_samples=2, planner=planner).fit(blob)
+        assert np.array_equal(dense.labels, sparse.labels)
+
+    def test_precomputed_distances_stay_dense(self):
+        features = random_features(6, n=30)
+        distances = pairwise_distances(features)
+        planner = NeighborPlanner(**SPARSE)
+        with_matrix = DBSCAN(min_samples=2, planner=planner).fit(
+            features, distances=distances
+        )
+        reference = DBSCAN(min_samples=2).fit(features)
+        assert np.array_equal(with_matrix.labels, reference.labels)
+        # supplying the matrix must not build sparse graphs
+        assert planner.stats().sparse_graphs == 0
+
+
+class TestSparseCoveringEquivalence:
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+    def test_selections_match_dense_across_seeds(self, metric):
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(2, 80))
+            m = int(rng.integers(1, 50))
+            d = int(rng.integers(1, 7))
+            question_features = random_features(seed, n=n, d=d)
+            pool_features = random_features(seed + 500, n=m, d=d)
+            questions = [make_pair(i) for i in range(n)]
+            pool = [
+                make_pair(1000 + i, MatchLabel(int(rng.integers(0, 2))))
+                for i in range(m)
+            ]
+            batches = DiversityQuestionBatcher(batch_size=5, seed=seed).create_batches(
+                questions, question_features
+            )
+            dense_selector = CoveringSelector(metric=metric)
+            sparse_selector = CoveringSelector(
+                metric=metric, planner=NeighborPlanner(**SPARSE)
+            )
+            dense = dense_selector.select(
+                batches, question_features, pool, pool_features
+            )
+            sparse = sparse_selector.select(
+                batches, question_features, pool, pool_features
+            )
+            assert dense.labeled_pool_indices == sparse.labeled_pool_indices
+            for dense_batch, sparse_batch in zip(dense.per_batch, sparse.per_batch):
+                assert dense_batch.pool_indices == sparse_batch.pool_indices
+            assert dense_selector.last_diagnostics == sparse_selector.last_diagnostics
+
+    def test_single_question_and_pool(self):
+        questions = [make_pair(0)]
+        pool = [make_pair(1, MatchLabel.NON_MATCH)]
+        features = np.zeros((1, 3))
+        batches = DiversityQuestionBatcher(batch_size=4).create_batches(
+            questions, features
+        )
+        selector = CoveringSelector(planner=NeighborPlanner(**SPARSE))
+        result = selector.select(batches, features, pool, np.zeros((1, 3)))
+        assert result.per_batch[0].pool_indices == (0,)
+
+    def test_empty_pool_raises(self):
+        selector = CoveringSelector(planner=NeighborPlanner(**SPARSE))
+        with pytest.raises(ValueError):
+            selector.select([], np.zeros((2, 2)), [], np.zeros((0, 2)))
+
+    def test_resolve_threshold_sparse_matches_dense(self):
+        features = random_features(11)
+        dense = CoveringSelector().resolve_threshold(features)
+        sparse = CoveringSelector(
+            planner=NeighborPlanner(**SPARSE)
+        ).resolve_threshold(features)
+        assert dense == sparse
+
+
+class TestEndToEndGoldenEquivalence:
+    """Fixed-seed BatchER runs are byte-identical with sparse planning forced."""
+
+    @pytest.mark.parametrize("extractor", ["lr", "semantic"])
+    def test_batcher_run_identical_with_sparse_planning(self, beer_dataset, extractor):
+        from repro.core.batcher import BatchER
+        from repro.core.config import BatcherConfig
+        from repro.features.engine import FeatureStore
+        from repro.features.factory import create_feature_extractor
+        from repro.pipeline.context import PipelineContext
+        from repro.pipeline.pipeline import Pipeline
+
+        config = BatcherConfig(feature_extractor=extractor, seed=0, max_questions=60)
+        reference = BatchER(config).run(beer_dataset)
+
+        context = PipelineContext.from_dataset(beer_dataset, config)
+        context.feature_store = FeatureStore(
+            create_feature_extractor(extractor, beer_dataset.attributes),
+            dense_planning_threshold=0,  # force sparse planning everywhere
+        )
+        Pipeline.default().run(context)
+        sparse = context.result
+
+        assert sparse is not None
+        assert sparse.predictions == reference.predictions
+        assert sparse.metrics == reference.metrics
+        assert sparse.cost == reference.cost
+        assert sparse.num_batches == reference.num_batches
+        assert sparse.num_unanswered == reference.num_unanswered
+        assert sparse.summary() == reference.summary()
+        planning = context.feature_store.stats().planning
+        assert planning["sparse_graphs"] >= 1
+        assert planning["dense_graphs"] == 0
+
+    def test_resolver_uses_store_planner(self, beer_dataset):
+        from repro.core.config import BatcherConfig
+        from repro.pipeline.resolver import Resolver
+
+        resolver = Resolver.from_dataset(
+            beer_dataset, config=BatcherConfig(max_questions=None)
+        )
+        assert resolver.planner is not None
+        resolver.resolve(list(beer_dataset.splits.test)[:10])
+        stats = resolver.feature_store.stats()
+        assert "planning" in stats.to_dict()
+        # Small chunks stay in the dense regime by default — the planner
+        # routes (and counts) dense planning, never building a sparse graph,
+        # and its dense provider populates the engine's distance cache.
+        assert stats.planning["sparse_graphs"] == 0
+        assert stats.planning["dense_graphs"] >= 1
+        assert stats.planning["dense_radii"] >= 1
+        assert stats.distance_misses >= 1

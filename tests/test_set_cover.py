@@ -4,7 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.selection.set_cover import coverage_value, greedy_set_cover
+from repro.selection.set_cover import (
+    coverage_value,
+    greedy_set_cover,
+    greedy_set_cover_eager,
+)
 
 
 class TestCoverageValue:
@@ -102,3 +106,67 @@ class TestGreedySetCover:
         solution = greedy_set_cover(15, candidates, weights)
         expected = sum(weights[index] for index in solution.selected)
         assert solution.total_weight == pytest.approx(expected)
+
+
+class TestDeterministicTieBreaking:
+    def test_ties_resolve_to_lowest_candidate_index(self):
+        # Candidates 1 and 3 tie exactly on (efficiency, gain); the lowest
+        # index must win, deterministically.
+        coverage = [{0}, {0, 1}, {2}, {0, 1}]
+        solution = greedy_set_cover(3, coverage)
+        assert solution.selected[0] == 1
+        eager = greedy_set_cover_eager(3, coverage)
+        assert eager.selected[0] == 1
+
+    def test_weighted_efficiency_tie_prefers_higher_gain(self):
+        # Equal efficiency (2/2 == 1/1) but different gain: the higher gain
+        # wins; on a full tie the lower index wins.
+        coverage = [{0}, {0, 1}, {0, 1}]
+        weights = [1.0, 2.0, 2.0]
+        for implementation in (greedy_set_cover, greedy_set_cover_eager):
+            solution = implementation(2, coverage, weights)
+            assert solution.selected[0] == 1
+
+
+class TestLazyMatchesEager:
+    def test_known_instances(self):
+        instances = [
+            (4, [{0, 1}, {1, 2}, {3}], None),
+            (4, [{0, 1, 2, 3}, {0, 1}, {2, 3}], [100.0, 1.0, 1.0]),
+            (3, [{0}, {1}], None),
+            (0, [{0, 1}], None),
+            (5, [], None),
+        ]
+        for num_items, coverage, weights in instances:
+            assert greedy_set_cover(num_items, coverage, weights) == greedy_set_cover_eager(
+                num_items, coverage, weights
+            )
+
+    @given(
+        num_items=st.integers(0, 25),
+        candidates=st.lists(
+            st.frozensets(st.integers(0, 24), max_size=8), max_size=25
+        ),
+        weight_choices=st.lists(
+            st.sampled_from([1.0, 1.0, 2.0, 3.5, 0.25]), min_size=25, max_size=25
+        ),
+        use_weights=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_identical_solutions(
+        self, num_items, candidates, weight_choices, use_weights
+    ):
+        weights = weight_choices[: len(candidates)] if use_weights else None
+        lazy = greedy_set_cover(num_items, candidates, weights)
+        eager = greedy_set_cover_eager(num_items, candidates, weights)
+        assert lazy.selected == eager.selected
+        assert lazy.covered_items == eager.covered_items
+        assert lazy.uncovered_items == eager.uncovered_items
+        assert lazy.total_weight == pytest.approx(eager.total_weight)
+
+    def test_validation_matches(self):
+        for implementation in (greedy_set_cover, greedy_set_cover_eager):
+            with pytest.raises(ValueError):
+                implementation(2, [{0}], weights=[1.0, 2.0])
+            with pytest.raises(ValueError):
+                implementation(2, [{0}], weights=[0.0])
