@@ -1,0 +1,196 @@
+"""Benchmark: the sharded, checkpointable run engine vs. the monolithic path.
+
+Three arms over one fixed-seed benchmark run:
+
+1. **unsharded** — the historical single-pass ``BatchER.run`` (the oracle);
+2. **sharded** — the same run split into shards by the
+   :class:`~repro.engine.engine.RunEngine`, executed concurrently with
+   per-batch checkpoints.  The benchmark *asserts* the ``RunResult`` is
+   byte-identical to the oracle;
+3. **crash + resume** — the sharded run killed mid-flight with a
+   deterministic :class:`~repro.engine.faults.CrashingLLM`, then resumed from
+   its checkpoints.  The benchmark *asserts* the resumed result is again
+   byte-identical and that the crash + resume together made exactly as many
+   LLM calls as the oracle — zero repeated (re-paid) calls.
+
+Like the other benchmarks, the run emits ``BENCH_engine.json`` in the
+repository root with the headline numbers; the file is a machine-local
+artifact (gitignored), not a tracked result.
+
+Standalone (the CI smoke invocation uses ``--small``)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_run.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.data.registry import load_dataset
+from repro.engine import CrashingLLM, InjectedFault, RunEngine
+from repro.llm.executors import ConcurrentExecutor
+from repro.llm.registry import create_llm
+
+#: Where the headline numbers land (repository root).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _assert_identical(result, oracle, arm: str) -> None:
+    if result != oracle or repr(result) != repr(oracle):
+        raise AssertionError(f"{arm}: RunResult diverges from the unsharded oracle")
+
+
+def run_engine_bench(
+    dataset_name: str,
+    seed: int,
+    shards: int,
+    max_questions: int | None,
+    data_seed: int,
+    scale: float,
+) -> dict[str, object]:
+    dataset = load_dataset(dataset_name, seed=data_seed, scale=scale)
+    config = BatcherConfig(seed=seed, max_questions=max_questions)
+
+    oracle, unsharded_seconds = _timed(lambda: BatchER(config).run(dataset))
+    total_calls = oracle.cost.num_llm_calls
+    print(
+        f"unsharded  {unsharded_seconds:6.2f}s  {total_calls} LLM calls  "
+        f"f1={oracle.metrics.f1:.2f}",
+        file=sys.stderr,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ConcurrentExecutor(shards) as executor:
+            engine = RunEngine(
+                config=config,
+                executor=executor,
+                num_shards=shards,
+                checkpoint_dir=tmp,
+            )
+            sharded, sharded_seconds = _timed(lambda: engine.run(dataset))
+        _assert_identical(sharded, oracle, f"sharded x{shards}")
+        sharded_report = engine.last_report.to_dict()
+    print(
+        f"sharded    {sharded_seconds:6.2f}s  shards={shards}  "
+        f"sizes={sharded_report['shard_sizes']}",
+        file=sys.stderr,
+    )
+
+    # Crash mid-flight, then resume from the checkpoints.
+    crash_at = max(1, total_calls // 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        llm = CrashingLLM(
+            create_llm(config.model, seed=config.seed, temperature=config.temperature),
+            fail_at_call=crash_at,
+        )
+        engine = RunEngine(config=config, llm=llm, num_shards=shards, checkpoint_dir=tmp)
+        crashed = False
+        try:
+            engine.run(dataset)
+        except InjectedFault:
+            crashed = True
+        if not crashed:
+            raise AssertionError("the injected fault did not fire")
+        calls_before_resume = llm.successful_calls
+        resumed, resume_seconds = _timed(lambda: engine.run(dataset))
+        _assert_identical(resumed, oracle, "crash+resume")
+        repeated_calls = llm.successful_calls - total_calls
+        if repeated_calls != 0:
+            raise AssertionError(
+                f"resume repeated {repeated_calls} LLM calls; the checkpoint "
+                "contract is zero"
+            )
+        resume_report = engine.last_report.to_dict()
+    print(
+        f"crash@{crash_at} + resume  {resume_seconds:6.2f}s  "
+        f"checkpointed={calls_before_resume}  repeated=0",
+        file=sys.stderr,
+    )
+
+    return {
+        "workload": {
+            "dataset": dataset_name,
+            "data_seed": data_seed,
+            "scale": scale,
+            "seed": seed,
+            "max_questions": max_questions,
+            "questions": oracle.num_questions,
+            "batches": oracle.num_batches,
+        },
+        "unsharded": {
+            "seconds": round(unsharded_seconds, 4),
+            "llm_calls": total_calls,
+            "f1": round(oracle.metrics.f1, 2),
+        },
+        "sharded": {
+            "seconds": round(sharded_seconds, 4),
+            "report": sharded_report,
+            "identical_to_unsharded": True,
+        },
+        "crash_resume": {
+            "crash_at_call": crash_at,
+            "calls_checkpointed_before_resume": calls_before_resume,
+            "resume_seconds": round(resume_seconds, 4),
+            "repeated_calls_after_resume": repeated_calls,
+            "report": resume_report,
+            "identical_to_unsharded": True,
+        },
+        "headline": {
+            "shards": shards,
+            "llm_calls": total_calls,
+            "identical": True,
+            "repeated_calls_after_resume": repeated_calls,
+            "unsharded_seconds": round(unsharded_seconds, 4),
+            "sharded_seconds": round(sharded_seconds, 4),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="beer")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--data-seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--max-questions", type=int, default=None, help="cap on evaluated questions"
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="tiny run for the CI smoke invocation (the identity and "
+        "zero-repeat oracles still assert)",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=REPORT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    max_questions = 32 if args.small and args.max_questions is None else args.max_questions
+    report = run_engine_bench(
+        dataset_name=args.dataset,
+        seed=args.seed,
+        shards=args.shards,
+        max_questions=max_questions,
+        data_seed=args.data_seed,
+        scale=args.scale,
+    )
+    args.report.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@ echo "== compileall =="
 python -m compileall -q src
 
 echo "== tier-1 tests =="
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
+# --durations=15 keeps the slowest tests visible so suite latency creep is
+# caught in review, not discovered months later.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q --durations=15 "$@"
 
 echo "== service smoke test (repro-serve --self-test) =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.cli --self-test
@@ -29,5 +31,14 @@ echo "== batch planning smoke benchmark (BENCH_planning.json) =="
 # BENCH_planning.json with small-n numbers.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_batch_planning.py \
   --small --min-speedup 0 --report "$(mktemp)" > /dev/null
+
+echo "== sharded run engine smoke benchmark (BENCH_engine.json) =="
+# --small: a crash-resume oracle, not a stopwatch — it *asserts* that the
+# sharded run is byte-identical to the unsharded path and that a run killed
+# mid-flight resumes from its checkpoints with zero repeated LLM calls.
+# The smoke report goes to a scratch file so it never clobbers a full-size
+# BENCH_engine.json with small-n numbers.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_sharded_run.py \
+  --small --report "$(mktemp)" > /dev/null
 
 echo "== OK =="

@@ -12,12 +12,13 @@ _readme = Path(__file__).parent / "README.md"
 
 setup(
     name="batcher-repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Cost-Effective In-Context Learning for Entity "
         "Resolution: A Design Space Exploration' (ICDE 2024) with a staged "
-        "pipeline API, concurrent LLM dispatch, a streaming Resolver and a "
-        "micro-batching resolution server"
+        "pipeline API, concurrent LLM dispatch, a streaming Resolver, a "
+        "micro-batching resolution server and a sharded, checkpointable "
+        "run engine"
     ),
     long_description=_readme.read_text(encoding="utf-8") if _readme.exists() else "",
     long_description_content_type="text/markdown",

@@ -23,6 +23,12 @@ It provides:
 * supervised PLM-style baselines and the ManualPrompt baseline
   (:mod:`repro.baselines`),
 * the end-to-end :class:`repro.core.BatchER` facade over the pipeline,
+* the sharded, checkpointable run engine (:mod:`repro.engine`): a
+  :class:`RunEngine` that splits a run into deterministic shards of whole
+  batches, executes them serially or concurrently with per-batch JSONL
+  checkpoints, and merges byte-identical results — a killed run resumes with
+  zero repeated LLM calls (fault-injection tested via
+  :mod:`repro.engine.faults`),
 * the online serving subsystem (:mod:`repro.service`): a micro-batching
   :class:`ResolutionService` aggregating concurrent requests into shared
   batch prompts, with a pair-level result cache, cost-aware admission and a
@@ -57,6 +63,7 @@ from repro.core.batcher import BatchER
 from repro.core.result import RunResult
 from repro.core.standard import StandardPromptingER
 from repro.data.registry import available_datasets, load_dataset
+from repro.engine import CheckpointStore, RunEngine, ShardPlanner
 from repro.evaluation.metrics import MatchingMetrics, evaluate_predictions
 from repro.llm.executors import (
     ConcurrentExecutor,
@@ -74,11 +81,12 @@ from repro.pipeline import (
 )
 from repro.service import ResolutionService, ResultCache, ServiceConfig
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchER",
     "BatcherConfig",
+    "CheckpointStore",
     "ConcurrentExecutor",
     "ExecutionBackend",
     "FeatureStore",
@@ -89,8 +97,10 @@ __all__ = [
     "ResolutionService",
     "Resolver",
     "ResultCache",
+    "RunEngine",
     "RunResult",
     "SerialExecutor",
+    "ShardPlanner",
     "ServiceConfig",
     "StageHook",
     "StandardPromptingER",

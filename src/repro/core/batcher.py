@@ -21,6 +21,7 @@ ad-hoc pair streams.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.config import BatcherConfig
@@ -67,13 +68,64 @@ class BatchER:
         """Build the pipeline context ``run`` would execute on ``dataset``."""
         return PipelineContext.from_dataset(dataset, self.config, llm=self._llm)
 
+    def build_engine(
+        self,
+        shards: int = 1,
+        checkpoint_dir: str | Path | None = None,
+        shard_strategy: str = "fingerprint",
+    ):
+        """The sharded run engine ``run(shards=..., checkpoint_dir=...)`` uses.
+
+        Exposed so callers can inspect ``engine.last_report`` (shard sizes,
+        resumed batches, LLM calls saved) after a run.
+        """
+        from repro.engine.engine import RunEngine
+
+        return RunEngine(
+            config=self.config,
+            llm=self._llm,
+            executor=self._executor,
+            num_shards=shards,
+            shard_strategy=shard_strategy,
+            checkpoint_dir=checkpoint_dir,
+            hooks=self._hooks,
+        )
+
     # -- main entry point -----------------------------------------------------
 
-    def run(self, dataset: Dataset) -> RunResult:
-        """Run the framework on ``dataset`` and return the evaluated result."""
-        context = self.build_pipeline().run(self.build_context(dataset))
-        assert context.result is not None  # produced by the Evaluate stage
-        return context.result
+    def run(
+        self,
+        dataset: Dataset,
+        shards: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> RunResult:
+        """Run the framework on ``dataset`` and return the evaluated result.
+
+        Args:
+            shards: split the run into this many deterministic shards executed
+                by the :class:`~repro.engine.engine.RunEngine` (the configured
+                ``executor`` then bounds *in-flight shards* instead of
+                in-flight prompts).  The result is byte-identical to the
+                unsharded path for a fixed seed.  ``None``/``1`` without a
+                ``checkpoint_dir`` keeps the historical single-pass path.
+            checkpoint_dir: persist per-shard JSONL checkpoints under this
+                directory; a killed run re-invoked with the same arguments
+                resumes with zero repeated LLM calls.  Implies the engine
+                path even when ``shards`` is not given — the shard count then
+                defaults to the configured executor's worker bound, so a
+                checkpointed run keeps the executor's concurrency.
+        """
+        if (shards is None or shards == 1) and checkpoint_dir is None:
+            context = self.build_pipeline().run(self.build_context(dataset))
+            assert context.result is not None  # produced by the Evaluate stage
+            return context.result
+        if shards is None:
+            # Engine concurrency is per shard: without an explicit count,
+            # match the executor's parallelism instead of silently
+            # serializing a previously-concurrent run behind checkpointing.
+            shards = getattr(self._executor, "max_workers", 1) if self._executor else 1
+        engine = self.build_engine(shards=shards, checkpoint_dir=checkpoint_dir)
+        return engine.run(dataset)
 
     def run_many(self, datasets: Sequence[Dataset]) -> list[RunResult]:
         """Run the framework on several datasets and return all results."""

@@ -1,0 +1,48 @@
+"""Sharded, checkpointable run engine.
+
+Splits a benchmark run into deterministic shards of whole batches, executes
+them serially or concurrently with per-batch JSONL checkpoints, and merges
+the shard results into a :class:`~repro.core.result.RunResult` byte-identical
+to the unsharded ``BatchER.run`` path — so a run can be spread across workers
+and killed/resumed at any point without ever re-paying for a checkpointed LLM
+call.  :mod:`repro.engine.faults` provides the deterministic crash wrappers
+the resume guarantees are tested with.
+"""
+
+from repro.engine.checkpoint import (
+    BatchRecord,
+    CheckpointStore,
+    QuestionRecord,
+    ShardHeader,
+    ShardWriter,
+)
+from repro.engine.engine import EngineReport, RunEngine, config_fingerprint
+from repro.engine.faults import CrashingLLM, CrashingStore, InjectedFault
+from repro.engine.merger import ShardMerger
+from repro.engine.sharding import (
+    SHARD_STRATEGIES,
+    Shard,
+    ShardPlan,
+    ShardPlanner,
+    batch_fingerprint,
+)
+
+__all__ = [
+    "BatchRecord",
+    "CheckpointStore",
+    "CrashingLLM",
+    "CrashingStore",
+    "EngineReport",
+    "InjectedFault",
+    "QuestionRecord",
+    "RunEngine",
+    "SHARD_STRATEGIES",
+    "Shard",
+    "ShardHeader",
+    "ShardMerger",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardWriter",
+    "batch_fingerprint",
+    "config_fingerprint",
+]

@@ -1,0 +1,289 @@
+"""Per-shard JSONL checkpoints: never re-pay for a completed LLM call.
+
+Every LLM call costs money, so the run engine's core invariant is that a
+killed run resumes without repeating a single completed call.  The unit of
+persistence is one *batch* (one LLM call): after each batch of a shard is
+answered and parsed, its per-question resolutions and token usage are appended
+to the shard's JSONL file and flushed.  A crash therefore loses at most the
+calls that were in flight — one per shard executing at that moment, exactly
+one under serial execution — and nothing that was already paid for.
+
+File layout (one file per shard, ``shard-00003.jsonl``)::
+
+    {"type": "header", "version": 1, "dataset": ..., "config": <fp>,
+     "shard": <fp>, "num_batches": N, "model": ...}
+    {"type": "batch", "batch_id": 0, "usage": {...}, "questions": [...]}
+    {"type": "batch", "batch_id": 7, "usage": {...}, "questions": [...]}
+
+Each question entry carries the fields of the service's cache-spill format
+(``fingerprint`` — :func:`~repro.data.fingerprint.pair_fingerprint` —,
+``label``, ``answered``) plus the question's global ``index`` in the run
+order.  The header pins the run identity: a file whose header does not match
+the current dataset/config/shard fingerprints is stale and is rewritten, not
+resumed from.  A truncated tail (the classic kill-mid-write artifact) is
+tolerated: complete leading records are kept, the torn tail is discarded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.data.schema import MatchLabel
+
+#: Version tag of the checkpoint file format.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardHeader:
+    """The identity a shard checkpoint is valid for.
+
+    Attributes:
+        dataset: dataset code of the run.
+        config_fingerprint: hash of the run's ``BatcherConfig`` snapshot.
+        shard_fingerprint: content fingerprint of the shard's batches
+            (:class:`~repro.engine.sharding.Shard`).
+        num_batches: number of batches the shard is expected to complete.
+        model: LLM profile the answers were produced by.
+    """
+
+    dataset: str
+    config_fingerprint: str
+    shard_fingerprint: str
+    num_batches: int
+    model: str
+
+    def to_dict(self) -> dict[str, object]:
+        """The header's JSONL representation."""
+        return {
+            "type": "header",
+            "version": CHECKPOINT_VERSION,
+            "dataset": self.dataset,
+            "config": self.config_fingerprint,
+            "shard": self.shard_fingerprint,
+            "num_batches": self.num_batches,
+            "model": self.model,
+        }
+
+    def matches(self, entry: dict[str, object]) -> bool:
+        """Whether a parsed header line identifies the same shard of the same run."""
+        return entry == self.to_dict()
+
+
+@dataclass(frozen=True)
+class QuestionRecord:
+    """The checkpointed resolution of one question.
+
+    Attributes:
+        index: the question's global index in the run's question order.
+        fingerprint: canonical content fingerprint of the pair.
+        label: predicted label (the parse fallback already applied when the
+            LLM failed to answer, mirroring ``Resolution``).
+        answered: whether the LLM actually answered the question.
+    """
+
+    index: int
+    fingerprint: str
+    label: MatchLabel
+    answered: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "fingerprint": self.fingerprint,
+            "label": int(self.label),
+            "answered": self.answered,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict[str, object]) -> "QuestionRecord":
+        return cls(
+            index=int(entry["index"]),
+            fingerprint=str(entry["fingerprint"]),
+            label=MatchLabel(int(entry["label"])),
+            answered=bool(entry["answered"]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """The checkpointed outcome of one batch (= one LLM call).
+
+    Attributes:
+        batch_id: the batch's global id in the run's batch order.
+        num_calls / prompt_tokens / completion_tokens: token usage of the
+            call(s) that produced this batch's answers.
+        questions: per-question resolutions, in batch order.
+    """
+
+    batch_id: int
+    num_calls: int
+    prompt_tokens: int
+    completion_tokens: int
+    questions: tuple[QuestionRecord, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": "batch",
+            "batch_id": self.batch_id,
+            "usage": {
+                "num_calls": self.num_calls,
+                "prompt_tokens": self.prompt_tokens,
+                "completion_tokens": self.completion_tokens,
+            },
+            "questions": [question.to_dict() for question in self.questions],
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict[str, object]) -> "BatchRecord":
+        usage = entry["usage"]
+        if not isinstance(usage, dict):
+            raise ValueError(f"'usage' must be an object, got {type(usage).__name__}")
+        questions = entry["questions"]
+        if not isinstance(questions, list):
+            raise ValueError(
+                f"'questions' must be a list, got {type(questions).__name__}"
+            )
+        return cls(
+            batch_id=int(entry["batch_id"]),
+            num_calls=int(usage["num_calls"]),
+            prompt_tokens=int(usage["prompt_tokens"]),
+            completion_tokens=int(usage["completion_tokens"]),
+            questions=tuple(QuestionRecord.from_dict(question) for question in questions),
+        )
+
+
+class ShardWriter:
+    """Appends batch records to one shard's checkpoint file.
+
+    Every append is followed by a flush, so a kill between batches loses
+    nothing and a kill mid-write tears at most the final line (which resume
+    discards).  Writers must be closed; the engine uses them in a
+    ``try/finally``.
+    """
+
+    def __init__(self, path: Path, handle: IO[str], store: "CheckpointStore") -> None:
+        self._path = path
+        self._handle = handle
+        self._store = store
+
+    def append(self, record: BatchRecord) -> None:
+        """Persist one completed batch."""
+        self._store._before_append(record)
+        self._handle.write(json.dumps(record.to_dict()) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class CheckpointStore:
+    """Filesystem store of per-shard checkpoint files.
+
+    Args:
+        directory: directory holding the shard files (created on demand).
+            Callers running multiple configurations against one root should
+            namespace per run — :meth:`for_run` returns a store rooted at a
+            subdirectory keyed by the run identity.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def for_run(self, run_key: str) -> "CheckpointStore":
+        """A store namespaced under ``directory/run_key`` (same concrete type).
+
+        Subclasses (e.g. fault-injection wrappers) keep their behaviour: the
+        namespaced store is constructed through ``type(self)``.
+        """
+        return type(self)(self.directory / run_key)
+
+    def shard_path(self, shard_id: int) -> Path:
+        """Path of the checkpoint file for ``shard_id``."""
+        return self.directory / f"shard-{shard_id:05d}.jsonl"
+
+    def open_shard(
+        self, shard_id: int, header: ShardHeader
+    ) -> tuple[dict[int, BatchRecord], ShardWriter]:
+        """Open a shard for resumable execution.
+
+        Returns ``(completed, writer)``: the batch records already persisted
+        for this exact shard of this exact run, and a writer positioned to
+        append further batches.  A missing file, a header mismatch (different
+        dataset / config / shard content / model) or a corrupt prefix starts
+        the shard from scratch; a torn tail keeps the valid prefix.
+
+        The valid prefix is rewritten before appending — atomically, via a
+        temp file and ``os.replace`` — so the on-disk file is always
+        ``header + complete batch lines``, and a kill during the rewrite
+        itself cannot lose batches that were already paid for.
+        """
+        path = self.shard_path(shard_id)
+        completed = self._load_valid_prefix(path, header)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_suffix(".jsonl.tmp")
+        with scratch.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header.to_dict()) + "\n")
+            for record in completed.values():
+                handle.write(json.dumps(record.to_dict()) + "\n")
+            handle.flush()
+        os.replace(scratch, path)
+        return completed, ShardWriter(path, path.open("a", encoding="utf-8"), self)
+
+    def completed_batches(
+        self, shard_id: int, header: ShardHeader
+    ) -> dict[int, BatchRecord]:
+        """Read-only view of the valid persisted batches for one shard."""
+        return self._load_valid_prefix(self.shard_path(shard_id), header)
+
+    def _load_valid_prefix(
+        self, path: Path, header: ShardHeader
+    ) -> dict[int, BatchRecord]:
+        if not path.exists():
+            return {}
+        completed: dict[int, BatchRecord] = {}
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        try:
+            first = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return {}
+        if not isinstance(first, dict) or not header.matches(first):
+            return {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict) or entry.get("type") != "batch":
+                    raise ValueError("not a batch record")
+                record = BatchRecord.from_dict(entry)
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+                # Torn tail from a kill mid-write: keep the valid prefix,
+                # discard this and anything after it.
+                break
+            completed[record.batch_id] = record
+        return completed
+
+    def _before_append(self, record: BatchRecord) -> None:
+        """Hook invoked before each batch append (fault-injection seam)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(directory={str(self.directory)!r})"

@@ -1,0 +1,294 @@
+"""The sharded, checkpointable run engine.
+
+``BatchER.run`` executes a whole benchmark run as one monolithic in-memory
+pass: a crash loses everything and a single worker carries every LLM call.
+:class:`RunEngine` splits the same run into independently executable,
+individually checkpointed *shards* without changing a single byte of the
+result:
+
+1. **Plan** — run the deterministic pipeline prefix (``Featurize`` →
+   ``BatchQuestions`` → ``SelectDemonstrations`` → ``RenderPrompts``) once on
+   the full question set.  No LLM is called; batching, demonstration
+   selection (and hence labeling cost) and every rendered prompt are fixed
+   here, identical to the unsharded run.
+2. **Shard** — assign whole batches to shards with a deterministic
+   :class:`~repro.engine.sharding.ShardPlanner`.  Batches are the LLM-call
+   unit, so moving them between workers cannot change any response.
+3. **Execute** — run each shard's batches through per-shard
+   :meth:`~repro.pipeline.context.PipelineContext.shard_view` contexts
+   (sharing the plan's feature store), serially or on a bounded
+   :class:`~repro.llm.executors.ConcurrentExecutor`.  After every batch (=
+   one LLM call) the parsed resolutions and token usage are appended to the
+   shard's JSONL checkpoint, so a killed run resumes with zero repeated
+   calls.
+4. **Merge** — :class:`~repro.engine.merger.ShardMerger` reassembles the
+   records and runs the stock ``Evaluate`` stage, producing a
+   :class:`RunResult` byte-identical to the unsharded path for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.config import BatcherConfig
+from repro.core.result import RunResult
+from repro.data.fingerprint import pair_fingerprint
+from repro.data.schema import Dataset
+from repro.engine.checkpoint import BatchRecord, CheckpointStore, QuestionRecord, ShardHeader
+from repro.engine.merger import ShardMerger
+from repro.engine.sharding import Shard, ShardPlanner
+from repro.llm.base import LLMClient
+from repro.llm.executors import ExecutionBackend, SerialExecutor
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.pipeline import Pipeline, StageHook
+from repro.pipeline.stages import Inference, ParseAnswers, RenderPrompts
+
+
+def config_fingerprint(config: BatcherConfig) -> str:
+    """Stable content fingerprint of a design-space point.
+
+    Hashes the sorted JSON form of :meth:`BatcherConfig.to_dict`, so any field
+    change (model, seed, batching, ...) invalidates checkpoints written under
+    the old configuration.
+    """
+    payload = json.dumps(config.to_dict(), sort_keys=True).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Counters describing how the last engine run was executed.
+
+    Attributes:
+        num_shards: shards in the plan (empty shards included).
+        strategy: shard assignment strategy used.
+        num_batches: total batches (= total LLM calls a fresh run makes).
+        batches_executed: batches answered live in this run.
+        batches_resumed: batches replayed from checkpoints (zero LLM calls).
+        llm_calls: LLM calls recorded on the merged result (live + resumed).
+        llm_calls_saved: calls the resume avoided re-paying.
+        shard_sizes: batches per shard, in shard-id order.
+        checkpointed: whether a checkpoint store persisted this run.
+    """
+
+    num_shards: int
+    strategy: str
+    num_batches: int
+    batches_executed: int
+    batches_resumed: int
+    llm_calls: int
+    llm_calls_saved: int
+    shard_sizes: tuple[int, ...]
+    checkpointed: bool
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a plain-dict snapshot (JSON-serializable, for benchmarks)."""
+        return {
+            "num_shards": self.num_shards,
+            "strategy": self.strategy,
+            "num_batches": self.num_batches,
+            "batches_executed": self.batches_executed,
+            "batches_resumed": self.batches_resumed,
+            "llm_calls": self.llm_calls,
+            "llm_calls_saved": self.llm_calls_saved,
+            "shard_sizes": list(self.shard_sizes),
+            "checkpointed": self.checkpointed,
+        }
+
+
+class RunEngine:
+    """Sharded, checkpointable executor for benchmark runs.
+
+    Args:
+        config: the design-space point to run.
+        llm: optional pre-built LLM client shared by every shard (the client
+            contract — generation a pure function of the prompt text, usage
+            tracking thread-safe — is what keeps shard placement invisible in
+            the results).  By default one is created from the config.
+        executor: optional backend dispatching whole *shards* concurrently;
+            its worker bound is the number of in-flight shards.  ``None``
+            executes shards serially.
+        num_shards: how many shards to split the run into.
+        shard_strategy: batch→shard assignment
+            (:data:`~repro.engine.sharding.SHARD_STRATEGIES`).
+        checkpoint_dir: root directory for crash-safe per-shard checkpoints;
+            runs are namespaced under it by dataset + config fingerprint, so
+            one directory serves many configurations.  ``None`` disables
+            checkpointing (the run still shards, but cannot resume).
+        checkpoint_store: pre-built store (overrides ``checkpoint_dir``);
+            fault-injection tests pass a crashing store here.
+        hooks: pipeline telemetry hooks applied to the planning stages.
+    """
+
+    def __init__(
+        self,
+        config: BatcherConfig | None = None,
+        llm: LLMClient | None = None,
+        executor: ExecutionBackend | None = None,
+        num_shards: int = 1,
+        shard_strategy: str = "fingerprint",
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_store: CheckpointStore | None = None,
+        hooks: Iterable[StageHook] = (),
+    ) -> None:
+        self.config = config or BatcherConfig()
+        self._llm = llm
+        self._executor = executor
+        self.planner = ShardPlanner(num_shards, strategy=shard_strategy)
+        if checkpoint_store is None and checkpoint_dir is not None:
+            checkpoint_store = CheckpointStore(checkpoint_dir)
+        self._store = checkpoint_store
+        self._hooks = tuple(hooks)
+        self.last_report: EngineReport | None = None
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the engine splits runs into."""
+        return self.planner.num_shards
+
+    @property
+    def checkpoint_store(self) -> CheckpointStore | None:
+        """The root checkpoint store (``None`` when checkpointing is off)."""
+        return self._store
+
+    # -- phases ---------------------------------------------------------------
+
+    def plan(self, dataset: Dataset) -> PipelineContext:
+        """Run the deterministic planning prefix (no LLM calls) on ``dataset``."""
+        context = PipelineContext.from_dataset(dataset, self.config, llm=self._llm)
+        Pipeline.default(hooks=self._hooks).run_until(context, RenderPrompts.name)
+        return context
+
+    def run(self, dataset: Dataset) -> RunResult:
+        """Execute (or resume) a full sharded run and return the evaluated result."""
+        return self.execute(self.plan(dataset))
+
+    def execute(self, context: PipelineContext) -> RunResult:
+        """Execute the sharded inference phase over a planned context.
+
+        Shards that already have valid checkpoints are replayed without
+        touching the LLM; everything else is answered live and checkpointed
+        batch by batch.  When any shard fails, the completed work of *every*
+        shard is persisted first, then the first failure (lowest shard id)
+        is re-raised — a subsequent call resumes from exactly where the
+        failure struck.
+
+        Raises:
+            ValueError: when the context has not been planned (no prompts).
+            Exception: the first shard failure, re-raised after all in-flight
+                shards settle.
+        """
+        batches = context.require("batches", "batch-questions")
+        prompts = context.require("prompts", RenderPrompts.name)
+        plan = self.planner.plan(batches)
+        store = (
+            self._store.for_run(self._run_key(context))
+            if self._store is not None
+            else None
+        )
+        backend = self._executor or SerialExecutor()
+        outcomes = backend.map_settled(
+            lambda shard: self._execute_shard(shard, context, store), plan.shards
+        )
+        errors = [error for _, error in outcomes if error is not None]
+        if errors:
+            raise errors[0]
+
+        records: dict[int, BatchRecord] = {}
+        executed = resumed = 0
+        for shard_records, shard_executed, shard_resumed in (
+            outcome for outcome, _ in outcomes
+        ):
+            records.update(shard_records)
+            executed += shard_executed
+            resumed += shard_resumed
+        calls = sum(record.num_calls for record in records.values())
+        self.last_report = EngineReport(
+            num_shards=plan.num_shards,
+            strategy=plan.strategy,
+            num_batches=plan.num_batches,
+            batches_executed=executed,
+            batches_resumed=resumed,
+            llm_calls=calls,
+            llm_calls_saved=calls - executed,
+            shard_sizes=plan.shard_sizes(),
+            checkpointed=store is not None,
+        )
+        return ShardMerger().merge(context, records)
+
+    # -- internals ------------------------------------------------------------
+
+    def _run_key(self, context: PipelineContext) -> str:
+        """Checkpoint namespace of one (dataset, configuration) run."""
+        return f"{context.dataset_name}-{config_fingerprint(context.config)[:12]}"
+
+    def _execute_shard(
+        self,
+        shard: Shard,
+        context: PipelineContext,
+        store: CheckpointStore | None,
+    ) -> tuple[dict[int, BatchRecord], int, int]:
+        """Execute one shard, returning ``(records, executed, resumed)``.
+
+        Batches with a valid checkpoint are replayed; pending batches run
+        one at a time through a single-batch
+        :meth:`~repro.pipeline.context.PipelineContext.shard_view` (sharing
+        the plan's feature store) and are checkpointed immediately after
+        their LLM call is parsed — the granularity that bounds crash loss to
+        one in-flight call.
+        """
+        if shard.is_empty:
+            return {}, 0, 0
+        batches = context.batches or []
+        prompts = context.prompts or []
+        header = ShardHeader(
+            dataset=context.dataset_name,
+            config_fingerprint=config_fingerprint(context.config),
+            shard_fingerprint=shard.fingerprint,
+            num_batches=len(shard),
+            model=context.config.model,
+        )
+        if store is not None:
+            completed, writer = store.open_shard(shard.shard_id, header)
+        else:
+            completed, writer = {}, None
+        resumed = len(completed)
+        executed = 0
+        try:
+            for batch_id in shard.batch_ids:
+                if batch_id in completed:
+                    continue
+                batch = batches[batch_id]
+                view = context.shard_view([batch], [prompts[batch_id]])
+                Inference().run(view)
+                ParseAnswers().run(view)
+                response = (view.responses or [None])[0]
+                assert response is not None and view.predictions is not None
+                questions = tuple(
+                    QuestionRecord(
+                        index=global_index,
+                        fingerprint=pair_fingerprint(batch.pairs[position]),
+                        label=view.predictions[position],
+                        answered=(view.answers or ())[position] is not None,
+                    )
+                    for position, global_index in enumerate(batch.indices)
+                )
+                record = BatchRecord(
+                    batch_id=batch_id,
+                    num_calls=1,
+                    prompt_tokens=response.prompt_tokens,
+                    completion_tokens=response.completion_tokens,
+                    questions=questions,
+                )
+                if writer is not None:
+                    writer.append(record)
+                completed[batch_id] = record
+                executed += 1
+        finally:
+            if writer is not None:
+                writer.close()
+        return completed, executed, resumed

@@ -1,0 +1,117 @@
+"""Recombine per-shard batch records into one evaluated :class:`RunResult`.
+
+The merge is deliberately boring: shard execution produced exactly the
+per-question labels and token usage the unsharded ``ParseAnswers`` +
+``Inference`` stages would have produced (the batches, prompts and the
+seeded LLM are shared), so the merger only has to reassemble them in
+question order, attach the summed usage to the run's cost tracker, and run
+the stock :class:`~repro.pipeline.stages.Evaluate` stage.  Reusing the
+evaluate stage — rather than re-implementing result assembly — is what makes
+the merged ``RunResult`` byte-identical to the unsharded path by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.result import RunResult
+from repro.data.fingerprint import pair_fingerprint
+from repro.data.schema import MatchLabel
+from repro.engine.checkpoint import BatchRecord
+from repro.llm.base import UsageTracker
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.stages import Evaluate, Inference, ParseAnswers
+
+
+class ShardMerger:
+    """Merges completed batch records back into the planning context.
+
+    Args:
+        verify_fingerprints: re-hash every merged pair and compare with the
+            checkpointed fingerprint.  The shard-header check already rules
+            out stale files wholesale; this per-question check additionally
+            catches a corrupted or hand-edited record body.  On by default —
+            fingerprinting is cheap next to an LLM call.
+    """
+
+    def __init__(self, verify_fingerprints: bool = True) -> None:
+        self.verify_fingerprints = verify_fingerprints
+
+    def merge(
+        self, context: PipelineContext, records: Mapping[int, BatchRecord]
+    ) -> RunResult:
+        """Fill ``context`` from ``records`` and return the evaluated result.
+
+        Args:
+            context: the planning context (batches / selection / prompts
+                present, inference not run).
+            records: one :class:`BatchRecord` per batch id of the plan.
+
+        Raises:
+            ValueError: when records are missing, cover unexpected batches,
+                disagree with the planned batch composition, or (with
+                :attr:`verify_fingerprints`) carry a fingerprint that does not
+                match the question at the recorded index.
+        """
+        batches = context.require("batches", "batch-questions")
+        expected = {batch.batch_id for batch in batches}
+        missing = expected - set(records)
+        if missing:
+            raise ValueError(
+                f"cannot merge an incomplete run: missing batch records {sorted(missing)[:10]}"
+            )
+        unexpected = set(records) - expected
+        if unexpected:
+            raise ValueError(
+                f"batch records do not belong to this plan: {sorted(unexpected)[:10]}"
+            )
+
+        answers: list[MatchLabel | None] = [None] * len(context.questions)
+        predictions: list[MatchLabel] = [ParseAnswers.fallback] * len(context.questions)
+        num_unanswered = 0
+        usage = UsageTracker()
+        for batch in batches:
+            record = records[batch.batch_id]
+            recorded_indices = tuple(question.index for question in record.questions)
+            if recorded_indices != batch.indices:
+                raise ValueError(
+                    f"batch {batch.batch_id} record covers questions "
+                    f"{recorded_indices[:10]}, expected {batch.indices[:10]}"
+                )
+            for question, pair in zip(record.questions, batch.pairs):
+                if (
+                    self.verify_fingerprints
+                    and question.fingerprint != pair_fingerprint(pair)
+                ):
+                    raise ValueError(
+                        f"checkpointed fingerprint of question {question.index} "
+                        f"(batch {batch.batch_id}) does not match the question pair"
+                    )
+                predictions[question.index] = question.label
+                if question.answered:
+                    answers[question.index] = question.label
+                else:
+                    num_unanswered += 1
+            usage.add_totals(
+                num_calls=record.num_calls,
+                prompt_tokens=record.prompt_tokens,
+                completion_tokens=record.completion_tokens,
+            )
+
+        context.answers = tuple(answers)
+        context.predictions = tuple(predictions)
+        context.num_unanswered = num_unanswered
+        # The merged usage replaces the planning client's (empty) tracker:
+        # live and resumed batches alike are accounted from their checkpoint
+        # records, so cost is identical whether the tokens were spent in this
+        # process or a crashed one.
+        context.cost.attach_usage(usage)
+        for stage_name in (Inference.name, ParseAnswers.name):
+            if stage_name not in context.completed_stages:
+                context.completed_stages.append(stage_name)
+        Evaluate().run(context)
+        if Evaluate.name not in context.completed_stages:
+            context.completed_stages.append(Evaluate.name)
+        assert context.result is not None  # produced by Evaluate
+        return context.result

@@ -1,0 +1,187 @@
+"""Deterministic shard planning for scale-out runs.
+
+A shard is a unit of independent execution: a subset of a run's question
+*batches* that one worker can render, dispatch and parse without talking to
+any other worker.  Sharding at batch granularity (rather than question
+granularity) is what keeps a sharded run byte-identical to the unsharded
+path: every batch prompt — the unit the LLM actually sees — is preserved
+intact, only *where* it executes changes.
+
+Two assignment strategies are provided, both deterministic across processes
+and immune to ``PYTHONHASHSEED``:
+
+* ``"fingerprint"`` — a batch goes to the shard selected by a BLAKE2 hash of
+  its content fingerprint (the :func:`~repro.data.fingerprint.pair_fingerprint`
+  of every question in the batch).  Content-addressed placement: the same
+  batch of pairs lands on the same shard regardless of batch ordering, which
+  is the natural choice when checkpoints may outlive the planning order.
+* ``"round-robin"`` — batch ``i`` goes to shard ``i % num_shards``.  Position
+  -addressed placement with perfectly even shard sizes.
+
+:meth:`ShardPlanner.plan_pairs` applies the same fingerprint partitioning to a
+raw pair list (no batches yet) — the service's bulk path uses it to split a
+large submission into independently resolvable chunks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.batching.base import QuestionBatch
+from repro.data.fingerprint import pair_fingerprint
+from repro.data.schema import EntityPair
+
+#: Shard assignment strategies understood by :class:`ShardPlanner`.
+SHARD_STRATEGIES = ("fingerprint", "round-robin")
+
+
+def batch_fingerprint(batch: QuestionBatch) -> str:
+    """Canonical content fingerprint of one question batch.
+
+    Hashes the (global index, pair fingerprint) sequence of the batch's
+    questions, so it identifies both *which* pairs the batch contains and
+    *where* they sit in the run's question order — exactly the facts a
+    checkpointed batch result depends on.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for index, pair in zip(batch.indices, batch.pairs):
+        digest.update(f"{index}:".encode("ascii"))
+        digest.update(pair_fingerprint(pair).encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of independent execution within a sharded run.
+
+    Attributes:
+        shard_id: position of the shard in the plan (``0 .. num_shards - 1``).
+        batch_ids: ids of the run's batches assigned to this shard, ascending.
+        fingerprint: content fingerprint over the shard's batches — the
+            checkpoint validity key (a checkpoint written for a shard with a
+            different fingerprint is stale and must not be resumed from).
+    """
+
+    shard_id: int
+    batch_ids: tuple[int, ...]
+    fingerprint: str
+
+    def __len__(self) -> int:
+        return len(self.batch_ids)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this shard carries no batches (degenerate but legal)."""
+        return not self.batch_ids
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full shard assignment of one run.
+
+    Attributes:
+        shards: one entry per shard, including empty ones, in shard-id order.
+        strategy: the assignment strategy that produced the plan.
+    """
+
+    shards: tuple[Shard, ...]
+    strategy: str
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the plan (empty shards included)."""
+        return len(self.shards)
+
+    @property
+    def num_batches(self) -> int:
+        """Total number of batches across all shards."""
+        return sum(len(shard) for shard in self.shards)
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Number of batches per shard, in shard-id order."""
+        return tuple(len(shard) for shard in self.shards)
+
+
+class ShardPlanner:
+    """Partition a run's batches (or raw pairs) into deterministic shards.
+
+    Args:
+        num_shards: shard count; 1 degenerates to a single-shard plan.
+        strategy: one of :data:`SHARD_STRATEGIES`.
+    """
+
+    def __init__(self, num_shards: int, strategy: str = "fingerprint") -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        normalised = strategy.strip().lower().replace("_", "-")
+        if normalised not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {strategy!r}; expected one of {SHARD_STRATEGIES}"
+            )
+        self.num_shards = num_shards
+        self.strategy = normalised
+
+    def plan(self, batches: Sequence[QuestionBatch]) -> ShardPlan:
+        """Assign every batch to exactly one shard.
+
+        The assignment is a pure function of the batches and the planner
+        configuration — replanning the same run always yields the same plan,
+        which is what makes checkpoints addressable across processes.
+        """
+        assigned: list[list[int]] = [[] for _ in range(self.num_shards)]
+        fingerprints: dict[int, str] = {}
+        for batch in batches:
+            fingerprints[batch.batch_id] = batch_fingerprint(batch)
+            if self.strategy == "round-robin":
+                shard_index = batch.batch_id % self.num_shards
+            else:
+                shard_index = _bucket(fingerprints[batch.batch_id], self.num_shards)
+            assigned[shard_index].append(batch.batch_id)
+        shards = []
+        for shard_id, batch_ids in enumerate(assigned):
+            ordered = tuple(sorted(batch_ids))
+            shards.append(
+                Shard(
+                    shard_id=shard_id,
+                    batch_ids=ordered,
+                    fingerprint=_shard_fingerprint(
+                        ordered, [fingerprints[batch_id] for batch_id in ordered]
+                    ),
+                )
+            )
+        return ShardPlan(shards=tuple(shards), strategy=self.strategy)
+
+    def plan_pairs(self, pairs: Sequence[EntityPair]) -> list[list[int]]:
+        """Partition raw pairs (no batches yet) into per-shard index lists.
+
+        Fingerprint strategy buckets each pair by its content fingerprint;
+        round-robin buckets by position.  Within a shard, input order is
+        preserved, so per-shard results can be merged back by index.
+        """
+        assigned: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for index, pair in enumerate(pairs):
+            if self.strategy == "round-robin":
+                shard_index = index % self.num_shards
+            else:
+                shard_index = _bucket(pair_fingerprint(pair), self.num_shards)
+            assigned[shard_index].append(index)
+        return assigned
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardPlanner(num_shards={self.num_shards}, strategy={self.strategy!r})"
+
+
+def _bucket(fingerprint: str, num_shards: int) -> int:
+    """Stable shard index for a hex content fingerprint."""
+    return int(fingerprint[:16], 16) % num_shards
+
+
+def _shard_fingerprint(batch_ids: Sequence[int], batch_fingerprints: Sequence[str]) -> str:
+    """Content fingerprint of a whole shard (its batches, in batch-id order)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for batch_id, fingerprint in zip(batch_ids, batch_fingerprints):
+        digest.update(f"{batch_id}:".encode("ascii"))
+        digest.update(fingerprint.encode("ascii"))
+    return digest.hexdigest()

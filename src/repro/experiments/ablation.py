@@ -47,7 +47,7 @@ def run_threshold_ablation(
             seed=settings.seeds[0],
             max_questions=settings.max_questions,
         )
-        result = BatchER(config, executor=settings.executor()).run(dataset)
+        result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(
             {
                 "Dataset": dataset.name,
@@ -80,7 +80,7 @@ def run_batch_size_ablation(
             seed=settings.seeds[0],
             max_questions=settings.max_questions,
         )
-        result = BatchER(config, executor=settings.executor()).run(dataset)
+        result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(
             {
                 "Dataset": dataset.name,

@@ -47,7 +47,9 @@ def run_exp1_standard_vs_batch(
         for seed in settings.seeds:
             config = _config(settings, seed)
             standard = StandardPromptingER(config).run(dataset)
-            batch = BatchER(config, executor=settings.executor()).run(dataset)
+            batch = BatchER(config, executor=settings.executor()).run(
+                dataset, **settings.run_kwargs()
+            )
             standard_f1.append(standard.metrics.f1)
             standard_api.append(standard.cost.api_cost)
             batch_f1.append(batch.metrics.f1)
@@ -80,7 +82,9 @@ def run_figure6_precision_recall(
         dataset = settings.load(name)
         config = _config(settings, settings.seeds[0])
         standard = StandardPromptingER(config).run(dataset)
-        batch = BatchER(config, executor=settings.executor()).run(dataset)
+        batch = BatchER(config, executor=settings.executor()).run(
+            dataset, **settings.run_kwargs()
+        )
         for method, result in (("Standard", standard), ("Batch", batch)):
             rows.append(
                 {

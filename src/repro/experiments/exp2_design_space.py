@@ -45,7 +45,7 @@ def run_exp2_design_space(
                     seed=seed,
                     max_questions=settings.max_questions,
                 )
-                result = BatchER(config, executor=settings.executor()).run(dataset)
+                result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
                 rows.append(
                     {
                         "Dataset": dataset.name,

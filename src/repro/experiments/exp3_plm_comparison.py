@@ -51,7 +51,7 @@ def run_exp3_plm_comparison(
             seed=seed,
             max_questions=settings.max_questions,
         )
-        batcher_result = BatchER(config, executor=settings.executor()).run(dataset)
+        batcher_result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(
             {
                 "Dataset": dataset.name,

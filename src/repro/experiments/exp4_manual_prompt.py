@@ -40,7 +40,7 @@ def run_exp4_manual_prompt(
             max_questions=settings.max_questions,
         )
         manual = ManualPromptBaseline(config).run(dataset)
-        batch = BatchER(config, executor=settings.executor()).run(dataset)
+        batch = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(
             {
                 "Dataset": dataset.name,

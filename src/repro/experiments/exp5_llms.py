@@ -39,7 +39,7 @@ def run_exp5_llms(
                 seed=seed,
                 max_questions=settings.max_questions,
             )
-            result = BatchER(config, executor=settings.executor()).run(dataset)
+            result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
             row[f"{model} F1"] = round(result.metrics.f1, 2)
             row[f"{model} API ($)"] = round(result.cost.api_cost, 3)
             if model == "llama2-70b":

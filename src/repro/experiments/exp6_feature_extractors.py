@@ -41,7 +41,7 @@ def run_exp6_feature_extractors(
                 seed=seed,
                 max_questions=settings.max_questions,
             )
-            result = BatchER(config, executor=settings.executor()).run(dataset)
+            result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
             row[label] = round(result.metrics.f1, 2)
         rows.append(row)
     return rows

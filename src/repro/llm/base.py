@@ -82,6 +82,23 @@ class UsageTracker:
         """Total tokens (prompt + completion) across all recorded calls."""
         return self.prompt_tokens + self.completion_tokens
 
+    def add_totals(
+        self, num_calls: int, prompt_tokens: int, completion_tokens: int
+    ) -> None:
+        """Record pre-aggregated usage (e.g. replayed from a run checkpoint).
+
+        The run engine accounts resumed shards from their persisted per-batch
+        usage rather than from live calls; folding those aggregates in through
+        the same tracker keeps cost reporting identical whether the tokens
+        were spent in this process or a crashed one.
+        """
+        if min(num_calls, prompt_tokens, completion_tokens) < 0:
+            raise ValueError("usage totals must be >= 0")
+        with self._lock:
+            self._num_calls += num_calls
+            self._prompt_tokens += prompt_tokens
+            self._completion_tokens += completion_tokens
+
     def reset(self) -> None:
         """Forget all recorded usage."""
         with self._lock:

@@ -40,6 +40,27 @@ class ExecutionBackend(ABC):
     ) -> list[ResultT]:
         """Apply ``fn`` to every item and return results in input order."""
 
+    def map_settled(
+        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> list[tuple[ResultT | None, Exception | None]]:
+        """Like :meth:`map`, but per-item failures settle instead of raising.
+
+        Returns one ``(result, error)`` pair per item, in input order, with
+        exactly one side non-``None``.  Unlike :meth:`map` — where the first
+        exception propagates while sibling items may still be running — every
+        item has fully finished (or failed) by the time this returns, which is
+        what lets the run engine checkpoint whatever *did* complete before
+        re-raising a shard failure.
+        """
+
+        def settle(item: ItemT) -> tuple[ResultT | None, Exception | None]:
+            try:
+                return fn(item), None
+            except Exception as error:  # noqa: BLE001 - settled by contract
+                return None, error
+
+        return self.map(settle, items)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

@@ -80,14 +80,23 @@ def parse_batch_answers(response_text: str, num_questions: int) -> ParsedAnswers
     """Parse the response of a batch prompt into ``num_questions`` predictions.
 
     Answers are matched to questions by their explicit index (``A3: yes`` →
-    question 3).  Lines without an index are assigned to the earliest question
-    still lacking an answer, which handles models that reply with a bare list
-    of ``yes``/``no`` lines in order.
+    question 3), in any order.  Lines without an index are assigned to the
+    earliest question still lacking an answer, which handles models that reply
+    with a bare list of ``yes``/``no`` lines in order.
+
+    The contract is *parse or report unanswered, never misassign*: a question
+    whose indexed answer lines contradict each other (``A2: Yes`` and later
+    ``A2: No``) is reported unanswered rather than silently resolved to
+    whichever duplicate came last — and such a conflicted question is also
+    excluded from the unindexed fill, so a stray bare ``yes`` can never slide
+    into the slot the conflict vacated.  Repeated lines that *agree* simply
+    confirm the answer.
     """
     labels: list[MatchLabel | None] = [None] * num_questions
     if not response_text or not response_text.strip():
         return ParsedAnswers(labels=tuple(labels))
 
+    conflicted: set[int] = set()
     unindexed: list[MatchLabel] = []
     for line in response_text.splitlines():
         if not line.strip():
@@ -96,16 +105,23 @@ def parse_batch_answers(response_text: str, num_questions: int) -> ParsedAnswers
         if indexed is not None:
             question_number = int(indexed.group(1))
             if 1 <= question_number <= num_questions:
-                labels[question_number - 1] = _word_to_label(indexed.group(2))
+                label = _word_to_label(indexed.group(2))
+                previous = labels[question_number - 1]
+                if previous is not None and previous is not label:
+                    conflicted.add(question_number - 1)
+                labels[question_number - 1] = label
             continue
         bare = _BARE_ANSWER.match(line)
         if bare is not None:
             unindexed.append(_word_to_label(bare.group(1)))
+    for index in conflicted:
+        labels[index] = None
 
     # Assign unindexed answers to the earliest unanswered questions, in order.
+    # Conflicted questions stay unanswered: their slot is not up for grabs.
     cursor = iter(unindexed)
     for index in range(num_questions):
-        if labels[index] is None:
+        if labels[index] is None and index not in conflicted:
             next_label = next(cursor, None)
             if next_label is None:
                 break
@@ -116,7 +132,7 @@ def parse_batch_answers(response_text: str, num_questions: int) -> ParsedAnswers
     # happens whenever a flush/batch degenerates to one question (e.g. a
     # micro-batch deadline firing with a lone request queued).  Only the
     # line-anchored form is accepted here, so prose never parses as an answer.
-    if num_questions == 1 and labels[0] is None:
+    if num_questions == 1 and labels[0] is None and not conflicted:
         anchored = _ANSWER_LINE.search(response_text)
         if anchored is not None:
             labels[0] = _word_to_label(anchored.group(1))

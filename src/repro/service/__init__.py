@@ -20,10 +20,13 @@ Layers:
   backpressure, and size-or-deadline flushing.
 * :class:`ResolutionService` — the facade: cache lookup, in-flight
   deduplication, cost-aware admission (:class:`CostBudgetExceeded` once the
-  session budget is spent), ``submit`` / ``resolve_many`` / ``stats``.
+  session budget is spent), ``submit`` / ``resolve_many`` / ``stats``, and
+  the engine-backed ``resolve_bulk`` path that shards large submissions
+  deterministically past the micro-batch queue (counters under
+  ``stats().engine``).
 * :mod:`repro.service.http` — a stdlib HTTP JSON front end
-  (``POST /resolve``, ``GET /stats``, ``GET /healthz``), exposed via the
-  ``repro-serve`` console script (:mod:`repro.service.cli`).
+  (``POST /resolve``, ``POST /bulk``, ``GET /stats``, ``GET /healthz``),
+  exposed via the ``repro-serve`` console script (:mod:`repro.service.cli`).
 """
 
 from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
@@ -38,6 +41,7 @@ from repro.service.microbatcher import (
 )
 from repro.service.service import (
     CostBudgetExceeded,
+    EngineStats,
     ResolutionService,
     ServiceStats,
 )
@@ -46,6 +50,7 @@ __all__ = [
     "AdmissionError",
     "CachedResult",
     "CostBudgetExceeded",
+    "EngineStats",
     "MicroBatcher",
     "PendingRequest",
     "RequestQueue",

@@ -5,6 +5,10 @@ Endpoints:
 * ``POST /resolve`` — body ``{"pairs": [{"pair_id"?, "left": {...}, "right":
   {...}}]}`` where ``left``/``right`` are flat attribute→value mappings;
   responds ``{"resolutions": [Resolution.to_dict(), ...]}``.
+* ``POST /bulk`` — same pair payload plus an optional ``"shards"`` integer;
+  resolves through the engine-backed bulk path
+  (:meth:`ResolutionService.resolve_bulk`), which shards the submission
+  deterministically past the micro-batch queue.
 * ``GET /stats`` — the service's :meth:`ServiceStats.to_dict` snapshot.
 * ``GET /healthz`` — liveness probe.
 
@@ -86,6 +90,20 @@ def pairs_from_json(body: Any) -> list[EntityPair]:
     return [pair_from_json(entry, next(_request_ids)) for entry in entries]
 
 
+def _shards_from_json(body: Mapping[str, Any]) -> int | None:
+    """Parse the optional ``"shards"`` field of a ``/bulk`` body.
+
+    Raises:
+        BadRequest: when present but not a positive integer.
+    """
+    shards = body.get("shards")
+    if shards is None:
+        return None
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise BadRequest('"shards" must be a positive integer')
+    return shards
+
+
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests to the server's attached service."""
 
@@ -137,7 +155,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/resolve":
+        if self.path not in ("/resolve", "/bulk"):
             self._send_error_json(404, f"unknown path {self.path!r}")
             return
         try:
@@ -150,14 +168,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         raw = self.rfile.read(length)
         try:
-            pairs = pairs_from_json(json.loads(raw.decode("utf-8")))
+            body = json.loads(raw.decode("utf-8"))
+            pairs = pairs_from_json(body)
+            shards = _shards_from_json(body) if self.path == "/bulk" else None
         except (BadRequest, UnicodeDecodeError, json.JSONDecodeError) as error:
             self._send_error_json(400, str(error))
             return
         try:
-            resolutions = self.server.service.resolve_many(
-                pairs, timeout=RESOLVE_TIMEOUT_SECONDS
-            )
+            if self.path == "/bulk":
+                resolutions = self.server.service.resolve_bulk(pairs, shards=shards)
+            else:
+                resolutions = self.server.service.resolve_many(
+                    pairs, timeout=RESOLVE_TIMEOUT_SECONDS
+                )
         except CostBudgetExceeded as error:
             self._send_error_json(429, str(error))
             return

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from repro.cost.tracker import CostBreakdown
 from repro.data.schema import Dataset, EntityPair
+from repro.engine.sharding import ShardPlanner
 from repro.features.engine import FeatureStoreStats
 from repro.llm.executors import ConcurrentExecutor, ExecutionBackend, SerialExecutor
 from repro.pipeline.resolver import Resolution, Resolver
@@ -46,11 +47,45 @@ from repro.service.microbatcher import (
 __all__ = [
     "AdmissionError",
     "CostBudgetExceeded",
+    "EngineStats",
     "ResolutionService",
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceStats",
 ]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Counters of the service's engine-backed bulk path.
+
+    Attributes:
+        bulk_requests: calls to :meth:`ResolutionService.resolve_bulk`.
+        bulk_pairs: pairs submitted through the bulk path in total.
+        shards_resolved: bulk shards that completed resolution (a request
+            rejected mid-way — e.g. by the cost budget — stops counting at
+            the shard the rejection struck).
+        pairs_from_cache: bulk pairs served by the result cache, by an
+            in-flight join, or by deduplication within one submission — all
+            at zero LLM cost.
+        pairs_resolved: distinct bulk pairs resolved live by the session.
+    """
+
+    bulk_requests: int = 0
+    bulk_pairs: int = 0
+    shards_resolved: int = 0
+    pairs_from_cache: int = 0
+    pairs_resolved: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """Return a plain-dict snapshot (JSON-serializable, for ``/stats``)."""
+        return {
+            "bulk_requests": self.bulk_requests,
+            "bulk_pairs": self.bulk_pairs,
+            "shards_resolved": self.shards_resolved,
+            "pairs_from_cache": self.pairs_from_cache,
+            "pairs_resolved": self.pairs_resolved,
+        }
 
 
 class CostBudgetExceeded(AdmissionError):
@@ -76,6 +111,8 @@ class ServiceStats:
         llm_calls: cumulative LLM calls of the underlying session.
         pool_size / num_labeled: demonstration-pool accounting of the session.
         cost: cumulative session :class:`CostBreakdown`.
+        engine: counters of the engine-backed bulk path
+            (:meth:`ResolutionService.resolve_bulk`).
         feature_store: snapshot of the session's columnar feature-vector
             store (size, hit rate, evictions, and the ``planning`` routing
             counters of its sparse-neighbor-graph planner); ``None`` before
@@ -99,6 +136,7 @@ class ServiceStats:
     pool_size: int
     num_labeled: int
     cost: CostBreakdown
+    engine: EngineStats
     feature_store: FeatureStoreStats | None
     uptime_seconds: float
     throughput_pairs_per_second: float
@@ -127,6 +165,7 @@ class ServiceStats:
             "pool_size": self.pool_size,
             "num_labeled": self.num_labeled,
             "cost": self.cost.to_dict(),
+            "engine": self.engine.to_dict(),
             "feature_store": (
                 self.feature_store.to_dict() if self.feature_store is not None else None
             ),
@@ -188,11 +227,19 @@ class ResolutionService:
         # store existed (schema not yet known); seeded once it does.
         self._pending_vectors: dict[str, tuple[list[float], str | None]] = {}
         self._lock = threading.Lock()
+        # Serializes session access between the micro-batch consumer thread
+        # and bulk callers — the Resolver is a shared, stateful session.
+        self._resolver_lock = threading.Lock()
         self._submitted = 0
         self._resolved = 0
         self._inflight_joined = 0
         self._rejected_overload = 0
         self._rejected_budget = 0
+        self._bulk_requests = 0
+        self._bulk_pairs = 0
+        self._bulk_shards = 0
+        self._bulk_cached = 0
+        self._bulk_resolved = 0
         self._started_at: float | None = None
         self._stopped = False
 
@@ -427,6 +474,140 @@ class ResolutionService:
             resolutions.append(future.result(timeout=remaining))
         return resolutions
 
+    def resolve_bulk(
+        self,
+        pairs: Iterable[EntityPair],
+        shards: int | None = None,
+        timeout: float | None = 60.0,
+    ) -> list[Resolution]:
+        """Resolve a large pair set through the engine-backed bulk path.
+
+        Bulk submissions bypass the micro-batch queue (which is shaped for
+        latency, not throughput) and go straight to the shared session in
+        deterministic fingerprint-hashed shards — the same content-addressed
+        partitioning the :class:`~repro.engine.engine.RunEngine` uses.  No
+        shard may exceed ``batcher.batch_size ** 2`` pairs (the resolver's
+        own streaming chunk size), and the session lock is released between
+        shards, so concurrent latency-path flushes interleave with a long
+        bulk resolution instead of starving behind it.
+
+        Free work stays free: the result cache, deduplication within the
+        submission, *and* pairs already in flight on the micro-batch path
+        all cost zero additional LLM calls — a bulk request joins a pending
+        identical pair's resolution rather than paying for it twice.
+
+        Args:
+            pairs: the pairs to resolve; resolutions come back in input order.
+            shards: minimum shard count; by default one shard per
+                ``batcher.batch_size ** 2`` unique uncached pairs (raised
+                automatically when more shards are needed to respect the
+                per-shard ceiling).
+            timeout: seconds to wait for joined in-flight resolutions
+                (``None`` waits indefinitely).
+
+        Raises:
+            ServiceClosed: if the service has been stopped.
+            CostBudgetExceeded: if uncached work remains but the session cost
+                budget is exhausted (cached pairs alone still resolve).
+            TimeoutError: if a joined in-flight pair does not resolve within
+                ``timeout``.
+        """
+        if self._stopped:
+            raise ServiceClosed("service has been stopped")
+        pairs = list(pairs)
+        with self._lock:
+            self._bulk_requests += 1
+            self._bulk_pairs += len(pairs)
+        if not pairs:
+            return []
+
+        fingerprints = [pair_fingerprint(pair) for pair in pairs]
+        resolved: dict[str, Resolution] = {}
+        joined: dict[str, Future] = {}
+        pending: dict[str, EntityPair] = {}
+        for pair, fingerprint in zip(pairs, fingerprints):
+            if fingerprint in resolved or fingerprint in joined or fingerprint in pending:
+                continue
+            # In-flight check before the cache check: a flush caches its
+            # results *before* popping them from the in-flight table, so a
+            # pair that leaves in-flight between these two lookups is caught
+            # by the cache, never re-paid.
+            with self._lock:
+                waiters = self._inflight.get(fingerprint)
+                if waiters is not None:
+                    future: Future = Future()
+                    waiters.append((pair, future))
+                    self._inflight_joined += 1
+                    joined[fingerprint] = future
+                    continue
+            cached = self._cache.get(fingerprint)
+            if cached is not None:
+                resolved[fingerprint] = Resolution(
+                    pair=pair, label=cached.label, answered=cached.answered
+                )
+            else:
+                pending.setdefault(fingerprint, pair)
+        with self._lock:
+            self._bulk_cached += len(pairs) - len(pending)
+
+        if pending:
+            unique = list(pending.values())
+            chunk = self.config.batcher.batch_size**2
+            floor = max(1, -(-len(unique) // chunk))
+            num_shards = max(shards, floor) if shards is not None else floor
+            shard_indices = ShardPlanner(num_shards).plan_pairs(unique)
+            populated = [indices for indices in shard_indices if indices]
+            for indices in populated:
+                # Re-checked per shard, not once per request: a single huge
+                # bulk submission may then overshoot the budget by at most
+                # one shard, matching the per-submit granularity of the
+                # micro-batch path.  Shards resolved before the rejection
+                # stay cached, so a retry pays nothing for them.
+                budget = self.config.cost_budget
+                if budget is not None:
+                    spent = self._resolver.cost().total_cost
+                    if spent >= budget:
+                        with self._lock:
+                            self._rejected_budget += 1
+                        raise CostBudgetExceeded(
+                            f"session cost ${spent:.4f} has reached the budget "
+                            f"${budget:.4f}; only cached pairs are served"
+                        )
+                shard_pairs = [unique[index] for index in indices]
+                with self._resolver_lock:
+                    shard_resolutions = self._resolver.resolve(shard_pairs)
+                with self._lock:
+                    self._bulk_shards += 1
+                    self._bulk_resolved += len(shard_pairs)
+                for pair, resolution in zip(shard_pairs, shard_resolutions):
+                    fingerprint = pair_fingerprint(pair)
+                    resolved[fingerprint] = resolution
+                    # As on the micro-batch path, fallback labels are never
+                    # cached — the next request gets a fresh LLM attempt.
+                    if resolution.answered:
+                        self._cache.put(
+                            fingerprint,
+                            CachedResult(
+                                label=resolution.label, answered=resolution.answered
+                            ),
+                        )
+
+        if joined:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for fingerprint, future in joined.items():
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                resolved[fingerprint] = future.result(timeout=remaining)
+
+        resolutions = []
+        for pair, fingerprint in zip(pairs, fingerprints):
+            source = resolved[fingerprint]
+            resolutions.append(
+                Resolution(pair=pair, label=source.label, answered=source.answered)
+            )
+        return resolutions
+
     # -- flushing ------------------------------------------------------------
 
     def _flush(self, batch: list[PendingRequest]) -> None:
@@ -443,7 +624,8 @@ class ResolutionService:
         for request in batch:
             unique.setdefault(request.fingerprint, request.pair)
         try:
-            resolutions = self._resolver.resolve(list(unique.values()))
+            with self._resolver_lock:
+                resolutions = self._resolver.resolve(list(unique.values()))
         except Exception as error:  # noqa: BLE001 - failures travel via futures
             for fingerprint in unique:
                 self._fail(fingerprint, error)
@@ -514,6 +696,13 @@ class ResolutionService:
             inflight_joined = self._inflight_joined
             rejected_overload = self._rejected_overload
             rejected_budget = self._rejected_budget
+            engine = EngineStats(
+                bulk_requests=self._bulk_requests,
+                bulk_pairs=self._bulk_pairs,
+                shards_resolved=self._bulk_shards,
+                pairs_from_cache=self._bulk_cached,
+                pairs_resolved=self._bulk_resolved,
+            )
         uptime = (
             time.monotonic() - self._started_at if self._started_at is not None else 0.0
         )
@@ -533,6 +722,7 @@ class ResolutionService:
             pool_size=self._resolver.pool_size,
             num_labeled=self._resolver.num_labeled,
             cost=self._resolver.cost(),
+            engine=engine,
             feature_store=store.stats() if store is not None else None,
             uptime_seconds=uptime,
             throughput_pairs_per_second=(resolved / uptime if uptime > 0 else 0.0),

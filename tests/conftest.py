@@ -9,7 +9,9 @@ from __future__ import annotations
 import pytest
 
 from repro.data.registry import load_dataset
+from repro.engine.faults import CrashingLLM
 from repro.features.structure_aware import StructureAwareExtractor
+from repro.llm.registry import create_llm
 
 
 @pytest.fixture(scope="session")
@@ -51,6 +53,32 @@ def beer_extractor(beer_dataset):
 @pytest.fixture(scope="session")
 def beer_question_features(beer_extractor, beer_questions):
     return beer_extractor.extract_matrix(beer_questions)
+
+
+@pytest.fixture()
+def checkpoint_dir(tmp_path):
+    """A fresh per-test checkpoint root for engine crash/resume tests."""
+    path = tmp_path / "checkpoints"
+    path.mkdir()
+    return path
+
+
+@pytest.fixture()
+def make_crashing_llm():
+    """Factory building a deterministic :class:`CrashingLLM` for a config.
+
+    The wrapped client is created exactly as the pipeline would create it
+    (same model/seed/temperature), so successful calls are byte-identical to
+    an unwrapped run and ``fail_at_call=k`` is the only difference.
+    """
+
+    def factory(config, fail_at_call: int) -> CrashingLLM:
+        inner = create_llm(
+            config.model, seed=config.seed, temperature=config.temperature
+        )
+        return CrashingLLM(inner, fail_at_call=fail_at_call)
+
+    return factory
 
 
 @pytest.fixture(scope="session")

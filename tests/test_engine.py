@@ -1,0 +1,470 @@
+"""Tests for the sharded, checkpointable run engine.
+
+Covers the three pillars of :mod:`repro.engine`:
+
+* **determinism** — shard plans are pure functions of their inputs;
+* **equivalence** — a sharded run (any shard count, any strategy, serial or
+  concurrent) produces a ``RunResult`` byte-identical to the unsharded
+  ``BatchER.run`` path, including degenerate plans (empty shards,
+  single-question runs);
+* **crash safety** — for *every* possible crash point, a killed run resumed
+  from its checkpoints finishes with zero repeated LLM calls, asserted with
+  the deterministic fault-injection wrappers from :mod:`repro.engine.faults`.
+"""
+
+import json
+
+import pytest
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.data.schema import MatchLabel
+from repro.engine import (
+    BatchRecord,
+    CheckpointStore,
+    CrashingStore,
+    InjectedFault,
+    QuestionRecord,
+    RunEngine,
+    ShardHeader,
+    ShardMerger,
+    ShardPlanner,
+    batch_fingerprint,
+    config_fingerprint,
+)
+from repro.llm.executors import ConcurrentExecutor
+from repro.pipeline.stages import RenderPrompts
+
+CONFIG = BatcherConfig(seed=3)
+SMALL_CONFIG = BatcherConfig(seed=3, max_questions=32)
+
+
+@pytest.fixture(scope="module")
+def beer_unsharded(beer_dataset):
+    return BatchER(CONFIG).run(beer_dataset)
+
+
+@pytest.fixture(scope="module")
+def beer_small_unsharded(beer_dataset):
+    return BatchER(SMALL_CONFIG).run(beer_dataset)
+
+
+@pytest.fixture(scope="module")
+def fz_unsharded(fz_dataset):
+    return BatchER(CONFIG).run(fz_dataset)
+
+
+@pytest.fixture(scope="module")
+def beer_planned(beer_dataset):
+    """A planned (prompt-rendered, not inferred) context for checkpoint tests."""
+    return RunEngine(config=CONFIG).plan(beer_dataset)
+
+
+class TestShardPlanner:
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardPlanner(0)
+        with pytest.raises(ValueError, match="strategy"):
+            ShardPlanner(2, strategy="alphabetical")
+
+    @pytest.mark.parametrize("strategy", ["fingerprint", "round-robin"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 5, 64])
+    def test_plan_partitions_every_batch_exactly_once(
+        self, beer_planned, strategy, num_shards
+    ):
+        batches = beer_planned.batches
+        plan = ShardPlanner(num_shards, strategy=strategy).plan(batches)
+        assert plan.num_shards == num_shards
+        assigned = [batch_id for shard in plan.shards for batch_id in shard.batch_ids]
+        assert sorted(assigned) == [batch.batch_id for batch in batches]
+
+    def test_plan_is_deterministic(self, beer_planned):
+        batches = beer_planned.batches
+        first = ShardPlanner(4).plan(batches)
+        second = ShardPlanner(4).plan(batches)
+        assert first == second
+
+    def test_more_shards_than_batches_yields_empty_shards(self, beer_planned):
+        batches = beer_planned.batches
+        plan = ShardPlanner(len(batches) * 3).plan(batches)
+        assert plan.num_batches == len(batches)
+        assert any(shard.is_empty for shard in plan.shards)
+
+    def test_round_robin_balances_by_position(self, beer_planned):
+        batches = beer_planned.batches
+        plan = ShardPlanner(3, strategy="round-robin").plan(batches)
+        for shard in plan.shards:
+            assert all(batch_id % 3 == shard.shard_id for batch_id in shard.batch_ids)
+
+    def test_fingerprint_assignment_is_content_addressed(self, beer_planned):
+        batches = list(beer_planned.batches)
+        plan = ShardPlanner(4).plan(batches)
+        replanned = ShardPlanner(4).plan(list(reversed(batches)))
+        # Same batches, different planning order: identical assignment.
+        assert plan.shards == replanned.shards
+
+    def test_plan_pairs_partitions_and_preserves_order(self, beer_questions):
+        shard_indices = ShardPlanner(4).plan_pairs(beer_questions)
+        flat = sorted(index for indices in shard_indices for index in indices)
+        assert flat == list(range(len(beer_questions)))
+        for indices in shard_indices:
+            assert indices == sorted(indices)
+
+    def test_batch_fingerprint_reflects_content_and_position(self, beer_planned):
+        batches = beer_planned.batches
+        assert batch_fingerprint(batches[0]) != batch_fingerprint(batches[1])
+        assert batch_fingerprint(batches[0]) == batch_fingerprint(batches[0])
+
+
+class TestCheckpointStore:
+    def _header(self, num_batches=2):
+        return ShardHeader(
+            dataset="Beer",
+            config_fingerprint="cfg",
+            shard_fingerprint="shard",
+            num_batches=num_batches,
+            model="gpt-3.5-03",
+        )
+
+    def _record(self, batch_id):
+        return BatchRecord(
+            batch_id=batch_id,
+            num_calls=1,
+            prompt_tokens=100 + batch_id,
+            completion_tokens=10,
+            questions=(
+                QuestionRecord(
+                    index=batch_id * 2,
+                    fingerprint=f"fp-{batch_id}",
+                    label=MatchLabel.MATCH,
+                    answered=True,
+                ),
+            ),
+        )
+
+    def test_round_trip(self, checkpoint_dir):
+        store = CheckpointStore(checkpoint_dir)
+        header = self._header()
+        completed, writer = store.open_shard(0, header)
+        assert completed == {}
+        with writer:
+            writer.append(self._record(0))
+            writer.append(self._record(1))
+        reloaded = store.completed_batches(0, header)
+        assert set(reloaded) == {0, 1}
+        assert reloaded[1] == self._record(1)
+
+    def test_header_mismatch_discards_the_file(self, checkpoint_dir):
+        store = CheckpointStore(checkpoint_dir)
+        _, writer = store.open_shard(0, self._header())
+        with writer:
+            writer.append(self._record(0))
+        other = ShardHeader(
+            dataset="Beer",
+            config_fingerprint="DIFFERENT",
+            shard_fingerprint="shard",
+            num_batches=2,
+            model="gpt-3.5-03",
+        )
+        assert store.completed_batches(0, other) == {}
+
+    def test_torn_tail_keeps_the_valid_prefix(self, checkpoint_dir):
+        store = CheckpointStore(checkpoint_dir)
+        header = self._header()
+        _, writer = store.open_shard(0, header)
+        with writer:
+            writer.append(self._record(0))
+            writer.append(self._record(1))
+        path = store.shard_path(0)
+        torn = path.read_text().rstrip("\n")[:-20]  # kill mid-write
+        path.write_text(torn)
+        assert set(store.completed_batches(0, header)) == {0}
+        # Re-opening rewrites the file back to header + valid prefix.
+        completed, writer = store.open_shard(0, header)
+        writer.close()
+        assert set(completed) == {0}
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert [entry["batch_id"] for entry in lines[1:]] == [0]
+
+    def test_missing_file_is_a_fresh_start(self, checkpoint_dir):
+        store = CheckpointStore(checkpoint_dir)
+        assert store.completed_batches(7, self._header()) == {}
+
+    def test_for_run_namespaces_and_preserves_type(self, checkpoint_dir):
+        store = CrashingStore(checkpoint_dir, fail_at_append=0)
+        child = store.for_run("beer-abc")
+        assert isinstance(child, CrashingStore)
+        assert child.directory == checkpoint_dir / "beer-abc"
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_beer_sharded_runs_are_byte_identical(
+        self, beer_dataset, beer_unsharded, checkpoint_dir, shards
+    ):
+        result = BatchER(CONFIG).run(
+            beer_dataset, shards=shards, checkpoint_dir=checkpoint_dir
+        )
+        assert result == beer_unsharded
+        assert repr(result) == repr(beer_unsharded)
+        assert result.summary() == beer_unsharded.summary()
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_fz_sharded_runs_are_byte_identical(
+        self, fz_dataset, fz_unsharded, checkpoint_dir, shards
+    ):
+        result = BatchER(CONFIG).run(
+            fz_dataset, shards=shards, checkpoint_dir=checkpoint_dir
+        )
+        assert result == fz_unsharded
+        assert repr(result) == repr(fz_unsharded)
+
+    def test_round_robin_strategy_is_equivalent_too(self, beer_dataset, beer_unsharded):
+        engine = RunEngine(config=CONFIG, num_shards=5, shard_strategy="round-robin")
+        assert engine.run(beer_dataset) == beer_unsharded
+
+    def test_concurrent_shards_are_equivalent(
+        self, beer_dataset, beer_unsharded, checkpoint_dir
+    ):
+        with ConcurrentExecutor(4) as executor:
+            engine = RunEngine(
+                config=CONFIG,
+                executor=executor,
+                num_shards=6,
+                checkpoint_dir=checkpoint_dir,
+            )
+            assert engine.run(beer_dataset) == beer_unsharded
+
+    def test_engine_without_checkpointing_is_equivalent(
+        self, beer_dataset, beer_unsharded
+    ):
+        engine = RunEngine(config=CONFIG, num_shards=4)
+        assert engine.run(beer_dataset) == beer_unsharded
+        assert engine.last_report is not None
+        assert engine.last_report.checkpointed is False
+
+    def test_degenerate_empty_shards_single_question(self, beer_dataset):
+        config = BatcherConfig(seed=3, max_questions=1)
+        unsharded = BatchER(config).run(beer_dataset)
+        sharded = RunEngine(config=config, num_shards=4).run(beer_dataset)
+        assert sharded == unsharded
+        assert unsharded.num_questions == 1
+
+    def test_report_counts_a_fresh_run(self, beer_dataset, checkpoint_dir):
+        engine = RunEngine(config=SMALL_CONFIG, num_shards=3, checkpoint_dir=checkpoint_dir)
+        result = engine.run(beer_dataset)
+        report = engine.last_report
+        assert report.num_batches == result.num_batches
+        assert report.batches_executed == report.num_batches
+        assert report.batches_resumed == 0
+        assert report.llm_calls == result.cost.num_llm_calls
+        assert report.llm_calls_saved == 0
+        assert sum(report.shard_sizes) == report.num_batches
+        assert set(report.to_dict()) >= {"num_shards", "llm_calls", "shard_sizes"}
+
+
+class TestCrashResume:
+    def test_every_crash_point_resumes_with_zero_repeated_calls(
+        self, beer_dataset, beer_small_unsharded, make_crashing_llm, tmp_path
+    ):
+        """The headline property: for every crash point k, the crashed run plus
+        the resume together make exactly as many LLM calls as the unsharded
+        run — no completed call is ever re-paid."""
+        total_calls = beer_small_unsharded.cost.num_llm_calls
+        assert total_calls > 1
+        for k in range(1, total_calls + 1):
+            directory = tmp_path / f"crash-{k}"
+            llm = make_crashing_llm(SMALL_CONFIG, fail_at_call=k)
+            engine = RunEngine(
+                config=SMALL_CONFIG, llm=llm, num_shards=3, checkpoint_dir=directory
+            )
+            with pytest.raises(InjectedFault):
+                engine.run(beer_dataset)
+            # Sibling shards settle (and checkpoint) after the fault, so the
+            # crashed run completes anywhere from k-1 calls up to all but the
+            # faulted one — never the full run.
+            assert k - 1 <= llm.successful_calls < total_calls
+            resumed = engine.run(beer_dataset)
+            assert resumed == beer_small_unsharded
+            assert llm.successful_calls == total_calls
+
+    def test_resume_after_kill_reports_saved_calls(
+        self, beer_dataset, beer_small_unsharded, make_crashing_llm, checkpoint_dir
+    ):
+        total_calls = beer_small_unsharded.cost.num_llm_calls
+        k = total_calls // 2 + 1
+        llm = make_crashing_llm(SMALL_CONFIG, fail_at_call=k)
+        engine = RunEngine(
+            config=SMALL_CONFIG, llm=llm, num_shards=2, checkpoint_dir=checkpoint_dir
+        )
+        with pytest.raises(InjectedFault):
+            engine.run(beer_dataset)
+        checkpointed = llm.successful_calls  # all persisted before the re-raise
+        resumed = engine.run(beer_dataset)
+        assert resumed == beer_small_unsharded
+        report = engine.last_report
+        assert report.batches_resumed == checkpointed >= k - 1
+        assert report.llm_calls_saved == checkpointed
+        assert report.batches_executed == total_calls - checkpointed
+
+    def test_completed_run_resumes_for_free(
+        self, beer_dataset, beer_small_unsharded, make_crashing_llm, checkpoint_dir
+    ):
+        llm = make_crashing_llm(SMALL_CONFIG, fail_at_call=0)
+        engine = RunEngine(
+            config=SMALL_CONFIG, llm=llm, num_shards=3, checkpoint_dir=checkpoint_dir
+        )
+        first = engine.run(beer_dataset)
+        calls_after_first = llm.successful_calls
+        second = engine.run(beer_dataset)
+        assert first == second == beer_small_unsharded
+        assert llm.successful_calls == calls_after_first  # zero new LLM calls
+        assert engine.last_report.batches_executed == 0
+        assert engine.last_report.llm_calls_saved == engine.last_report.num_batches
+
+    def test_checkpoint_crash_repays_at_most_the_torn_batch(
+        self, beer_dataset, beer_small_unsharded, make_crashing_llm, checkpoint_dir
+    ):
+        """A crash *between* the LLM call and its persistence is the harshest
+        point: that one call is paid but not saved, so resume re-pays exactly
+        it — never more."""
+        llm = make_crashing_llm(SMALL_CONFIG, fail_at_call=0)
+        store = CrashingStore(checkpoint_dir, fail_at_append=3)
+        engine = RunEngine(
+            config=SMALL_CONFIG, llm=llm, num_shards=2, checkpoint_store=store
+        )
+        with pytest.raises(InjectedFault):
+            engine.run(beer_dataset)
+        resumed = engine.run(beer_dataset)
+        total_calls = beer_small_unsharded.cost.num_llm_calls
+        assert resumed == beer_small_unsharded
+        assert llm.successful_calls == total_calls + 1
+        # The merged result still accounts each batch exactly once.
+        assert resumed.cost.num_llm_calls == total_calls
+
+    def test_concurrent_crash_resume_is_still_exact(
+        self, beer_dataset, beer_small_unsharded, make_crashing_llm, checkpoint_dir
+    ):
+        total_calls = beer_small_unsharded.cost.num_llm_calls
+        llm = make_crashing_llm(SMALL_CONFIG, fail_at_call=2)
+        with ConcurrentExecutor(3) as executor:
+            engine = RunEngine(
+                config=SMALL_CONFIG,
+                llm=llm,
+                executor=executor,
+                num_shards=3,
+                checkpoint_dir=checkpoint_dir,
+            )
+            with pytest.raises(InjectedFault):
+                engine.run(beer_dataset)
+            resumed = engine.run(beer_dataset)
+        assert resumed == beer_small_unsharded
+        assert llm.successful_calls == total_calls
+
+    def test_stale_checkpoints_from_another_config_are_ignored(
+        self, beer_dataset, make_crashing_llm, checkpoint_dir
+    ):
+        """Checkpoints are namespaced and header-checked by configuration: a
+        run with a different seed must not resume from them."""
+        RunEngine(config=SMALL_CONFIG, num_shards=2, checkpoint_dir=checkpoint_dir).run(
+            beer_dataset
+        )
+        other_config = BatcherConfig(seed=4, max_questions=32)
+        llm = make_crashing_llm(other_config, fail_at_call=0)
+        engine = RunEngine(
+            config=other_config, llm=llm, num_shards=2, checkpoint_dir=checkpoint_dir
+        )
+        result = engine.run(beer_dataset)
+        assert llm.successful_calls == result.cost.num_llm_calls > 0
+        assert result == BatchER(other_config).run(beer_dataset)
+
+
+class TestShardMerger:
+    def test_missing_batch_record_is_rejected(self, beer_planned):
+        with pytest.raises(ValueError, match="missing batch records"):
+            ShardMerger().merge(beer_planned, {})
+
+    def test_foreign_batch_record_is_rejected(self, beer_dataset):
+        engine = RunEngine(config=CONFIG, num_shards=1)
+        context = engine.plan(beer_dataset)
+        plan = engine.planner.plan(context.batches)
+        records, _, _ = engine._execute_shard(plan.shards[0], context, None)
+        bogus = BatchRecord(
+            batch_id=max(records) + 1,
+            num_calls=1,
+            prompt_tokens=1,
+            completion_tokens=1,
+            questions=(),
+        )
+        with pytest.raises(ValueError, match="do not belong"):
+            ShardMerger().merge(context, {**records, bogus.batch_id: bogus})
+
+    def test_fingerprint_mismatch_is_rejected(self, beer_dataset):
+        engine = RunEngine(config=CONFIG, num_shards=1)
+        context = engine.plan(beer_dataset)
+        plan = engine.planner.plan(context.batches)
+        records, _, _ = engine._execute_shard(plan.shards[0], context, None)
+        first = records[0]
+        tampered = BatchRecord(
+            batch_id=first.batch_id,
+            num_calls=first.num_calls,
+            prompt_tokens=first.prompt_tokens,
+            completion_tokens=first.completion_tokens,
+            questions=(
+                QuestionRecord(
+                    index=first.questions[0].index,
+                    fingerprint="not-the-real-fingerprint",
+                    label=first.questions[0].label,
+                    answered=first.questions[0].answered,
+                ),
+            )
+            + first.questions[1:],
+        )
+        with pytest.raises(ValueError, match="fingerprint"):
+            ShardMerger().merge(context, {**records, 0: tampered})
+
+
+class TestFacade:
+    def test_config_fingerprint_tracks_every_field(self):
+        base = config_fingerprint(BatcherConfig(seed=1))
+        assert base == config_fingerprint(BatcherConfig(seed=1))
+        assert base != config_fingerprint(BatcherConfig(seed=2))
+        assert base != config_fingerprint(BatcherConfig(seed=1, batch_size=4))
+
+    def test_build_engine_exposes_the_run_report(self, beer_dataset, checkpoint_dir):
+        framework = BatchER(SMALL_CONFIG)
+        engine = framework.build_engine(shards=2, checkpoint_dir=checkpoint_dir)
+        result = engine.run(beer_dataset)
+        assert engine.last_report.num_shards == 2
+        assert result == BatchER(SMALL_CONFIG).run(beer_dataset)
+
+    def test_checkpoint_dir_alone_keeps_executor_concurrency(
+        self, beer_dataset, checkpoint_dir
+    ):
+        """Adding checkpointing to a concurrent facade must not silently
+        serialize it: without an explicit shard count, the engine shards to
+        the executor's worker bound."""
+        with ConcurrentExecutor(4) as executor:
+            framework = BatchER(CONFIG, executor=executor)
+            result = framework.run(beer_dataset, checkpoint_dir=checkpoint_dir)
+        assert result == BatchER(CONFIG).run(beer_dataset)
+        run_dirs = list(checkpoint_dir.iterdir())
+        assert len(run_dirs) == 1
+        # 12 batches hash across all 4 shards for this fixed seed; the point
+        # is that the plan followed the executor's worker bound, not 1.
+        assert len(list(run_dirs[0].glob("shard-*.jsonl"))) == 4
+
+    def test_run_without_engine_kwargs_keeps_the_legacy_path(self, beer_dataset):
+        framework = BatchER(SMALL_CONFIG)
+        assert framework.run(beer_dataset) == framework.run(
+            beer_dataset, shards=1, checkpoint_dir=None
+        )
+
+    def test_planned_context_is_required(self, beer_dataset):
+        engine = RunEngine(config=SMALL_CONFIG)
+        context = engine.plan(beer_dataset)
+        assert context.prompts is not None
+        assert RenderPrompts.name in context.completed_stages
+        assert context.responses is None  # planning makes no LLM calls
+        assert context.cost.breakdown().num_llm_calls == 0

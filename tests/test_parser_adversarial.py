@@ -1,0 +1,149 @@
+"""Property tests for the batch-answer parser on adversarial response formats.
+
+The serving layers cache whatever the parser returns, so the parser's contract
+is *parse or report unanswered, never silently misassign*: an answer either
+lands on exactly the question its index names, or the question is reported
+unanswered — no format trick may move a label onto the wrong question.
+"""
+
+import random
+
+import pytest
+
+from repro.data.schema import MatchLabel
+from repro.prompting.parser import parse_batch_answers
+
+WORDS = {MatchLabel.MATCH: "Yes", MatchLabel.NON_MATCH: "No"}
+
+
+def _random_labels(rng, n):
+    return [rng.choice((MatchLabel.MATCH, MatchLabel.NON_MATCH)) for _ in range(n)]
+
+
+class TestShuffledAnswerOrder:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_indexed_answers_parse_identically_in_any_order(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 12)
+        labels = _random_labels(rng, n)
+        lines = [f"A{i + 1}: {WORDS[label]}" for i, label in enumerate(labels)]
+        rng.shuffle(lines)
+        parsed = parse_batch_answers("\n".join(lines), num_questions=n)
+        assert list(parsed.labels) == labels
+        assert parsed.num_unanswered == 0
+
+    @pytest.mark.parametrize(
+        "seed, style",
+        list(enumerate(["A{i}: {w}", "Q{i} = {w}", "{i}. {w}", "A{i} - {w}"])),
+    )
+    def test_every_accepted_style_respects_the_index(self, seed, style):
+        rng = random.Random(seed)
+        n = 6
+        labels = _random_labels(rng, n)
+        lines = [style.format(i=i + 1, w=WORDS[label]) for i, label in enumerate(labels)]
+        rng.shuffle(lines)
+        parsed = parse_batch_answers("\n".join(lines), num_questions=n)
+        assert list(parsed.labels) == labels
+
+
+class TestDuplicateAnswerLines:
+    def test_agreeing_duplicates_confirm_the_answer(self):
+        text = "A1: Yes\nA2: No\nA1: Yes"
+        parsed = parse_batch_answers(text, num_questions=2)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH)
+
+    def test_conflicting_duplicates_report_unanswered_not_last_wins(self):
+        text = "A1: Yes\nA2: No\nA1: No"
+        parsed = parse_batch_answers(text, num_questions=2)
+        assert parsed.labels == (None, MatchLabel.NON_MATCH)
+        assert parsed.num_unanswered == 1
+
+    def test_conflicted_slot_is_not_filled_by_bare_answers(self):
+        # The bare trailing "yes" must not slide into question 1's vacated
+        # slot — that would be exactly the silent misassignment the parser
+        # contract forbids.
+        text = "A1: Yes\nA1: No\nA2: No\nyes"
+        parsed = parse_batch_answers(text, num_questions=3)
+        assert parsed.labels[0] is None
+        assert parsed.labels[1] is MatchLabel.NON_MATCH
+        assert parsed.labels[2] is MatchLabel.MATCH
+
+    def test_conflicted_single_question_skips_the_standard_style_fallback(self):
+        text = "A1: Yes\nA1: No\nAnswer: Yes"
+        parsed = parse_batch_answers(text, num_questions=1)
+        assert parsed.labels == (None,)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_duplicates_never_misassign(self, seed):
+        rng = random.Random(1000 + seed)
+        n = rng.randint(2, 10)
+        labels = _random_labels(rng, n)
+        lines = [f"A{i + 1}: {WORDS[label]}" for i, label in enumerate(labels)]
+        # Duplicate a few lines; flip some duplicates to manufacture conflicts.
+        conflicted = set()
+        for _ in range(rng.randint(1, 4)):
+            index = rng.randrange(n)
+            if rng.random() < 0.5:
+                lines.append(f"A{index + 1}: {WORDS[labels[index]]}")
+            else:
+                flipped = (
+                    MatchLabel.NON_MATCH
+                    if labels[index] is MatchLabel.MATCH
+                    else MatchLabel.MATCH
+                )
+                lines.append(f"A{index + 1}: {WORDS[flipped]}")
+                conflicted.add(index)
+        rng.shuffle(lines)
+        parsed = parse_batch_answers("\n".join(lines), num_questions=n)
+        for index in range(n):
+            if index in conflicted:
+                assert parsed.labels[index] is None
+            else:
+                assert parsed.labels[index] is labels[index]
+
+
+class TestTrailingJunk:
+    def test_trailing_prose_does_not_become_an_answer(self):
+        text = (
+            "A1: Yes, the records agree.\n"
+            "A2: No.\n"
+            "Note that the remaining questions were ambiguous.\n"
+            "Overall the task was straightforward."
+        )
+        parsed = parse_batch_answers(text, num_questions=3)
+        assert parsed.labels == (MatchLabel.MATCH, MatchLabel.NON_MATCH, None)
+
+    def test_out_of_range_indices_are_ignored(self):
+        text = "A1: Yes\nA7: No\nA0: Yes"
+        parsed = parse_batch_answers(text, num_questions=2)
+        assert parsed.labels == (MatchLabel.MATCH, None)
+
+    def test_junk_interleaved_with_answers_changes_nothing(self):
+        clean = "A1: No\nA2: Yes\nA3: No"
+        noisy = (
+            "Sure! Here are my answers.\n"
+            "A1: No\n"
+            "(see the model number)\n"
+            "A2: Yes\n"
+            "A3: No\n"
+            "Let me know if you need anything else."
+        )
+        assert parse_batch_answers(noisy, 3).labels == parse_batch_answers(clean, 3).labels
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fuzzed_junk_lines_never_create_or_move_answers(self, seed):
+        rng = random.Random(2000 + seed)
+        n = rng.randint(2, 8)
+        labels = _random_labels(rng, n)
+        lines = [f"A{i + 1}: {WORDS[label]}" for i, label in enumerate(labels)]
+        junk = [
+            "The following pairs were compared carefully.",
+            "Certainly -- here is my reasoning:",
+            "NOTE: identifiers differ in formatting only.",
+            "####",
+            "Answered above.",
+        ]
+        for _ in range(rng.randint(1, 5)):
+            lines.insert(rng.randrange(len(lines) + 1), rng.choice(junk))
+        parsed = parse_batch_answers("\n".join(lines), num_questions=n)
+        assert list(parsed.labels) == labels

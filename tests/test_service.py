@@ -470,3 +470,190 @@ class TestServiceLifecycle:
             assert resolver.num_resolved == 4
         finally:
             service.stop()
+
+
+class TestBulkResolve:
+    def test_bulk_resolves_in_input_order(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            resolutions = service.resolve_bulk(questions)
+            assert [r.pair_id for r in resolutions] == [p.pair_id for p in questions]
+            assert all(isinstance(r, Resolution) for r in resolutions)
+        finally:
+            service.stop()
+
+    def test_bulk_ticks_engine_counters(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            service.resolve_bulk(questions, shards=3)
+            engine = service.stats().engine
+            assert engine.bulk_requests == 1
+            assert engine.bulk_pairs == len(questions)
+            assert 1 <= engine.shards_resolved <= 3
+            assert engine.pairs_resolved == len(questions)
+            payload = service.stats().to_dict()["engine"]
+            assert payload["bulk_pairs"] == len(questions)
+        finally:
+            service.stop()
+
+    def test_repeat_bulk_is_served_from_cache(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            service.resolve_bulk(questions)
+            calls_before = service.resolver.usage.num_calls
+            again = service.resolve_bulk(questions)
+            assert service.resolver.usage.num_calls == calls_before
+            assert len(again) == len(questions)
+            assert service.stats().engine.pairs_from_cache >= len(
+                [r for r in again if r.answered]
+            )
+        finally:
+            service.stop()
+
+    def test_bulk_deduplicates_within_one_submission(
+        self, beer_dataset, service_config, questions
+    ):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            doubled = questions[:8] + questions[:8]
+            resolutions = service.resolve_bulk(doubled)
+            assert len(resolutions) == 16
+            # Duplicate contents resolve identically and are only paid once.
+            for first, second in zip(resolutions[:8], resolutions[8:]):
+                assert first.label == second.label
+            assert service.stats().engine.pairs_resolved <= 8
+        finally:
+            service.stop()
+
+    def test_bulk_sharding_does_not_change_labels(
+        self, beer_dataset, service_config, questions
+    ):
+        one = _started_service(beer_dataset, service_config)
+        try:
+            single = [int(r.label) for r in one.resolve_bulk(questions, shards=1)]
+        finally:
+            one.stop()
+        # Shard composition changes which pairs share a prompt, so labels may
+        # legitimately differ between shard counts -- but each shard count must
+        # be deterministic.
+        many = _started_service(beer_dataset, service_config)
+        try:
+            first = [int(r.label) for r in many.resolve_bulk(questions, shards=4)]
+        finally:
+            many.stop()
+        again = _started_service(beer_dataset, service_config)
+        try:
+            second = [int(r.label) for r in again.resolve_bulk(questions, shards=4)]
+        finally:
+            again.stop()
+        assert first == second
+        assert len(single) == len(first) == len(questions)
+
+    def test_bulk_respects_the_cost_budget(self, beer_dataset, questions):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1), max_batch_size=16, cost_budget=1e-9
+        )
+        service = _started_service(beer_dataset, config)
+        try:
+            # Admission checks *recorded* cost, so the first (cheap) bulk call
+            # is admitted and exhausts the tiny budget...
+            spent = service.resolve_bulk(questions[:2])
+            assert len(spent) == 2
+            # ...after which new uncached work is rejected, while already
+            # cached contents still resolve.
+            with pytest.raises(CostBudgetExceeded):
+                service.resolve_bulk(questions[2:])
+            cached_again = service.resolve_bulk(questions[:2])
+            assert [int(r.label) for r in cached_again] == [int(r.label) for r in spent]
+        finally:
+            service.stop()
+
+    def test_bulk_joins_inflight_pairs_instead_of_repaying(
+        self, beer_dataset, service_config, questions
+    ):
+        """A pair already pending on the micro-batch path must not be paid for
+        again by a bulk request — the bulk path joins the in-flight
+        resolution."""
+        service = ResolutionService.from_dataset(beer_dataset, service_config)
+        # Queue a pair before the consumer starts: it stays in-flight.
+        pending_future = service.submit(questions[0])
+        joined_before = service.stats().inflight_joined
+        bulk_done = []
+
+        def run_bulk():
+            bulk_done.append(service.resolve_bulk(questions[:4]))
+
+        worker = threading.Thread(target=run_bulk)
+        worker.start()
+        # The bulk call blocks on the joined future until the consumer runs.
+        service.start()
+        worker.join(timeout=30.0)
+        try:
+            assert not worker.is_alive()
+            [bulk_resolutions] = bulk_done
+            assert bulk_resolutions[0].label == pending_future.result(timeout=10.0).label
+            stats = service.stats()
+            assert stats.inflight_joined == joined_before + 1
+            # The joined pair was not resolved twice: bulk resolved only the
+            # three pairs that were not already in flight.
+            assert stats.engine.pairs_resolved == 3
+        finally:
+            service.stop()
+
+    def test_bulk_enforces_a_per_shard_ceiling(self, beer_dataset, questions):
+        """An explicit low shard count must not produce one giant
+        lock-holding shard: the engine raises the count so no shard exceeds
+        batch_size**2 pairs."""
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1, batch_size=2), max_batch_size=16
+        )
+        service = _started_service(beer_dataset, config)
+        try:
+            service.resolve_bulk(questions[:20], shards=1)  # ceiling = 4 pairs
+            assert service.stats().engine.shards_resolved >= 5
+        finally:
+            service.stop()
+
+    def test_bulk_budget_is_rechecked_between_shards(self, beer_dataset, questions):
+        """One oversized bulk request must not blow arbitrarily past the
+        budget: the check runs per shard, so the overshoot is bounded by one
+        shard and already-resolved shards stay cached."""
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1), max_batch_size=16, cost_budget=1e-9
+        )
+        service = _started_service(beer_dataset, config)
+        try:
+            with pytest.raises(CostBudgetExceeded):
+                service.resolve_bulk(questions, shards=4)
+            resolved = service.stats().engine.pairs_resolved
+            assert 0 < resolved < len(questions)  # stopped after one shard
+        finally:
+            service.stop()
+
+    def test_bulk_counters_reflect_completed_work_only(self, beer_dataset, questions):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1), max_batch_size=16, cost_budget=1e-9
+        )
+        service = _started_service(beer_dataset, config)
+        try:
+            with pytest.raises(CostBudgetExceeded):
+                service.resolve_bulk(questions, shards=4)
+            engine = service.stats().engine
+            # Only the shard that actually resolved is counted.
+            assert engine.shards_resolved == 1
+            assert engine.pairs_resolved < len(questions)
+        finally:
+            service.stop()
+
+    def test_bulk_after_stop_is_rejected(self, beer_dataset, service_config, questions):
+        service = _started_service(beer_dataset, service_config)
+        service.stop()
+        with pytest.raises(ServiceClosed):
+            service.resolve_bulk(questions)
+
+    def test_empty_bulk_is_a_noop(self, beer_dataset, service_config):
+        service = _started_service(beer_dataset, service_config)
+        try:
+            assert service.resolve_bulk([]) == []
+        finally:
+            service.stop()

@@ -9,7 +9,12 @@ import pytest
 from repro.core.config import BatcherConfig
 from repro.service import ResolutionService, ServiceConfig
 from repro.service.cli import main as serve_main
-from repro.service.http import BadRequest, ServiceHTTPServer, pairs_from_json
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    BadRequest,
+    ServiceHTTPServer,
+    pairs_from_json,
+)
 
 
 @pytest.fixture(scope="module")
@@ -31,11 +36,15 @@ def _get(server, path):
 
 
 def _post(server, path, payload):
+    return _post_raw(server, path, json.dumps(payload).encode("utf-8"))
+
+
+def _post_raw(server, path, body, headers=None):
     request = urllib.request.Request(
         server.address + path,
-        data=json.dumps(payload).encode("utf-8"),
+        data=body,
         method="POST",
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     with urllib.request.urlopen(request, timeout=30) as response:
         return response.status, json.loads(response.read())
@@ -106,6 +115,191 @@ class TestEndpoints:
                 {"pairs": [{"left": {"abv": 5.2}, "right": {"abv": "5.2"}}]},
             )
         assert excinfo.value.code == 400
+
+
+class TestErrorPaths:
+    """Exhaustive HTTP error mapping: 400 / 429 / 503 paths."""
+
+    def test_invalid_json_body_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(http_server, "/resolve", b'{"pairs": [unterminated')
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_non_utf8_body_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(http_server, "/resolve", b'\xff\xfe{"pairs": []}')
+        assert excinfo.value.code == 400
+
+    def test_oversized_payload_400(self, http_server):
+        padding = "x" * (MAX_BODY_BYTES + 1)
+        body = json.dumps({"pairs": [], "padding": padding}).encode("utf-8")
+        assert len(body) > MAX_BODY_BYTES
+        try:
+            _post_raw(http_server, "/resolve", body)
+            raise AssertionError("oversized payload must not succeed")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+            assert "bytes" in json.loads(error.read())["error"]
+        except (urllib.error.URLError, ConnectionError):
+            # Equally valid rejection: the server answered 400 and closed the
+            # connection before the client finished streaming the huge body.
+            pass
+
+    def test_empty_body_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(http_server, "/resolve", b"")
+        assert excinfo.value.code == 400
+
+    def test_invalid_content_length_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(
+                http_server,
+                "/resolve",
+                b'{"pairs": []}',
+                headers={"Content-Length": "not-a-number"},
+            )
+        assert excinfo.value.code == 400
+
+    def test_post_to_unknown_path_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(http_server, "/resolve-all", {"pairs": []})
+        assert excinfo.value.code == 404
+
+    def test_overload_503_with_retry_after(self, beer_dataset):
+        # A never-started consumer with a one-slot queue: the first submission
+        # occupies the slot, the HTTP request then hits backpressure.
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            queue_capacity=1,
+            admission_timeout_seconds=0.01,
+        )
+        service = ResolutionService.from_dataset(beer_dataset, config)
+        server = ServiceHTTPServer(service, port=0).serve_in_background()
+        try:
+            blocker = beer_dataset.splits.test[0].without_label()
+            service.submit(blocker)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    server,
+                    "/resolve",
+                    {"pairs": [{"left": {"name": "a"}, "right": {"name": "b"}}]},
+                )
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+    def test_cost_budget_rejection_429(self, beer_dataset):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            max_batch_size=8,
+            max_wait_seconds=0.02,
+            cost_budget=1e-9,
+        )
+        service = ResolutionService.from_dataset(beer_dataset, config).start()
+        server = ServiceHTTPServer(service, port=0).serve_in_background()
+        try:
+            first = beer_dataset.splits.test[0]
+            payload = {
+                "pairs": [
+                    {"left": dict(first.left.values), "right": dict(first.right.values)}
+                ]
+            }
+            # Admission checks recorded cost: the first request is admitted
+            # and exhausts the (tiny) budget...
+            status, _ = _post(server, "/resolve", payload)
+            assert status == 200
+            # ...so a new, uncached pair is now rejected with 429.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    server,
+                    "/resolve",
+                    {"pairs": [{"left": {"name": "brand new"}, "right": {"name": "pair"}}]},
+                )
+            assert excinfo.value.code == 429
+            assert "budget" in json.loads(excinfo.value.read())["error"]
+            # The exhausted service still serves cached contents.
+            status, _ = _post(server, "/resolve", payload)
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+    def test_stopped_service_503(self, beer_dataset):
+        config = ServiceConfig(batcher=BatcherConfig(seed=1))
+        service = ResolutionService.from_dataset(beer_dataset, config).start()
+        server = ServiceHTTPServer(service, port=0).serve_in_background()
+        try:
+            service.stop()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    server,
+                    "/resolve",
+                    {"pairs": [{"left": {"name": "x"}, "right": {"name": "y"}}]},
+                )
+            assert excinfo.value.code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestBulkEndpoint:
+    def test_bulk_roundtrip(self, http_server, beer_dataset):
+        pairs = [pair.without_label() for pair in list(beer_dataset.splits.test)[:6]]
+        payload = {
+            "pairs": [
+                {
+                    "pair_id": pair.pair_id,
+                    "left": dict(pair.left.values),
+                    "right": dict(pair.right.values),
+                }
+                for pair in pairs
+            ],
+            "shards": 2,
+        }
+        status, body = _post(http_server, "/bulk", payload)
+        assert status == 200
+        assert [entry["pair_id"] for entry in body["resolutions"]] == [
+            pair.pair_id for pair in pairs
+        ]
+
+    def test_bulk_without_shards_field(self, http_server):
+        status, body = _post(
+            http_server,
+            "/bulk",
+            {"pairs": [{"left": {"name": "stout"}, "right": {"name": "Stout"}}]},
+        )
+        assert status == 200
+        assert len(body["resolutions"]) == 1
+
+    @pytest.mark.parametrize("shards", [0, -3, 1.5, "four", True])
+    def test_bulk_rejects_invalid_shards_400(self, http_server, shards):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                http_server,
+                "/bulk",
+                {
+                    "pairs": [{"left": {"name": "a"}, "right": {"name": "b"}}],
+                    "shards": shards,
+                },
+            )
+        assert excinfo.value.code == 400
+        assert "shards" in json.loads(excinfo.value.read())["error"]
+
+    def test_bulk_ticks_engine_counters_in_stats(self, http_server):
+        _post(
+            http_server,
+            "/bulk",
+            {"pairs": [{"left": {"name": "porter"}, "right": {"name": "Porter"}}]},
+        )
+        status, payload = _get(http_server, "/stats")
+        assert status == 200
+        assert payload["engine"]["bulk_requests"] >= 1
+        assert payload["engine"]["bulk_pairs"] >= 1
 
 
 class TestPayloadParsing:
