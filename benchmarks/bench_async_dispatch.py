@@ -1,0 +1,245 @@
+"""Benchmark: async engine dispatch — in-flight concurrency vs throughput.
+
+Batch prompts are independent, so wall-clock against a remote LLM API is
+dominated by how many requests the client keeps in flight.  This benchmark
+models that with the simulated engine's injected per-call latency and sweeps
+the :class:`~repro.llm.executors.AsyncExecutor` in-flight budget, with the
+serial path as the baseline and the thread-pool
+:class:`~repro.llm.executors.ConcurrentExecutor` at the widest budget for
+comparison.
+
+Two oracles assert along the way:
+
+1. **identity** — every arm (serial, threaded, async at every width) returns
+   byte-identical responses: dispatch concurrency must never change results;
+2. **flaky-retry parity** — an OpenAI-dialect engine over the simulated
+   backend transport with injected 503s at fixed send ordinals, dispatched
+   through the AsyncExecutor, still matches the clean serial run exactly —
+   same responses, same usage totals, zero double-counted records — because
+   retry sits below dispatch and responses are pure functions of the prompt.
+
+Like the other benchmarks, the run emits ``BENCH_async.json`` in the
+repository root with the headline numbers; the file is a machine-local
+artifact (gitignored), not a tracked result.
+
+Standalone (the CI smoke invocation uses ``--small --min-speedup 0``)::
+
+    PYTHONPATH=src python benchmarks/bench_async_dispatch.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.engines import FakeClock, FlakyTransport, SimulatedBackendTransport, create_engine
+from repro.llm.executors import AsyncExecutor, ConcurrentExecutor, SerialExecutor
+from repro.llm.simulated import SimulatedLLM
+
+#: Where the headline numbers land (repository root).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_async.json"
+
+#: In-flight budgets swept by the async arm.
+DEFAULT_IN_FLIGHT = (1, 4, 16, 64)
+
+#: Workload of the full run: prompts and injected per-call latency.
+DEFAULT_PROMPTS = 64
+DEFAULT_LATENCY = 0.02
+
+#: Workload of the CI smoke run.
+SMALL_PROMPTS = 16
+SMALL_LATENCY = 0.005
+
+
+def make_prompts(count: int) -> list[str]:
+    return [
+        f"Q{i}: do entity A (item {i}) and entity B (item {i}) refer to the same "
+        "real-world entity? Answer 'A1: Yes' or 'A1: No'."
+        for i in range(count)
+    ]
+
+
+def timed_arm(latency: float, executor, prompts: list[str]):
+    """Run one dispatch arm on a fresh latency-injected engine."""
+    engine = create_engine("simulated", seed=0, latency_seconds=latency)
+    started = time.perf_counter()
+    responses = engine.complete_many(prompts, executor=executor)
+    seconds = time.perf_counter() - started
+    if engine.usage.num_calls != len(prompts):
+        raise AssertionError(
+            f"expected {len(prompts)} usage records, got {engine.usage.num_calls}"
+        )
+    return responses, seconds
+
+
+def check_flaky_retry_parity(prompts: list[str], in_flight: int) -> dict[str, object]:
+    """Assert async dispatch over a flaky transport matches the clean run."""
+
+    def build(fail_at):
+        sim = SimulatedLLM(model_name="gpt-3.5-03", seed=0)
+        transport = SimulatedBackendTransport(sim)
+        if fail_at:
+            transport = FlakyTransport(transport, fail_at=fail_at)
+        return create_engine(
+            "openai", transport=transport, clock=FakeClock(), api_key="bench-key", seed=0
+        )
+
+    clean = build(frozenset())
+    expected = clean.complete_many(prompts, executor=SerialExecutor())
+
+    fail_at = frozenset(range(1, len(prompts), 3))  # every third send 503s once
+    flaky = build(fail_at)
+    actual = flaky.complete_many(prompts, executor=AsyncExecutor(max_in_flight=in_flight))
+    if actual != expected:
+        raise AssertionError("flaky async run diverges from the clean serial run")
+    if flaky.usage.num_calls != clean.usage.num_calls:
+        raise AssertionError(
+            f"retries double-counted usage: {flaky.usage.num_calls} records "
+            f"for {clean.usage.num_calls} prompts"
+        )
+    if flaky.usage.total_tokens != clean.usage.total_tokens:
+        raise AssertionError("retries changed the usage token totals")
+    stats = flaky.transport.stats()
+    return {
+        "injected_failures": flaky.transport.inner.injected_failures,
+        "retries": stats["retries"],
+        "requests": stats["requests"],
+        "usage_records": flaky.usage.num_calls,
+        "identical_to_clean_serial": True,
+    }
+
+
+def run_bench(
+    num_prompts: int,
+    latency: float,
+    in_flight_levels: tuple[int, ...],
+    min_speedup: float,
+) -> dict[str, object]:
+    prompts = make_prompts(num_prompts)
+
+    oracle, serial_seconds = timed_arm(latency, SerialExecutor(), prompts)
+    serial_throughput = num_prompts / serial_seconds
+    print(
+        f"serial              {serial_seconds:6.2f}s  "
+        f"{serial_throughput:8.1f} prompts/s",
+        file=sys.stderr,
+    )
+
+    widest = max(in_flight_levels)
+    threaded, threaded_seconds = timed_arm(
+        latency, ConcurrentExecutor(max_workers=widest), prompts
+    )
+    if threaded != oracle:
+        raise AssertionError("threaded responses diverge from serial")
+    print(
+        f"threads x{widest:<3d}        {threaded_seconds:6.2f}s  "
+        f"{num_prompts / threaded_seconds:8.1f} prompts/s",
+        file=sys.stderr,
+    )
+
+    sweep = []
+    for level in in_flight_levels:
+        responses, seconds = timed_arm(
+            latency, AsyncExecutor(max_in_flight=level), prompts
+        )
+        if responses != oracle:
+            raise AssertionError(f"async x{level} responses diverge from serial")
+        throughput = num_prompts / seconds
+        sweep.append(
+            {
+                "in_flight": level,
+                "seconds": round(seconds, 4),
+                "prompts_per_second": round(throughput, 1),
+                "speedup_vs_serial": round(seconds and serial_seconds / seconds, 2),
+            }
+        )
+        print(
+            f"async in_flight={level:<3d} {seconds:6.2f}s  "
+            f"{throughput:8.1f} prompts/s",
+            file=sys.stderr,
+        )
+
+    best = max(sweep, key=lambda row: row["prompts_per_second"])
+    if best["speedup_vs_serial"] < min_speedup:
+        raise AssertionError(
+            f"best async speedup {best['speedup_vs_serial']}x is below the "
+            f"--min-speedup floor {min_speedup}x"
+        )
+
+    parity = check_flaky_retry_parity(prompts, in_flight=min(8, widest))
+    print(
+        f"flaky-retry parity  injected={parity['injected_failures']} "
+        f"retries={parity['retries']} usage_records={parity['usage_records']}",
+        file=sys.stderr,
+    )
+
+    return {
+        "workload": {
+            "prompts": num_prompts,
+            "injected_latency_seconds": latency,
+            "engine": "simulated",
+        },
+        "serial": {
+            "seconds": round(serial_seconds, 4),
+            "prompts_per_second": round(serial_throughput, 1),
+        },
+        "threads": {
+            "max_workers": widest,
+            "seconds": round(threaded_seconds, 4),
+            "prompts_per_second": round(num_prompts / threaded_seconds, 1),
+        },
+        "async_sweep": sweep,
+        "flaky_retry_parity": parity,
+        "headline": {
+            "best_in_flight": best["in_flight"],
+            "best_prompts_per_second": best["prompts_per_second"],
+            "speedup_vs_serial": best["speedup_vs_serial"],
+            "identical_responses": True,
+            "retry_parity": True,
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--prompts", type=int, default=None, help="number of prompts dispatched per arm"
+    )
+    parser.add_argument(
+        "--latency", type=float, default=None, help="injected per-call latency (seconds)"
+    )
+    parser.add_argument(
+        "--in-flight", type=int, nargs="*", default=None, help="async budgets to sweep"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail if the best async arm is not at least this much faster than "
+        "serial (0 disables the timing floor; the identity and retry-parity "
+        "oracles always assert)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="tiny run for the CI smoke invocation (oracles still assert)",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=REPORT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    num_prompts = args.prompts or (SMALL_PROMPTS if args.small else DEFAULT_PROMPTS)
+    latency = args.latency or (SMALL_LATENCY if args.small else DEFAULT_LATENCY)
+    levels = tuple(args.in_flight) if args.in_flight else (
+        (1, 4, 16) if args.small else DEFAULT_IN_FLIGHT
+    )
+    report = run_bench(num_prompts, latency, levels, args.min_speedup)
+    args.report.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

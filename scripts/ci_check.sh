@@ -32,6 +32,17 @@ echo "== batch planning smoke benchmark (BENCH_planning.json) =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_batch_planning.py \
   --small --min-speedup 0 --report "$(mktemp)" > /dev/null
 
+echo "== engines smoke benchmark (BENCH_async.json) =="
+# --small --min-speedup 0: a dispatch-identity and retry-parity oracle, not a
+# stopwatch — it *asserts* that the simulated engine through AsyncExecutor is
+# byte-identical to serial dispatch and that an OpenAI-dialect engine over a
+# flaky scripted transport retries to the same responses with zero
+# double-counted usage records.  Timing floors are for manual invocations.
+# The smoke report goes to a scratch file so it never clobbers a full-size
+# BENCH_async.json with small-n numbers.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_async_dispatch.py \
+  --small --min-speedup 0 --report "$(mktemp)" > /dev/null
+
 echo "== sharded run engine smoke benchmark (BENCH_engine.json) =="
 # --small: a crash-resume oracle, not a stopwatch — it *asserts* that the
 # sharded run is byte-identical to the unsharded path and that a run killed

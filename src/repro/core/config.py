@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.batching.factory import BATCHING_STRATEGIES
+from repro.engines.registry import available_engines
 from repro.features.factory import EXTRACTOR_VARIANTS
 from repro.llm.profiles import available_models
 from repro.selection.factory import SELECTION_STRATEGIES
@@ -39,6 +40,11 @@ class BatcherConfig:
         max_questions: optional cap on the number of test questions evaluated
             (useful for fast examples and tests); ``None`` evaluates the whole
             test split.
+        engine: LLM engine backend serving the completions
+            (``"simulated"`` — hermetic, the default — or a real backend such
+            as ``"openai"`` / ``"openai_compatible"`` / ``"anthropic"`` from
+            the :mod:`repro.engines` registry).  Orthogonal to ``model``,
+            which stays the logical profile/pricing name.
     """
 
     batching: str = "diverse"
@@ -52,6 +58,7 @@ class BatcherConfig:
     temperature: float = 0.01
     seed: int = 0
     max_questions: int | None = None
+    engine: str = "simulated"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -81,6 +88,10 @@ class BatcherConfig:
             raise ValueError(
                 f"unknown model {self.model!r}; expected one of {available_models()}"
             )
+        if self.engine.lower() not in available_engines():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {available_engines()}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "BatcherConfig":
         """Return a copy of this config with the given fields replaced."""
@@ -100,6 +111,7 @@ class BatcherConfig:
             "temperature": self.temperature,
             "seed": self.seed,
             "max_questions": self.max_questions,
+            "engine": self.engine,
         }
 
     @classmethod

@@ -70,7 +70,10 @@ class StandardPromptingER:
             self._llm.reset_usage()
             return self._llm
         return create_llm(
-            self.config.model, seed=self.config.seed, temperature=self.config.temperature
+            self.config.model,
+            seed=self.config.seed,
+            temperature=self.config.temperature,
+            engine=self.config.engine,
         )
 
     def run(self, dataset: Dataset) -> RunResult:

@@ -1,0 +1,107 @@
+"""``repro.engines`` — pluggable LLM engine registry with a shared transport.
+
+The subsystem that connects the framework to *real* LLM backends without
+giving up the hermetic simulated path tier-1 depends on:
+
+* :mod:`repro.engines.base` — the :class:`Engine` interface (an
+  :class:`~repro.llm.base.LLMClient` plus async completion, capability flags,
+  structured output and an operational snapshot);
+* :mod:`repro.engines.registry` — config dataclasses, ``register_engine`` /
+  ``create_engine`` and environment resolution (``REPRO_ENGINE`` & friends);
+* :mod:`repro.engines.transport` — retry/backoff, token-bucket rate limiting
+  and the urllib transport shared by every HTTP backend;
+* :mod:`repro.engines.http` — OpenAI, OpenAI-compatible and Anthropic
+  dialects with optional provider-enforced JSON-schema output;
+* :mod:`repro.engines.simulated` — the behavioural simulation registered as
+  just another backend, byte-identical to ``SimulatedLLM``;
+* :mod:`repro.engines.faults` — fake clock and scripted/flaky/simulated
+  backend transports for instant, deterministic transport tests.
+
+This package deliberately imports nothing from ``repro.core`` or
+``repro.pipeline``; it sits beside :mod:`repro.llm` so the pipeline can pick
+engines through configuration without an import cycle.
+"""
+
+from repro.engines.base import Engine
+from repro.engines.faults import (
+    FakeClock,
+    FlakyTransport,
+    ScriptedTransport,
+    SimulatedBackendTransport,
+)
+from repro.engines.http import (
+    BATCH_ANSWERS_SCHEMA,
+    AnthropicEngine,
+    HttpEngine,
+    OpenAICompatibleEngine,
+    OpenAIEngine,
+    render_structured_answers,
+)
+from repro.engines.registry import (
+    DEFAULT_ENGINE,
+    AnthropicEngineConfig,
+    EngineConfig,
+    HttpEngineConfig,
+    OpenAICompatibleEngineConfig,
+    OpenAIEngineConfig,
+    SimulatedEngineConfig,
+    available_engines,
+    create_engine,
+    engine_config_from_env,
+    engine_from_env,
+    register_engine,
+)
+from repro.engines.simulated import SimulatedEngine
+from repro.engines.transport import (
+    Clock,
+    RateLimiter,
+    RetryableTransportError,
+    RetryingTransport,
+    RetryPolicy,
+    TerminalTransportError,
+    TokenBucket,
+    Transport,
+    TransportError,
+    TransportRequest,
+    TransportResponse,
+    UrllibTransport,
+)
+
+__all__ = [
+    "AnthropicEngine",
+    "AnthropicEngineConfig",
+    "BATCH_ANSWERS_SCHEMA",
+    "Clock",
+    "DEFAULT_ENGINE",
+    "Engine",
+    "EngineConfig",
+    "FakeClock",
+    "FlakyTransport",
+    "HttpEngine",
+    "HttpEngineConfig",
+    "OpenAICompatibleEngine",
+    "OpenAICompatibleEngineConfig",
+    "OpenAIEngine",
+    "OpenAIEngineConfig",
+    "RateLimiter",
+    "RetryPolicy",
+    "RetryableTransportError",
+    "RetryingTransport",
+    "ScriptedTransport",
+    "SimulatedBackendTransport",
+    "SimulatedEngine",
+    "SimulatedEngineConfig",
+    "TerminalTransportError",
+    "TokenBucket",
+    "Transport",
+    "TransportError",
+    "TransportRequest",
+    "TransportResponse",
+    "UrllibTransport",
+    "available_engines",
+    "create_engine",
+    "engine_config_from_env",
+    "engine_from_env",
+    "register_engine",
+    "render_structured_answers",
+]

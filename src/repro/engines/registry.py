@@ -1,0 +1,388 @@
+"""Config-dataclass registry of LLM engines.
+
+Every backend is described by a frozen config dataclass and registered under
+a short name; :func:`create_engine` turns either the name (plus field
+overrides) or a ready config into a live :class:`~repro.engines.base.Engine`.
+The registry ships four backends:
+
+========================  =====================================================
+``simulated``             the hermetic behavioural model (tier-1's backend)
+``openai``                OpenAI chat completions (``OPENAI_API_KEY``)
+``openai_compatible``     any OpenAI-compatible server via ``base_url``
+                          (vLLM, llama.cpp, LM Studio, ...)
+``anthropic``             Anthropic messages API (``ANTHROPIC_API_KEY``)
+========================  =====================================================
+
+:func:`engine_config_from_env` resolves the whole selection from environment
+variables (``REPRO_ENGINE`` picks the backend; ``REPRO_ENGINE_BASE_URL``,
+``REPRO_ENGINE_MODEL``, ``REPRO_ENGINE_RPS``, ``REPRO_ENGINE_TPM``, ... tune
+it), so a deployment swaps providers without touching code — the pattern the
+related repos use for their env-switched multi-provider wrappers.
+
+Model naming: the framework keeps reasoning in the paper's *logical* model
+names (``gpt-3.5-03``, ``gpt-4``, ...), which drive profiles and the pricing
+table.  HTTP configs carry a separate ``provider_model`` — the identifier the
+provider's API expects — defaulting through a small translation table, so
+cost accounting stays comparable across backends while the wire speaks each
+provider's dialect.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Mapping
+
+from repro.engines.base import Engine
+from repro.engines.transport import Clock, RetryPolicy, Transport
+from repro.llm.profiles import available_models
+
+__all__ = [
+    "AnthropicEngineConfig",
+    "DEFAULT_ENGINE",
+    "EngineConfig",
+    "HttpEngineConfig",
+    "OpenAICompatibleEngineConfig",
+    "OpenAIEngineConfig",
+    "SimulatedEngineConfig",
+    "available_engines",
+    "create_engine",
+    "engine_config_from_env",
+    "engine_from_env",
+    "register_engine",
+]
+
+#: Engine used when nothing is configured — the hermetic simulated backend.
+DEFAULT_ENGINE = "simulated"
+
+#: Logical model name -> OpenAI API model identifier.
+OPENAI_MODEL_ALIASES: dict[str, str] = {
+    "gpt-3.5-03": "gpt-3.5-turbo-0301",
+    "gpt-3.5-06": "gpt-3.5-turbo-0613",
+    "gpt-4": "gpt-4",
+}
+
+#: Logical model name -> Anthropic API model identifier.  The paper's models
+#: have no Anthropic equivalents; these are capability-tier stand-ins.
+ANTHROPIC_MODEL_ALIASES: dict[str, str] = {
+    "gpt-3.5-03": "claude-3-5-haiku-latest",
+    "gpt-3.5-06": "claude-3-5-haiku-latest",
+    "gpt-4": "claude-sonnet-4-20250514",
+}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Fields shared by every engine backend.
+
+    Attributes:
+        model: *logical* model name (one of the registered profiles); drives
+            pricing and, for the simulated backend, the behavioural profile.
+        seed: determinism seed (simulated generation; forwarded to providers
+            that accept one).
+        temperature: sampling temperature.
+    """
+
+    model: str = "gpt-3.5-03"
+    seed: int = 0
+    temperature: float = 0.01
+
+
+@dataclass(frozen=True)
+class SimulatedEngineConfig(EngineConfig):
+    """Configuration of the hermetic simulated backend.
+
+    Attributes:
+        latency_seconds: synthetic per-call latency (benchmarking only).
+    """
+
+    latency_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class HttpEngineConfig(EngineConfig):
+    """Fields shared by the HTTP-backed engines.
+
+    Attributes:
+        api_key: explicit API key; when ``None`` the key is read from the
+            ``api_key_env`` environment variable at request time.
+        api_key_env: environment variable holding the API key.
+        base_url: API root (override for proxies and local servers).
+        provider_model: model identifier sent on the wire; ``None`` resolves
+            through the backend's alias table, falling back to ``model``.
+        max_output_tokens: completion-length cap sent to the provider.
+        timeout_seconds: per-request socket timeout.
+        max_attempts / backoff_*: retry schedule
+            (see :class:`~repro.engines.transport.RetryPolicy`).
+        requests_per_second / tokens_per_minute: token-bucket rate caps
+            (``None`` disables the respective bucket).
+        json_schema_mode: request provider-enforced structured output for
+            batch answers and render it into the canonical ``A<i>: Yes/No``
+            text — the regex parser stays the oracle over the rendered form.
+    """
+
+    api_key: str | None = None
+    api_key_env: str = "OPENAI_API_KEY"
+    base_url: str = "https://api.openai.com/v1"
+    provider_model: str | None = None
+    max_output_tokens: int = 1024
+    timeout_seconds: float = 60.0
+    max_attempts: int = 5
+    backoff_base_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 30.0
+    backoff_jitter: float = 0.25
+    requests_per_second: float | None = None
+    tokens_per_minute: float | None = None
+    json_schema_mode: bool = False
+
+    def retry_policy(self) -> RetryPolicy:
+        """The transport retry schedule these fields describe."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.backoff_base_seconds,
+            multiplier=self.backoff_multiplier,
+            max_delay=self.backoff_max_seconds,
+            jitter=self.backoff_jitter,
+        )
+
+    def resolve_api_key(self, env: Mapping[str, str] | None = None) -> str | None:
+        """The explicit key, or the one in ``api_key_env`` (``None`` if unset)."""
+        if self.api_key is not None:
+            return self.api_key
+        return (env if env is not None else os.environ).get(self.api_key_env)
+
+
+@dataclass(frozen=True)
+class OpenAIEngineConfig(HttpEngineConfig):
+    """OpenAI chat-completions backend configuration."""
+
+
+@dataclass(frozen=True)
+class OpenAICompatibleEngineConfig(HttpEngineConfig):
+    """Any OpenAI-compatible server (vLLM, llama.cpp, LM Studio, proxies).
+
+    The key is optional — local servers usually accept any bearer token —
+    and ``base_url`` points at the local endpoint by default.
+    """
+
+    base_url: str = "http://localhost:8000/v1"
+
+
+@dataclass(frozen=True)
+class AnthropicEngineConfig(HttpEngineConfig):
+    """Anthropic messages-API backend configuration."""
+
+    api_key_env: str = "ANTHROPIC_API_KEY"
+    base_url: str = "https://api.anthropic.com"
+
+
+#: Factory signature: build a live engine from its config.  ``transport`` and
+#: ``clock`` are injection points for tests and hermetic benchmarks.
+EngineFactory = Callable[..., Engine]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registry entry: name, config dataclass and factory."""
+
+    name: str
+    config_cls: type[EngineConfig]
+    factory: EngineFactory
+
+
+def _simulated_factory(
+    config: EngineConfig, *, transport: Transport | None = None, clock: Clock | None = None
+) -> Engine:
+    from repro.engines.simulated import SimulatedEngine
+
+    if transport is not None:
+        raise ValueError("the simulated engine has no transport to inject")
+    key = config.model.strip().lower()
+    if key not in available_models():
+        known = ", ".join(available_models())
+        raise ValueError(f"unknown model {config.model!r}; expected one of: {known}")
+    latency = config.latency_seconds if isinstance(config, SimulatedEngineConfig) else 0.0
+    return SimulatedEngine(
+        model_name=key,
+        seed=config.seed,
+        temperature=config.temperature,
+        latency_seconds=latency,
+    )
+
+
+def _http_factory(engine_attr: str) -> EngineFactory:
+    def factory(
+        config: EngineConfig,
+        *,
+        transport: Transport | None = None,
+        clock: Clock | None = None,
+    ) -> Engine:
+        from repro.engines import http
+
+        engine_cls = getattr(http, engine_attr)
+        return engine_cls(config, transport=transport, clock=clock)
+
+    return factory
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register_engine(
+    name: str,
+    config_cls: type[EngineConfig],
+    factory: EngineFactory,
+    replace_existing: bool = False,
+) -> None:
+    """Register (or, explicitly, replace) an engine backend.
+
+    Raises:
+        ValueError: when ``name`` is taken and ``replace_existing`` is false.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("engine name must be non-empty")
+    if key in _REGISTRY and not replace_existing:
+        raise ValueError(f"engine {name!r} is already registered")
+    _REGISTRY[key] = EngineSpec(name=key, config_cls=config_cls, factory=factory)
+
+
+register_engine("simulated", SimulatedEngineConfig, _simulated_factory)
+register_engine("openai", OpenAIEngineConfig, _http_factory("OpenAIEngine"))
+register_engine(
+    "openai_compatible",
+    OpenAICompatibleEngineConfig,
+    _http_factory("OpenAICompatibleEngine"),
+)
+register_engine("anthropic", AnthropicEngineConfig, _http_factory("AnthropicEngine"))
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of all registered engine backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine_spec(name: str) -> EngineSpec:
+    """Look up a registry entry.
+
+    Raises:
+        ValueError: for unknown engine names (same error type as the model
+            checks in :func:`repro.llm.registry.create_llm` and
+            :class:`~repro.core.config.BatcherConfig`, so misconfiguration
+            fails uniformly).
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        known = ", ".join(available_engines())
+        raise ValueError(f"unknown engine {name!r}; expected one of: {known}")
+    return _REGISTRY[key]
+
+
+def _spec_for_config(config: EngineConfig) -> EngineSpec:
+    for spec in _REGISTRY.values():
+        if type(config) is spec.config_cls:
+            return spec
+    raise ValueError(
+        f"no engine registered for config type {type(config).__name__!r}"
+    )
+
+
+def build_config(engine: str, **overrides: object) -> EngineConfig:
+    """Build an engine's config dataclass with field overrides.
+
+    Raises:
+        ValueError: for unknown engines or override fields.
+    """
+    spec = get_engine_spec(engine)
+    known = {config_field.name for config_field in fields(spec.config_cls)}
+    unknown = set(overrides) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {spec.name!r} engine config fields {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    return spec.config_cls(**overrides)  # type: ignore[arg-type]
+
+
+def create_engine(
+    engine: str | EngineConfig = DEFAULT_ENGINE,
+    *,
+    transport: Transport | None = None,
+    clock: Clock | None = None,
+    **overrides: object,
+) -> Engine:
+    """Build a live engine from a registered name or a ready config.
+
+    Args:
+        engine: registry name (``"simulated"``, ``"openai"``, ...) or an
+            :class:`EngineConfig` instance (its type selects the backend).
+        transport: optional transport injection (HTTP backends only) — the
+            hook the scripted/flaky test transports use.
+        clock: optional time source for the backend's retry/rate-limit stack.
+        **overrides: config field overrides applied on top of the defaults
+            (or on top of the given config instance).
+
+    Raises:
+        ValueError: for unknown engines, unknown override fields, or an
+            unknown logical model on the simulated backend.
+    """
+    if isinstance(engine, EngineConfig):
+        spec = _spec_for_config(engine)
+        config = replace(engine, **overrides) if overrides else engine
+    else:
+        spec = get_engine_spec(engine)
+        config = build_config(spec.name, **overrides)
+    return spec.factory(config, transport=transport, clock=clock)
+
+
+def engine_config_from_env(
+    env: Mapping[str, str] | None = None, **overrides: object
+) -> EngineConfig:
+    """Resolve the engine configuration from environment variables.
+
+    Recognised variables (all optional):
+
+    * ``REPRO_ENGINE`` — backend name (default ``"simulated"``);
+    * ``REPRO_ENGINE_MODEL`` — provider model identifier override;
+    * ``REPRO_ENGINE_BASE_URL`` — API root override (local servers, proxies);
+    * ``REPRO_ENGINE_RPS`` / ``REPRO_ENGINE_TPM`` — rate caps;
+    * ``REPRO_ENGINE_MAX_ATTEMPTS`` — retry budget;
+    * ``REPRO_ENGINE_TIMEOUT`` — per-request timeout in seconds;
+    * ``REPRO_ENGINE_JSON_SCHEMA`` — ``1``/``true`` enables structured mode.
+
+    API keys are *not* copied into the config: engines read ``api_key_env``
+    (``OPENAI_API_KEY`` / ``ANTHROPIC_API_KEY``) at request time, so configs
+    stay safe to log and serialize.
+    """
+    environment = env if env is not None else os.environ
+    name = environment.get("REPRO_ENGINE", DEFAULT_ENGINE).strip().lower()
+    spec = get_engine_spec(name)
+    resolved: dict[str, object] = {}
+    if issubclass(spec.config_cls, HttpEngineConfig):
+        if environment.get("REPRO_ENGINE_MODEL"):
+            resolved["provider_model"] = environment["REPRO_ENGINE_MODEL"]
+        if environment.get("REPRO_ENGINE_BASE_URL"):
+            resolved["base_url"] = environment["REPRO_ENGINE_BASE_URL"]
+        if environment.get("REPRO_ENGINE_RPS"):
+            resolved["requests_per_second"] = float(environment["REPRO_ENGINE_RPS"])
+        if environment.get("REPRO_ENGINE_TPM"):
+            resolved["tokens_per_minute"] = float(environment["REPRO_ENGINE_TPM"])
+        if environment.get("REPRO_ENGINE_MAX_ATTEMPTS"):
+            resolved["max_attempts"] = int(environment["REPRO_ENGINE_MAX_ATTEMPTS"])
+        if environment.get("REPRO_ENGINE_TIMEOUT"):
+            resolved["timeout_seconds"] = float(environment["REPRO_ENGINE_TIMEOUT"])
+        if environment.get("REPRO_ENGINE_JSON_SCHEMA"):
+            resolved["json_schema_mode"] = environment[
+                "REPRO_ENGINE_JSON_SCHEMA"
+            ].strip().lower() in ("1", "true", "yes", "on")
+    resolved.update(overrides)
+    return build_config(name, **resolved)
+
+
+def engine_from_env(
+    env: Mapping[str, str] | None = None, **overrides: object
+) -> Engine:
+    """Build the engine the environment selects (see
+    :func:`engine_config_from_env`)."""
+    return create_engine(engine_config_from_env(env, **overrides))

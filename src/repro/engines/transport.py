@@ -1,0 +1,449 @@
+"""Shared HTTP transport substrate for the real-LLM engines.
+
+Every HTTP-backed engine sends requests through the same small stack:
+
+``engine → RetryingTransport → (rate limiter, backoff) → inner Transport``
+
+The split keeps the provider-specific parts (URL, payload shape, response
+parsing) in the engines and everything operational — retry classification,
+exponential backoff with jitter, token-bucket rate limiting, counters — in
+one place, where it can be tested hermetically against scripted transports
+and a fake clock (:mod:`repro.engines.faults`).
+
+Error classification follows the providers' documented semantics: 429 and
+5xx responses (and timeouts / connection drops) are *retryable*; any other
+4xx is *terminal* — retrying a malformed request or a bad API key only burns
+the rate budget.  Time is always read through an injectable clock, so the
+retry and rate-limit logic runs instantly and deterministically under test.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "Clock",
+    "RateLimiter",
+    "RetryPolicy",
+    "RetryingTransport",
+    "RetryableTransportError",
+    "TerminalTransportError",
+    "TokenBucket",
+    "Transport",
+    "TransportError",
+    "TransportRequest",
+    "TransportResponse",
+    "UrllibTransport",
+    "error_for_status",
+    "is_retryable_status",
+]
+
+#: 4xx statuses that are worth retrying despite being client errors:
+#: 408 (request timeout), 409 (conflict, used by some gateways for transient
+#: contention) and 429 (rate limited).
+_RETRYABLE_4XX = frozenset({408, 409, 429})
+
+
+class Clock:
+    """Injectable time source: ``monotonic`` + ``sleep``.
+
+    The default implementation delegates to :mod:`time`; tests substitute
+    :class:`repro.engines.faults.FakeClock` so backoff and rate-limit waits
+    advance virtual time instead of blocking.
+    """
+
+    def monotonic(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (no-op for non-positive values)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class TransportError(RuntimeError):
+    """A failed transport send.
+
+    Attributes:
+        status: HTTP status code when the failure came from a response
+            (``None`` for connection-level failures).
+        retryable: whether the retry layer may attempt the request again.
+    """
+
+    retryable: bool = False
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class RetryableTransportError(TransportError):
+    """A transient failure (429 / 5xx / timeout): safe to retry with backoff."""
+
+    retryable = True
+
+
+class TerminalTransportError(TransportError):
+    """A permanent failure (other 4xx): retrying cannot succeed."""
+
+    retryable = False
+
+
+def is_retryable_status(status: int) -> bool:
+    """Whether an HTTP status code denotes a transient failure."""
+    return status >= 500 or status in _RETRYABLE_4XX
+
+
+def error_for_status(status: int, message: str) -> TransportError:
+    """Build the classified :class:`TransportError` for a failure status."""
+    if is_retryable_status(status):
+        return RetryableTransportError(message, status=status)
+    return TerminalTransportError(message, status=status)
+
+
+@dataclass(frozen=True)
+class TransportRequest:
+    """One JSON-over-HTTP request an engine wants delivered.
+
+    Attributes:
+        url: absolute endpoint URL.
+        payload: JSON body (serialized by the transport).
+        headers: HTTP headers, including authentication.
+        estimated_tokens: the engine's token estimate for this call, used by
+            the tokens-per-minute bucket of the rate limiter (0 = skip the
+            token bucket for this request).
+    """
+
+    url: str
+    payload: Mapping[str, object]
+    headers: Mapping[str, str] = field(default_factory=dict)
+    estimated_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class TransportResponse:
+    """A successful (2xx) transport response with its decoded JSON payload."""
+
+    status: int
+    payload: Mapping[str, object]
+
+
+class Transport(ABC):
+    """Delivers one request and returns the decoded response.
+
+    Implementations raise a classified :class:`TransportError` on failure —
+    never a bare urllib/socket exception — so the retry layer can decide
+    whether to try again without knowing how the bytes moved.
+    """
+
+    @abstractmethod
+    def send(self, request: TransportRequest) -> TransportResponse:
+        """Deliver ``request``; raise :class:`TransportError` on failure."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class UrllibTransport(Transport):
+    """Real HTTP delivery over :mod:`urllib` (stdlib only, no extra deps).
+
+    Args:
+        timeout: per-request socket timeout in seconds; timeouts surface as
+            :class:`RetryableTransportError`.
+    """
+
+    def __init__(self, timeout: float = 60.0) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+
+    def send(self, request: TransportRequest) -> TransportResponse:
+        import urllib.error
+        import urllib.request
+
+        body = json.dumps(dict(request.payload)).encode("utf-8")
+        headers = {"Content-Type": "application/json", **request.headers}
+        http_request = urllib.request.Request(
+            request.url, data=body, headers=headers, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=self.timeout) as response:
+                raw = response.read().decode("utf-8")
+                status = response.status
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = error.read().decode("utf-8", errors="replace")[:200]
+            except Exception:  # noqa: BLE001 - diagnostics only
+                pass
+            raise error_for_status(
+                error.code, f"HTTP {error.code} from {request.url}: {detail}"
+            ) from error
+        except (urllib.error.URLError, TimeoutError, OSError) as error:
+            raise RetryableTransportError(
+                f"connection failure to {request.url}: {error}"
+            ) from error
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise RetryableTransportError(
+                f"non-JSON response from {request.url}: {raw[:200]!r}"
+            ) from error
+        return TransportResponse(status=status, payload=payload)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with symmetric jitter.
+
+    Attributes:
+        max_attempts: total send attempts (first try included); must be >= 1.
+        base_delay: delay before the first retry, in seconds.
+        multiplier: per-retry delay growth factor.
+        max_delay: ceiling on a single delay, in seconds.
+        jitter: relative jitter amplitude in ``[0, 1]`` — the delay is scaled
+            by a uniform factor in ``[1 - jitter, 1 + jitter]`` so that a
+            fleet of workers rate-limited at the same instant does not retry
+            in lockstep.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """Delay before the ``retry_index``-th retry (0-based), jittered."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw)
+
+
+class TokenBucket:
+    """Classic token-bucket limiter with an injectable clock.
+
+    The bucket refills continuously at ``rate`` units per second up to
+    ``capacity``.  :meth:`reserve` debits the bucket immediately and returns
+    how long the caller must wait before proceeding — debiting first (the
+    balance may go negative) means concurrent reservers are serialized
+    fairly: each sees the debt left by the previous one.
+
+    Args:
+        rate: refill rate in units per second (> 0).
+        capacity: maximum stored units (>= the largest single reservation
+            that should pass without waiting).
+        clock: time source (defaults to the system clock).
+    """
+
+    def __init__(self, rate: float, capacity: float, clock: Clock | None = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.rate = rate
+        self.capacity = capacity
+        self._clock = clock or Clock()
+        self._lock = threading.Lock()
+        self._level = capacity
+        self._updated_at = self._clock.monotonic()
+
+    def reserve(self, amount: float) -> float:
+        """Debit ``amount`` units; return seconds to wait before proceeding."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        if amount == 0:
+            return 0.0
+        with self._lock:
+            now = self._clock.monotonic()
+            self._level = min(
+                self.capacity, self._level + (now - self._updated_at) * self.rate
+            )
+            self._updated_at = now
+            self._level -= amount
+            if self._level >= 0:
+                return 0.0
+            return -self._level / self.rate
+
+    @property
+    def level(self) -> float:
+        """Current (possibly negative) stored units, without refilling."""
+        with self._lock:
+            return self._level
+
+
+class RateLimiter:
+    """Combined requests-per-second and tokens-per-minute throttle.
+
+    Args:
+        requests_per_second: request-rate cap (``None`` disables the bucket).
+        tokens_per_minute: token-rate cap (``None`` disables the bucket);
+            compared against :attr:`TransportRequest.estimated_tokens`.
+        clock: time source shared by both buckets; waits go through
+            ``clock.sleep`` so a fake clock makes throttling instantaneous.
+        burst_seconds: bucket capacity expressed in seconds of rate — e.g.
+            2.0 lets two seconds' worth of requests go through back to back
+            before throttling kicks in.
+    """
+
+    def __init__(
+        self,
+        requests_per_second: float | None = None,
+        tokens_per_minute: float | None = None,
+        clock: Clock | None = None,
+        burst_seconds: float = 1.0,
+    ) -> None:
+        if burst_seconds <= 0:
+            raise ValueError(f"burst_seconds must be > 0, got {burst_seconds}")
+        self._clock = clock or Clock()
+        self._request_bucket = (
+            TokenBucket(
+                requests_per_second,
+                capacity=max(1.0, requests_per_second * burst_seconds),
+                clock=self._clock,
+            )
+            if requests_per_second is not None
+            else None
+        )
+        tokens_per_second = (
+            tokens_per_minute / 60.0 if tokens_per_minute is not None else None
+        )
+        self._token_bucket = (
+            TokenBucket(
+                tokens_per_second,
+                capacity=max(1.0, tokens_per_minute),
+                clock=self._clock,
+            )
+            if tokens_per_second is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self._throttled = 0
+        self._waited_seconds = 0.0
+
+    def throttle(self, estimated_tokens: int = 0) -> float:
+        """Admit one request, sleeping as required; returns seconds waited."""
+        wait = 0.0
+        if self._request_bucket is not None:
+            wait = max(wait, self._request_bucket.reserve(1.0))
+        if self._token_bucket is not None and estimated_tokens > 0:
+            wait = max(wait, self._token_bucket.reserve(float(estimated_tokens)))
+        if wait > 0:
+            with self._lock:
+                self._throttled += 1
+                self._waited_seconds += wait
+            self._clock.sleep(wait)
+        return wait
+
+    @property
+    def throttled_requests(self) -> int:
+        """Requests that had to wait on a bucket."""
+        with self._lock:
+            return self._throttled
+
+    @property
+    def waited_seconds(self) -> float:
+        """Cumulative seconds spent waiting on the buckets."""
+        with self._lock:
+            return self._waited_seconds
+
+
+class RetryingTransport(Transport):
+    """Bounded-retry wrapper with backoff, jitter and rate limiting.
+
+    The wrapper owns everything operational about a send: it throttles each
+    *attempt* through the rate limiter (a retry consumes rate budget too),
+    classifies failures via :attr:`TransportError.retryable`, sleeps the
+    policy's jittered backoff between attempts, and re-raises terminal
+    errors — or the last retryable error once attempts are exhausted —
+    unchanged.
+
+    Args:
+        inner: the transport that actually moves bytes.
+        policy: retry/backoff schedule.
+        limiter: optional rate limiter applied before every attempt.
+        clock: time source for backoff sleeps.
+        seed: seed of the jitter RNG (deterministic backoff under test).
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        policy: RetryPolicy | None = None,
+        limiter: RateLimiter | None = None,
+        clock: Clock | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.limiter = limiter
+        self._clock = clock or Clock()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._attempts = 0
+        self._retries = 0
+        self._failures = 0
+
+    def send(self, request: TransportRequest) -> TransportResponse:
+        last_error: TransportError | None = None
+        for attempt in range(self.policy.max_attempts):
+            if self.limiter is not None:
+                self.limiter.throttle(request.estimated_tokens)
+            with self._lock:
+                self._attempts += 1
+                if attempt == 0:
+                    self._requests += 1
+            try:
+                return self.inner.send(request)
+            except TransportError as error:
+                last_error = error
+                if not error.retryable or attempt == self.policy.max_attempts - 1:
+                    with self._lock:
+                        self._failures += 1
+                    raise
+                with self._lock:
+                    self._retries += 1
+                    delay = self.policy.delay(attempt, self._rng)
+                self._clock.sleep(delay)
+        raise last_error if last_error is not None else AssertionError("unreachable")
+
+    def stats(self) -> dict[str, object]:
+        """Operational counters (JSON-serializable, folded into ``/stats``)."""
+        with self._lock:
+            stats: dict[str, object] = {
+                "requests": self._requests,
+                "attempts": self._attempts,
+                "retries": self._retries,
+                "failures": self._failures,
+            }
+        if self.limiter is not None:
+            stats["throttled_requests"] = self.limiter.throttled_requests
+            stats["rate_limit_wait_seconds"] = round(self.limiter.waited_seconds, 6)
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryingTransport(inner={self.inner!r}, "
+            f"max_attempts={self.policy.max_attempts})"
+        )

@@ -46,6 +46,7 @@ def run_threshold_ablation(
             num_demonstrations=settings.num_demonstrations,
             seed=settings.seeds[0],
             max_questions=settings.max_questions,
+            engine=settings.engine,
         )
         result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(
@@ -79,6 +80,7 @@ def run_batch_size_ablation(
             num_demonstrations=settings.num_demonstrations,
             seed=settings.seeds[0],
             max_questions=settings.max_questions,
+            engine=settings.engine,
         )
         result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(

@@ -25,6 +25,7 @@ def _config(settings: ExperimentSettings, seed: int) -> BatcherConfig:
         num_demonstrations=settings.num_demonstrations,
         seed=seed,
         max_questions=settings.max_questions,
+        engine=settings.engine,
     )
 
 

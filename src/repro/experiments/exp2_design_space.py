@@ -44,6 +44,7 @@ def run_exp2_design_space(
                     num_demonstrations=settings.num_demonstrations,
                     seed=seed,
                     max_questions=settings.max_questions,
+                    engine=settings.engine,
                 )
                 result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
                 rows.append(

@@ -50,6 +50,7 @@ def run_exp3_plm_comparison(
             num_demonstrations=settings.num_demonstrations,
             seed=seed,
             max_questions=settings.max_questions,
+            engine=settings.engine,
         )
         batcher_result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
         rows.append(

@@ -38,6 +38,7 @@ def run_exp4_manual_prompt(
             num_demonstrations=settings.num_demonstrations,
             seed=seed,
             max_questions=settings.max_questions,
+            engine=settings.engine,
         )
         manual = ManualPromptBaseline(config).run(dataset)
         batch = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())

@@ -38,6 +38,7 @@ def run_exp5_llms(
                 num_demonstrations=settings.num_demonstrations,
                 seed=seed,
                 max_questions=settings.max_questions,
+                engine=settings.engine,
             )
             result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
             row[f"{model} F1"] = round(result.metrics.f1, 2)

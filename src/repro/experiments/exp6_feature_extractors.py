@@ -40,6 +40,7 @@ def run_exp6_feature_extractors(
                 num_demonstrations=settings.num_demonstrations,
                 seed=seed,
                 max_questions=settings.max_questions,
+                engine=settings.engine,
             )
             result = BatchER(config, executor=settings.executor()).run(dataset, **settings.run_kwargs())
             row[label] = round(result.metrics.f1, 2)

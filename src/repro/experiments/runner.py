@@ -94,6 +94,11 @@ def main(argv: list[str] | None = None) -> int:
         "re-invoked with the same --resume DIR continues with zero repeated "
         "LLM calls",
     )
+    parser.add_argument(
+        "--engine", default=None,
+        help="LLM engine backend (default: simulated; real backends such as "
+        "openai/anthropic need the provider API key in the environment)",
+    )
     args = parser.parse_args(argv)
 
     settings = ExperimentSettings.from_env()
@@ -110,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["shards"] = args.shards
     if args.resume is not None:
         overrides["checkpoint_dir"] = args.resume
+    if args.engine is not None:
+        overrides["engine"] = args.engine.strip().lower()
     if overrides:
         settings = ExperimentSettings(
             **{**settings.__dict__, **overrides}

@@ -17,6 +17,9 @@ Environment overrides (picked up by :meth:`ExperimentSettings.from_env`):
   > 1, shards execute concurrently).  Results are identical regardless.
 * ``REPRO_EXP_CHECKPOINT_DIR`` — per-shard checkpoint root; re-running after
   a kill resumes with zero repeated LLM calls.
+* ``REPRO_EXP_ENGINE`` — LLM engine backend (default ``simulated``; real
+  backends like ``openai`` require the provider's API key in the
+  environment — see the README's "Real LLM backends" section).
 """
 
 from __future__ import annotations
@@ -65,6 +68,8 @@ class ExperimentSettings:
             by dataset + configuration, so one directory serves the whole
             report — re-running after a kill resumes with zero repeated LLM
             calls.
+        engine: LLM engine backend (``"simulated"`` by default; one of
+            :func:`repro.engines.available_engines`).
     """
 
     datasets: tuple[str, ...] = field(default_factory=available_datasets)
@@ -79,6 +84,7 @@ class ExperimentSettings:
     jobs: int = 1
     shards: int = 1
     checkpoint_dir: str | None = None
+    engine: str = "simulated"
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -94,6 +100,7 @@ class ExperimentSettings:
         jobs = int(os.environ.get("REPRO_EXP_JOBS", "1"))
         shards = int(os.environ.get("REPRO_EXP_SHARDS", "1"))
         checkpoint_dir = os.environ.get("REPRO_EXP_CHECKPOINT_DIR") or None
+        engine = os.environ.get("REPRO_EXP_ENGINE", "simulated").strip().lower()
         return cls(
             datasets=datasets,
             scale=scale,
@@ -101,6 +108,7 @@ class ExperimentSettings:
             jobs=jobs,
             shards=shards,
             checkpoint_dir=checkpoint_dir,
+            engine=engine,
         )
 
     def executor(self) -> ExecutionBackend:

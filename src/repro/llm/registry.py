@@ -4,22 +4,36 @@ from __future__ import annotations
 
 from repro.llm.base import LLMClient
 from repro.llm.profiles import available_models
-from repro.llm.simulated import SimulatedLLM
 
 
-def create_llm(model: str = "gpt-3.5-03", seed: int = 0, temperature: float = 0.01) -> LLMClient:
+def create_llm(
+    model: str = "gpt-3.5-03",
+    seed: int = 0,
+    temperature: float = 0.01,
+    engine: str = "simulated",
+) -> LLMClient:
     """Create an LLM client for ``model``.
 
-    Offline this always returns a :class:`SimulatedLLM`; the indirection exists
-    so an API-backed client could be registered here without touching callers.
+    The call routes through the :mod:`repro.engines` registry; the default
+    ``engine="simulated"`` returns the behavioural simulation (a
+    :class:`~repro.llm.simulated.SimulatedLLM` subclass, byte-identical in
+    output), while ``"openai"`` / ``"openai_compatible"`` / ``"anthropic"``
+    build real HTTP-backed engines configured from the environment
+    (``OPENAI_API_KEY``, ``REPRO_ENGINE_BASE_URL``, ...).  ``model`` stays a
+    *logical* model name either way — it drives profiles and pricing; HTTP
+    engines translate it to the provider's identifier separately.
 
     Raises:
         ValueError: if the model name has no registered profile (the same
             error type :class:`repro.core.config.BatcherConfig` raises for an
-            unknown model, so config and factory misuse fail uniformly).
+            unknown model, so config and factory misuse fail uniformly), or
+            if ``engine`` names no registered backend.
     """
     key = model.strip().lower()
     if key not in available_models():
         known = ", ".join(available_models())
         raise ValueError(f"unknown model {model!r}; expected one of: {known}")
-    return SimulatedLLM(model_name=key, seed=seed, temperature=temperature)
+    # Imported lazily: repro.engines depends on repro.llm, not the reverse.
+    from repro.engines.registry import create_engine
+
+    return create_engine(engine, model=key, seed=seed, temperature=temperature)

@@ -197,7 +197,12 @@ class PipelineContext:
         reset_usage: bool = True,
     ) -> "PipelineContext":
         if llm is None:
-            llm = create_llm(config.model, seed=config.seed, temperature=config.temperature)
+            llm = create_llm(
+                config.model,
+                seed=config.seed,
+                temperature=config.temperature,
+                engine=config.engine,
+            )
         elif reset_usage:
             llm.reset_usage()
         if cost is None:

@@ -99,7 +99,10 @@ class Resolver:
         self.config = config or BatcherConfig()
         self.attributes = attributes
         self._llm = llm or create_llm(
-            self.config.model, seed=self.config.seed, temperature=self.config.temperature
+            self.config.model,
+            seed=self.config.seed,
+            temperature=self.config.temperature,
+            engine=self.config.engine,
         )
         self._pipeline = Pipeline.default(executor=executor, evaluate=False, hooks=hooks)
         self._pool: list[EntityPair] = []
@@ -215,6 +218,11 @@ class Resolver:
         return self._pool_features_cache
 
     # -- session accounting --------------------------------------------------
+
+    @property
+    def llm(self) -> LLMClient:
+        """The session's LLM client (an engine when built via the registry)."""
+        return self._llm
 
     @property
     def usage(self) -> UsageTracker:

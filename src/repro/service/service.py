@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 from repro.cost.tracker import CostBreakdown
 from repro.data.schema import Dataset, EntityPair
 from repro.engine.sharding import ShardPlanner
+from repro.engines.base import Engine as EngineBackend
 from repro.features.engine import FeatureStoreStats
 from repro.llm.executors import ConcurrentExecutor, ExecutionBackend, SerialExecutor
 from repro.pipeline.resolver import Resolution, Resolver
@@ -113,6 +114,11 @@ class ServiceStats:
         cost: cumulative session :class:`CostBreakdown`.
         engine: counters of the engine-backed bulk path
             (:meth:`ResolutionService.resolve_bulk`).
+        llm_engine: operational snapshot of the session's LLM engine backend
+            (name, model, capability flags, request/token counters and — for
+            HTTP backends — retry and rate-limit counters), from
+            :meth:`repro.engines.base.Engine.describe`; ``None`` when the
+            session's LLM is not a registered engine.
         feature_store: snapshot of the session's columnar feature-vector
             store (size, hit rate, evictions, and the ``planning`` routing
             counters of its sparse-neighbor-graph planner); ``None`` before
@@ -137,6 +143,7 @@ class ServiceStats:
     num_labeled: int
     cost: CostBreakdown
     engine: EngineStats
+    llm_engine: dict | None
     feature_store: FeatureStoreStats | None
     uptime_seconds: float
     throughput_pairs_per_second: float
@@ -166,6 +173,7 @@ class ServiceStats:
             "num_labeled": self.num_labeled,
             "cost": self.cost.to_dict(),
             "engine": self.engine.to_dict(),
+            "llm_engine": self.llm_engine,
             "feature_store": (
                 self.feature_store.to_dict() if self.feature_store is not None else None
             ),
@@ -707,6 +715,8 @@ class ResolutionService:
             time.monotonic() - self._started_at if self._started_at is not None else 0.0
         )
         store = self._resolver.feature_store
+        llm = self._resolver.llm
+        llm_engine = llm.describe() if isinstance(llm, EngineBackend) else None
         return ServiceStats(
             submitted=submitted,
             resolved=resolved,
@@ -723,6 +733,7 @@ class ResolutionService:
             num_labeled=self._resolver.num_labeled,
             cost=self._resolver.cost(),
             engine=engine,
+            llm_engine=llm_engine,
             feature_store=store.stats() if store is not None else None,
             uptime_seconds=uptime,
             throughput_pairs_per_second=(resolved / uptime if uptime > 0 else 0.0),

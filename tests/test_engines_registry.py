@@ -1,0 +1,201 @@
+"""Engine registry tests: configs, factories, env resolution, create_llm contract."""
+
+import pytest
+
+from repro.core.config import BatcherConfig
+from repro.engines import (
+    AnthropicEngine,
+    AnthropicEngineConfig,
+    Engine,
+    OpenAICompatibleEngine,
+    OpenAIEngine,
+    OpenAIEngineConfig,
+    SimulatedEngine,
+    SimulatedEngineConfig,
+    available_engines,
+    create_engine,
+    engine_config_from_env,
+    engine_from_env,
+    register_engine,
+)
+from repro.engines.registry import build_config
+from repro.llm.registry import create_llm
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestRegistry:
+    def test_available_engines(self):
+        assert available_engines() == (
+            "anthropic",
+            "openai",
+            "openai_compatible",
+            "simulated",
+        )
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine.*expected one of"):
+            create_engine("bedrock")
+
+    def test_unknown_config_field_raises(self):
+        with pytest.raises(ValueError, match="unknown 'simulated' engine config fields"):
+            build_config("simulated", base_url="http://x")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("simulated", SimulatedEngineConfig, lambda *a, **k: None)
+
+    @pytest.mark.parametrize(
+        ("name", "engine_cls"),
+        [
+            ("simulated", SimulatedEngine),
+            ("openai", OpenAIEngine),
+            ("openai_compatible", OpenAICompatibleEngine),
+            ("anthropic", AnthropicEngine),
+        ],
+    )
+    def test_create_engine_builds_offline(self, name, engine_cls):
+        # Construction must never touch the network; only sends do.
+        engine = create_engine(name, model="gpt-3.5-03", seed=1)
+        assert isinstance(engine, engine_cls)
+        assert isinstance(engine, Engine)
+        assert engine.engine_name == name
+        assert engine.model_name == "gpt-3.5-03"
+
+    def test_create_engine_from_config_instance(self):
+        config = OpenAIEngineConfig(model="gpt-4", provider_model="gpt-4-turbo")
+        engine = create_engine(config)
+        assert isinstance(engine, OpenAIEngine)
+        assert engine.provider_model == "gpt-4-turbo"
+        # Overrides apply on top of the given config.
+        patched = create_engine(config, provider_model="gpt-4o")
+        assert patched.provider_model == "gpt-4o"
+
+    def test_simulated_unknown_model_raises(self):
+        with pytest.raises(ValueError, match="unknown model.*expected one of"):
+            create_engine("simulated", model="claude-opus")
+
+    def test_simulated_engine_is_byte_identical_to_simulated_llm(self):
+        prompts = [f"Q{i}: are these the same entity? Answer Yes or No." for i in range(8)]
+        raw = SimulatedLLM(model_name="gpt-3.5-06", seed=11, temperature=0.01)
+        engine = create_engine("simulated", model="gpt-3.5-06", seed=11, temperature=0.01)
+        for prompt in prompts:
+            assert engine.complete(prompt) == raw.complete(prompt)
+        assert engine.usage.num_calls == raw.usage.num_calls
+        assert engine.usage.prompt_tokens == raw.usage.prompt_tokens
+        assert engine.usage.completion_tokens == raw.usage.completion_tokens
+
+    def test_capability_flags(self):
+        assert not create_engine("simulated").requires_network
+        assert create_engine("openai").requires_network
+        assert create_engine("openai").supports_json_schema
+        assert not create_engine("openai_compatible").supports_json_schema
+        assert create_engine("anthropic").supports_json_schema
+
+    def test_describe_is_json_serializable(self):
+        import json
+
+        snapshot = create_engine("openai", model="gpt-4").describe()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["engine"] == "openai"
+        assert snapshot["provider_model"] == "gpt-4"
+
+
+class TestProviderModelResolution:
+    def test_openai_alias_table(self):
+        assert create_engine("openai", model="gpt-3.5-03").provider_model == (
+            "gpt-3.5-turbo-0301"
+        )
+
+    def test_compatible_passes_logical_name_through(self):
+        engine = create_engine("openai_compatible", model="llama2-70b")
+        assert engine.provider_model == "llama2-70b"
+
+    def test_explicit_provider_model_wins(self):
+        engine = create_engine("openai", model="gpt-3.5-03", provider_model="gpt-4o-mini")
+        assert engine.provider_model == "gpt-4o-mini"
+
+
+class TestEnvResolution:
+    def test_defaults_to_simulated(self):
+        config = engine_config_from_env(env={})
+        assert isinstance(config, SimulatedEngineConfig)
+        engine = engine_from_env(env={})
+        assert isinstance(engine, SimulatedEngine)
+
+    def test_selects_and_tunes_http_backend(self):
+        env = {
+            "REPRO_ENGINE": "openai_compatible",
+            "REPRO_ENGINE_BASE_URL": "http://localhost:1234/v1",
+            "REPRO_ENGINE_MODEL": "my-local-model",
+            "REPRO_ENGINE_RPS": "4",
+            "REPRO_ENGINE_TPM": "90000",
+            "REPRO_ENGINE_MAX_ATTEMPTS": "7",
+            "REPRO_ENGINE_TIMEOUT": "12.5",
+            "REPRO_ENGINE_JSON_SCHEMA": "true",
+        }
+        config = engine_config_from_env(env=env)
+        assert config.base_url == "http://localhost:1234/v1"
+        assert config.provider_model == "my-local-model"
+        assert config.requests_per_second == 4.0
+        assert config.tokens_per_minute == 90000.0
+        assert config.max_attempts == 7
+        assert config.timeout_seconds == 12.5
+        assert config.json_schema_mode is True
+
+    def test_anthropic_key_env_default(self):
+        env = {"REPRO_ENGINE": "anthropic"}
+        config = engine_config_from_env(env=env)
+        assert isinstance(config, AnthropicEngineConfig)
+        assert config.api_key_env == "ANTHROPIC_API_KEY"
+        assert config.resolve_api_key({"ANTHROPIC_API_KEY": "sk-a"}) == "sk-a"
+        assert config.resolve_api_key({}) is None
+
+    def test_explicit_overrides_beat_env(self):
+        env = {"REPRO_ENGINE": "openai", "REPRO_ENGINE_MODEL": "from-env"}
+        config = engine_config_from_env(env=env, provider_model="explicit")
+        assert config.provider_model == "explicit"
+
+    def test_unknown_env_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_config_from_env(env={"REPRO_ENGINE": "palm"})
+
+
+class TestCreateLlmContract:
+    def test_default_is_simulated_llm(self):
+        llm = create_llm("gpt-4", seed=3)
+        assert isinstance(llm, SimulatedLLM)
+        assert isinstance(llm, SimulatedEngine)
+
+    def test_unknown_model_message_unchanged(self):
+        with pytest.raises(
+            ValueError,
+            match=(
+                r"unknown model 'claude-opus'; expected one of: "
+                r"gpt-3\.5-03, gpt-3\.5-06, gpt-4, llama2-70b"
+            ),
+        ):
+            create_llm("claude-opus")
+
+    def test_engine_kwarg_routes_to_registry(self):
+        llm = create_llm("gpt-3.5-03", engine="openai_compatible")
+        assert isinstance(llm, OpenAICompatibleEngine)
+
+    def test_unknown_engine_kwarg_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_llm("gpt-3.5-03", engine="palm")
+
+
+class TestBatcherConfigEngineField:
+    def test_default_round_trips(self):
+        config = BatcherConfig()
+        assert config.engine == "simulated"
+        assert BatcherConfig.from_dict(config.to_dict()) == config
+        assert config.to_dict()["engine"] == "simulated"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            BatcherConfig(engine="palm")
+
+    def test_accepts_registered_engines(self):
+        for name in available_engines():
+            assert BatcherConfig(engine=name).engine == name

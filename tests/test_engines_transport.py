@@ -1,0 +1,268 @@
+"""Transport-layer tests: retry/backoff, rate limiting, fault harness.
+
+Everything here runs against the fake clock — zero real sleeps, fully
+deterministic — which is the entire point of the harness: a five-attempt
+exponential backoff schedule is asserted in microseconds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.faults import FakeClock, FlakyTransport, ScriptedTransport
+from repro.engines.transport import (
+    RateLimiter,
+    RetryPolicy,
+    RetryableTransportError,
+    RetryingTransport,
+    TerminalTransportError,
+    TokenBucket,
+    TransportRequest,
+    error_for_status,
+    is_retryable_status,
+)
+
+REQUEST = TransportRequest(url="https://api.test/v1/x", payload={"k": "v"})
+
+
+class TestErrorClassification:
+    @pytest.mark.parametrize("status", [500, 502, 503, 529, 408, 409, 429])
+    def test_retryable_statuses(self, status):
+        assert is_retryable_status(status)
+        error = error_for_status(status, "boom")
+        assert isinstance(error, RetryableTransportError)
+        assert error.retryable
+        assert error.status == status
+
+    @pytest.mark.parametrize("status", [400, 401, 403, 404, 422])
+    def test_terminal_statuses(self, status):
+        assert not is_retryable_status(status)
+        error = error_for_status(status, "boom")
+        assert isinstance(error, TerminalTransportError)
+        assert not error.retryable
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=2.0, max_delay=5.0, jitter=0.0
+        )
+        import random
+
+        rng = random.Random(0)
+        delays = [policy.delay(i, rng) for i in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        import random
+
+        rng = random.Random(42)
+        for index in range(200):
+            assert 0.75 <= policy.delay(0, rng) <= 1.25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=2.0, clock=clock)
+        assert bucket.reserve(1.0) == 0.0
+        assert bucket.reserve(1.0) == 0.0
+        # Bucket empty: the third reservation must wait one full refill.
+        assert bucket.reserve(1.0) == pytest.approx(1.0)
+
+    def test_refills_with_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=4.0, clock=clock)
+        bucket.reserve(4.0)
+        clock.advance(1.0)  # refills 2 units
+        assert bucket.reserve(2.0) == 0.0
+        assert bucket.reserve(2.0) == pytest.approx(1.0)
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, capacity=3.0, clock=clock)
+        clock.advance(1000.0)
+        bucket.reserve(3.0)
+        assert bucket.reserve(1.0) > 0.0
+
+    def test_debt_serializes_concurrent_reservers(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=1.0, clock=clock)
+        waits = [bucket.reserve(1.0) for _ in range(4)]
+        # Each successive reservation inherits the previous debt: waits grow.
+        assert waits == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+
+class TestRateLimiter:
+    def test_requests_per_second_throttles(self):
+        clock = FakeClock()
+        limiter = RateLimiter(requests_per_second=2.0, clock=clock)
+        for _ in range(2):  # burst capacity = 2
+            assert limiter.throttle() == 0.0
+        wait = limiter.throttle()
+        assert wait == pytest.approx(0.5)
+        assert limiter.throttled_requests == 1
+        assert limiter.waited_seconds == pytest.approx(0.5)
+        assert clock.sleeps == [pytest.approx(0.5)]
+
+    def test_tokens_per_minute_throttles(self):
+        clock = FakeClock()
+        limiter = RateLimiter(tokens_per_minute=600.0, clock=clock)
+        assert limiter.throttle(estimated_tokens=600) == 0.0
+        wait = limiter.throttle(estimated_tokens=100)
+        assert wait == pytest.approx(10.0)  # 100 tokens at 10 tokens/sec
+
+    def test_zero_estimated_tokens_skips_token_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(tokens_per_minute=60.0, clock=clock)
+        for _ in range(50):
+            assert limiter.throttle(estimated_tokens=0) == 0.0
+
+    def test_no_limits_never_throttles(self):
+        limiter = RateLimiter(clock=FakeClock())
+        for _ in range(100):
+            assert limiter.throttle(estimated_tokens=10_000) == 0.0
+
+
+class TestScriptedTransport:
+    def test_replays_outcomes_in_order(self):
+        transport = ScriptedTransport([503, {"ok": True}, 400])
+        with pytest.raises(RetryableTransportError):
+            transport.send(REQUEST)
+        response = transport.send(REQUEST)
+        assert response.payload == {"ok": True}
+        with pytest.raises(TerminalTransportError):
+            transport.send(REQUEST)
+        assert transport.calls == 3
+        assert len(transport.requests) == 3
+
+    def test_exhausted_script_raises(self):
+        transport = ScriptedTransport([])
+        with pytest.raises(RuntimeError, match="exhausted"):
+            transport.send(REQUEST)
+
+    def test_exception_outcomes_raise_as_is(self):
+        sentinel = RetryableTransportError("timeout")
+        transport = ScriptedTransport([sentinel])
+        with pytest.raises(RetryableTransportError) as caught:
+            transport.send(REQUEST)
+        assert caught.value is sentinel
+
+
+class TestFlakyTransport:
+    def test_fails_at_exact_ordinals(self):
+        inner = ScriptedTransport([{"n": 1}, {"n": 2}, {"n": 3}])
+        flaky = FlakyTransport(inner, fail_at={1, 3}, status=503)
+        with pytest.raises(RetryableTransportError):
+            flaky.send(REQUEST)
+        assert flaky.send(REQUEST).payload == {"n": 1}
+        with pytest.raises(RetryableTransportError):
+            flaky.send(REQUEST)
+        assert flaky.send(REQUEST).payload == {"n": 2}
+        assert flaky.calls == 4
+        assert flaky.injected_failures == 2
+        # Failing sends never reached the inner transport.
+        assert inner.calls == 2
+
+    def test_rejects_zero_ordinal(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FlakyTransport(ScriptedTransport([]), fail_at={0})
+
+
+class TestRetryingTransport:
+    def test_retries_transient_then_succeeds(self):
+        clock = FakeClock()
+        inner = ScriptedTransport([503, 429, {"ok": 1}])
+        transport = RetryingTransport(
+            inner,
+            policy=RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0),
+            clock=clock,
+        )
+        response = transport.send(REQUEST)
+        assert response.payload == {"ok": 1}
+        stats = transport.stats()
+        assert stats["requests"] == 1
+        assert stats["attempts"] == 3
+        assert stats["retries"] == 2
+        assert stats["failures"] == 0
+        # Exponential backoff: 1s then 2s, on the fake clock only.
+        assert clock.sleeps == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_terminal_error_never_retries(self):
+        clock = FakeClock()
+        inner = ScriptedTransport([401])
+        transport = RetryingTransport(inner, clock=clock)
+        with pytest.raises(TerminalTransportError):
+            transport.send(REQUEST)
+        assert inner.calls == 1
+        assert clock.sleeps == []
+        assert transport.stats()["failures"] == 1
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        clock = FakeClock()
+        inner = ScriptedTransport([503, 503, 503])
+        transport = RetryingTransport(
+            inner, policy=RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0), clock=clock
+        )
+        with pytest.raises(RetryableTransportError):
+            transport.send(REQUEST)
+        assert inner.calls == 3
+        assert len(clock.sleeps) == 2  # no sleep after the final failure
+
+    def test_rate_limiter_applies_per_attempt(self):
+        clock = FakeClock()
+        limiter = RateLimiter(requests_per_second=1.0, clock=clock)
+        inner = ScriptedTransport([503, {"ok": 1}])
+        transport = RetryingTransport(
+            inner,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            limiter=limiter,
+            clock=clock,
+        )
+        transport.send(REQUEST)
+        # First attempt consumed the burst; the retry paid the rate bucket.
+        assert limiter.throttled_requests == 1
+        assert "throttled_requests" in transport.stats()
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run(seed):
+            clock = FakeClock()
+            transport = RetryingTransport(
+                ScriptedTransport([503, 503, {"ok": 1}]),
+                policy=RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.25),
+                clock=clock,
+                seed=seed,
+            )
+            transport.send(REQUEST)
+            return clock.sleeps
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(failures=st.integers(min_value=0, max_value=4))
+    def test_attempts_always_equal_failures_plus_one(self, failures):
+        clock = FakeClock()
+        inner = ScriptedTransport([503] * failures + [{"ok": 1}])
+        transport = RetryingTransport(
+            inner, policy=RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0), clock=clock
+        )
+        transport.send(REQUEST)
+        stats = transport.stats()
+        assert stats["attempts"] == failures + 1
+        assert stats["retries"] == failures
+        assert stats["requests"] == 1
