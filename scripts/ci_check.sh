@@ -14,7 +14,51 @@ echo "== tier-1 tests =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q --durations=15 "$@"
 
 echo "== service smoke test (repro-serve --self-test) =="
+# The self-test also validates the observability surface end to end: it runs
+# one traced pass and one untraced pass (equal labels prove instrumentation
+# never alters results), asserts span nesting, and scrapes its own
+# GET /metrics over HTTP to check the Prometheus exposition is well-formed
+# with populated latency histograms, retry counters and cache hit-rate gauges.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.cli --self-test
+
+echo "== observability smoke (traced run + repro-trace render) =="
+# A fixed-seed traced pipeline run persists its spans as JSONL; the reader
+# must parse the file, the spans must nest under one batcher:run root, and
+# the repro-trace CLI must render the latency tree from the same file.
+OBS_TRACE="$(mktemp)"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - "$OBS_TRACE" <<'PY'
+import sys
+
+from repro.core.batcher import BatchER
+from repro.core.config import BatcherConfig
+from repro.data.registry import load_dataset
+from repro.observability import JsonlTraceSink, Tracer, read_trace_file
+
+trace_path = sys.argv[1]
+with JsonlTraceSink(trace_path) as sink:
+    dataset = load_dataset("beer", seed=7, scale=1.0)
+    BatchER(BatcherConfig(seed=1, max_questions=8), tracer=Tracer(sink=sink)).run(dataset)
+spans = read_trace_file(trace_path)
+assert spans, "traced run persisted no spans"
+roots = [span for span in spans if span["parent"] is None]
+assert [root["name"] for root in roots] == ["batcher:run"], roots
+known = {span["span"] for span in spans}
+assert all(span["parent"] in known for span in spans if span["parent"] is not None)
+assert any(str(span["name"]).startswith("stage:") for span in spans)
+PY
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.observability.cli "$OBS_TRACE" --top 5 > /dev/null
+rm -f "$OBS_TRACE"
+
+echo "== observability smoke benchmark (BENCH_observability.json) =="
+# --small --max-overhead-pct 0: an identity and trace-shape oracle, not a
+# stopwatch — it *asserts* that a traced run returns byte-identical results
+# to the untraced run and that the persisted trace nests correctly; the
+# wall-clock overhead floor stays for manual/release invocations
+# (benchmarks/bench_observability.py asserts <= 5% by default).
+# The smoke report goes to a scratch file so it never clobbers a full-size
+# BENCH_observability.json with small-n numbers.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_observability.py \
+  --small --max-overhead-pct 0 --report "$(mktemp)" > /dev/null
 
 echo "== feature engine smoke benchmark (BENCH_features.json) =="
 # --min-speedup 0: the smoke run checks the equivalence oracles and emits the

@@ -12,13 +12,13 @@ _readme = Path(__file__).parent / "README.md"
 
 setup(
     name="batcher-repro",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Reproduction of 'Cost-Effective In-Context Learning for Entity "
         "Resolution: A Design Space Exploration' (ICDE 2024) with a staged "
         "pipeline API, concurrent LLM dispatch, a streaming Resolver, a "
-        "micro-batching resolution server and a sharded, checkpointable "
-        "run engine"
+        "micro-batching resolution server, a sharded, checkpointable "
+        "run engine and a unified tracing + metrics layer"
     ),
     long_description=_readme.read_text(encoding="utf-8") if _readme.exists() else "",
     long_description_content_type="text/markdown",
@@ -34,6 +34,7 @@ setup(
             "repro-tune-check=repro.experiments.tune_check:main",
             "repro-experiments=repro.experiments.runner:main",
             "repro-serve=repro.service.cli:main",
+            "repro-trace=repro.observability.cli:main",
         ]
     },
     classifiers=[

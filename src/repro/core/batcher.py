@@ -29,6 +29,7 @@ from repro.core.result import RunResult
 from repro.data.schema import Dataset
 from repro.llm.base import LLMClient
 from repro.llm.executors import ExecutionBackend
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline, StageHook
 
@@ -46,6 +47,9 @@ class BatchER:
             :class:`~repro.llm.executors.ConcurrentExecutor` parallelises the
             LLM calls without changing any result.
         hooks: optional pipeline telemetry hooks (per-stage observers).
+        tracer: optional span producer; when given, every run opens a root
+            ``batcher:run`` span with per-stage children.  Tracing observes
+            the run without altering any result.
     """
 
     def __init__(
@@ -54,11 +58,13 @@ class BatchER:
         llm: LLMClient | None = None,
         executor: ExecutionBackend | None = None,
         hooks: Iterable[StageHook] = (),
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or BatcherConfig()
         self._llm = llm
         self._executor = executor
         self._hooks = tuple(hooks)
+        self._tracer = tracer or NOOP_TRACER
 
     def build_pipeline(self) -> Pipeline:
         """The staged pipeline this facade runs (exposed for inspection)."""
@@ -66,7 +72,9 @@ class BatchER:
 
     def build_context(self, dataset: Dataset) -> PipelineContext:
         """Build the pipeline context ``run`` would execute on ``dataset``."""
-        return PipelineContext.from_dataset(dataset, self.config, llm=self._llm)
+        context = PipelineContext.from_dataset(dataset, self.config, llm=self._llm)
+        context.tracer = self._tracer
+        return context
 
     def build_engine(
         self,
@@ -89,6 +97,7 @@ class BatchER:
             shard_strategy=shard_strategy,
             checkpoint_dir=checkpoint_dir,
             hooks=self._hooks,
+            tracer=self._tracer,
         )
 
     # -- main entry point -----------------------------------------------------
@@ -115,17 +124,22 @@ class BatchER:
                 defaults to the configured executor's worker bound, so a
                 checkpointed run keeps the executor's concurrency.
         """
-        if (shards is None or shards == 1) and checkpoint_dir is None:
-            context = self.build_pipeline().run(self.build_context(dataset))
-            assert context.result is not None  # produced by the Evaluate stage
-            return context.result
-        if shards is None:
-            # Engine concurrency is per shard: without an explicit count,
-            # match the executor's parallelism instead of silently
-            # serializing a previously-concurrent run behind checkpointing.
-            shards = getattr(self._executor, "max_workers", 1) if self._executor else 1
-        engine = self.build_engine(shards=shards, checkpoint_dir=checkpoint_dir)
-        return engine.run(dataset)
+        with self._tracer.span("batcher:run") as scope:
+            if self._tracer.enabled:
+                scope.set_attribute("dataset", dataset.name)
+            if (shards is None or shards == 1) and checkpoint_dir is None:
+                context = self.build_pipeline().run(self.build_context(dataset))
+                assert context.result is not None  # produced by the Evaluate stage
+                return context.result
+            if shards is None:
+                # Engine concurrency is per shard: without an explicit count,
+                # match the executor's parallelism instead of silently
+                # serializing a previously-concurrent run behind checkpointing.
+                shards = (
+                    getattr(self._executor, "max_workers", 1) if self._executor else 1
+                )
+            engine = self.build_engine(shards=shards, checkpoint_dir=checkpoint_dir)
+            return engine.run(dataset)
 
     def run_many(self, datasets: Sequence[Dataset]) -> list[RunResult]:
         """Run the framework on several datasets and return all results."""

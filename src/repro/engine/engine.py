@@ -43,6 +43,8 @@ from repro.engine.merger import ShardMerger
 from repro.engine.sharding import Shard, ShardPlanner
 from repro.llm.base import LLMClient
 from repro.llm.executors import ExecutionBackend, SerialExecutor
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline, StageHook
 from repro.pipeline.stages import Inference, ParseAnswers, RenderPrompts
@@ -122,6 +124,12 @@ class RunEngine:
         checkpoint_store: pre-built store (overrides ``checkpoint_dir``);
             fault-injection tests pass a crashing store here.
         hooks: pipeline telemetry hooks applied to the planning stages.
+        tracer: optional span producer; ``execute`` opens an
+            ``engine:execute`` root with one ``engine:shard`` child per
+            non-empty shard (crossing the shard executor's thread boundary).
+        metrics: optional registry recording shard progress
+            (``repro_shard_batches_total{mode=executed|resumed}`` and
+            ``repro_shards_completed_total``).
     """
 
     def __init__(
@@ -134,6 +142,8 @@ class RunEngine:
         checkpoint_dir: str | Path | None = None,
         checkpoint_store: CheckpointStore | None = None,
         hooks: Iterable[StageHook] = (),
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or BatcherConfig()
         self._llm = llm
@@ -143,6 +153,17 @@ class RunEngine:
             checkpoint_store = CheckpointStore(checkpoint_dir)
         self._store = checkpoint_store
         self._hooks = tuple(hooks)
+        self._tracer = tracer or NOOP_TRACER
+        self._metric_batches = self._metric_shards = None
+        if metrics is not None:
+            self._metric_batches = metrics.counter(
+                "repro_shard_batches_total",
+                "Batches completed by the run engine, by execution mode.",
+                labels=("mode",),
+            )
+            self._metric_shards = metrics.counter(
+                "repro_shards_completed_total", "Shards fully executed or replayed."
+            )
         self.last_report: EngineReport | None = None
 
     @property
@@ -160,7 +181,9 @@ class RunEngine:
     def plan(self, dataset: Dataset) -> PipelineContext:
         """Run the deterministic planning prefix (no LLM calls) on ``dataset``."""
         context = PipelineContext.from_dataset(dataset, self.config, llm=self._llm)
-        Pipeline.default(hooks=self._hooks).run_until(context, RenderPrompts.name)
+        context.tracer = self._tracer
+        with self._tracer.span("engine:plan"):
+            Pipeline.default(hooks=self._hooks).run_until(context, RenderPrompts.name)
         return context
 
     def run(self, dataset: Dataset) -> RunResult:
@@ -191,9 +214,13 @@ class RunEngine:
             else None
         )
         backend = self._executor or SerialExecutor()
-        outcomes = backend.map_settled(
-            lambda shard: self._execute_shard(shard, context, store), plan.shards
-        )
+        with self._tracer.span("engine:execute") as scope:
+            if self._tracer.enabled:
+                scope.set_attribute("shards", plan.num_shards)
+                scope.set_attribute("batches", plan.num_batches)
+            outcomes = backend.map_settled(
+                lambda shard: self._execute_shard(shard, context, store), plan.shards
+            )
         errors = [error for _, error in outcomes if error is not None]
         if errors:
             raise errors[0]
@@ -243,6 +270,25 @@ class RunEngine:
         """
         if shard.is_empty:
             return {}, 0, 0
+        with context.tracer.span("engine:shard") as scope:
+            if context.tracer.enabled:
+                scope.set_attribute("shard_id", shard.shard_id)
+                scope.set_attribute("batches", len(shard))
+            result = self._run_shard_batches(shard, context, store)
+            if context.tracer.enabled:
+                scope.set_attribute("resumed", result[2])
+        if self._metric_batches is not None:
+            self._metric_batches.inc(result[1], mode="executed")
+            self._metric_batches.inc(result[2], mode="resumed")
+            self._metric_shards.inc()
+        return result
+
+    def _run_shard_batches(
+        self,
+        shard: Shard,
+        context: PipelineContext,
+        store: CheckpointStore | None,
+    ) -> tuple[dict[int, BatchRecord], int, int]:
         batches = context.batches or []
         prompts = context.prompts or []
         header = ShardHeader(

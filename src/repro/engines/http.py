@@ -21,6 +21,7 @@ the rendered text, so structured mode changes reliability, never semantics.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import replace
 from typing import ClassVar, Mapping
 
@@ -258,10 +259,13 @@ class HttpEngine(Engine):
             if self.config.json_schema_mode and self.supports_json_schema
             else None
         )
+        started = time.perf_counter()
         text, prompt_tokens, completion_tokens = self._send(prompt_text, schema)
         response = self._record(prompt_text, text, prompt_tokens, completion_tokens)
         if schema is not None:
             response = replace(response, text=render_structured_answers(response.text))
+        if self._completion_observers:
+            self._notify_completion(response, time.perf_counter() - started)
         return response
 
     def structured_complete(

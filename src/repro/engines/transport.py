@@ -25,7 +25,11 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracing import Tracer
 
 __all__ = [
     "Clock",
@@ -42,6 +46,7 @@ __all__ = [
     "UrllibTransport",
     "error_for_status",
     "is_retryable_status",
+    "retry_reason",
 ]
 
 #: 4xx statuses that are worth retrying despite being client errors:
@@ -368,6 +373,21 @@ class RateLimiter:
             return self._waited_seconds
 
 
+def retry_reason(error: TransportError) -> str:
+    """Coarse, low-cardinality label for why a send attempt failed.
+
+    Used both as the retry-metric label and as the span tag, so a 429 storm
+    is distinguishable from a flapping backend at a glance.
+    """
+    if error.status is None:
+        return "connection"
+    if error.status == 429:
+        return "429"
+    if error.status >= 500:
+        return "5xx"
+    return str(error.status)
+
+
 class RetryingTransport(Transport):
     """Bounded-retry wrapper with backoff, jitter and rate limiting.
 
@@ -378,12 +398,23 @@ class RetryingTransport(Transport):
     errors — or the last retryable error once attempts are exhausted —
     unchanged.
 
+    Observability: when a tracer is attached, every :meth:`send` opens a
+    ``transport:send`` span with one ``transport:attempt`` child per attempt,
+    tagged with the attempt ordinal, the rate-limiter wait it paid and — on
+    failure — the retry reason.  When a metrics registry is attached, the
+    wrapper keeps live ``repro_transport_*`` counters (requests, attempts,
+    retries by reason, failures, throttle waits) next to the in-object
+    :meth:`stats` counters.
+
     Args:
         inner: the transport that actually moves bytes.
         policy: retry/backoff schedule.
         limiter: optional rate limiter applied before every attempt.
         clock: time source for backoff sleeps.
         seed: seed of the jitter RNG (deterministic backoff under test).
+        tracer: span producer (default: tracing disabled).
+        metrics: metrics registry to record transport counters into
+            (``None`` = no metrics).
     """
 
     def __init__(
@@ -393,6 +424,8 @@ class RetryingTransport(Transport):
         limiter: RateLimiter | None = None,
         clock: Clock | None = None,
         seed: int = 0,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.inner = inner
         self.policy = policy or RetryPolicy()
@@ -404,28 +437,105 @@ class RetryingTransport(Transport):
         self._attempts = 0
         self._retries = 0
         self._failures = 0
+        from repro.observability.tracing import NOOP_TRACER
+
+        self.tracer = NOOP_TRACER
+        self._metric_requests = self._metric_attempts = None
+        self._metric_retries = self._metric_failures = None
+        self._metric_throttled = self._metric_wait = None
+        self.bind_observability(tracer=tracer, metrics=metrics)
+
+    def bind_observability(
+        self,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        """Attach (or re-attach) a tracer and/or metrics registry.
+
+        Engines build their transport internally, so owners that assemble
+        observability later (e.g. the serving layer) bind it here instead of
+        reconstructing the transport.  Either argument may be ``None`` to
+        leave that side unchanged.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self._metric_requests = metrics.counter(
+                "repro_transport_requests_total", "Logical sends through the transport."
+            )
+            self._metric_attempts = metrics.counter(
+                "repro_transport_attempts_total", "Send attempts (retries included)."
+            )
+            self._metric_retries = metrics.counter(
+                "repro_transport_retries_total",
+                "Retried attempts by failure reason.",
+                labels=("reason",),
+            )
+            self._metric_failures = metrics.counter(
+                "repro_transport_failures_total", "Sends that ultimately failed."
+            )
+            self._metric_throttled = metrics.counter(
+                "repro_transport_throttled_total",
+                "Attempts that waited on the rate limiter.",
+            )
+            self._metric_wait = metrics.counter(
+                "repro_transport_rate_limit_wait_seconds_total",
+                "Cumulative seconds attempts spent waiting on the rate limiter.",
+            )
+            # 429s are the operationally interesting retry reason; make the
+            # family's sample exist (at zero) before the first rate-limit hit.
+            self._metric_retries.inc(0, reason="429")
 
     def send(self, request: TransportRequest) -> TransportResponse:
+        with self.tracer.span("transport:send") as send_scope:
+            if self.tracer.enabled:
+                send_scope.set_attribute("url", request.url)
+            return self._send_attempts(request)
+
+    def _send_attempts(self, request: TransportRequest) -> TransportResponse:
         last_error: TransportError | None = None
         for attempt in range(self.policy.max_attempts):
+            waited = 0.0
             if self.limiter is not None:
-                self.limiter.throttle(request.estimated_tokens)
+                waited = self.limiter.throttle(request.estimated_tokens)
+                if waited > 0 and self._metric_throttled is not None:
+                    self._metric_throttled.inc()
+                    self._metric_wait.inc(waited)
             with self._lock:
                 self._attempts += 1
                 if attempt == 0:
                     self._requests += 1
-            try:
-                return self.inner.send(request)
-            except TransportError as error:
-                last_error = error
-                if not error.retryable or attempt == self.policy.max_attempts - 1:
+            if self._metric_attempts is not None:
+                self._metric_attempts.inc()
+                if attempt == 0:
+                    self._metric_requests.inc()
+            with self.tracer.span("transport:attempt") as scope:
+                if self.tracer.enabled:
+                    scope.set_attribute("attempt", attempt)
+                    scope.set_attribute("rate_limit_wait_seconds", waited)
+                try:
+                    return self.inner.send(request)
+                except TransportError as error:
+                    last_error = error
+                    reason = retry_reason(error)
+                    if self.tracer.enabled:
+                        scope.set_attribute("retry_reason", reason)
+                        scope.set_attribute("retryable", error.retryable)
+                        # A retryable failure is swallowed here, so the span
+                        # would otherwise close "ok"; mark it failed up front.
+                        scope.span.status = "error"
+                    if not error.retryable or attempt == self.policy.max_attempts - 1:
+                        with self._lock:
+                            self._failures += 1
+                        if self._metric_failures is not None:
+                            self._metric_failures.inc()
+                        raise
                     with self._lock:
-                        self._failures += 1
-                    raise
-                with self._lock:
-                    self._retries += 1
-                    delay = self.policy.delay(attempt, self._rng)
-                self._clock.sleep(delay)
+                        self._retries += 1
+                        delay = self.policy.delay(attempt, self._rng)
+                    if self._metric_retries is not None:
+                        self._metric_retries.inc(reason=reason)
+            self._clock.sleep(delay)
         raise last_error if last_error is not None else AssertionError("unreachable")
 
     def stats(self) -> dict[str, object]:

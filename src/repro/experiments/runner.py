@@ -53,10 +53,10 @@ def generate_report(settings: ExperimentSettings | None = None, stream=None) -> 
     output = stream or sys.stdout
     sections = []
     for title, runner in REPORT_SECTIONS:
-        started = time.time()
+        started = time.perf_counter()
         rows = runner(settings)
         table = format_markdown_table(rows)
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         section = f"## {title}\n\n{table}\n"
         sections.append(section)
         print(f"{section}\n_(generated in {elapsed:.1f}s)_\n", file=output)

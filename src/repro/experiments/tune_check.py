@@ -35,7 +35,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     executor = create_executor(args.jobs)
 
-    start = time.time()
+    start = time.perf_counter()
     for name in args.datasets:
         dataset = load_dataset(name, seed=args.seed, scale=SCALES[name])
         config = BatcherConfig(seed=args.seed)
@@ -57,7 +57,7 @@ def main(argv: list[str] | None = None) -> int:
             f"div+cov F1={diverse_cover.metrics.f1:5.1f} P={diverse_cover.metrics.precision:4.1f} "
             f"lab={diverse_cover.cost.labeling_cost:6.3f}"
         )
-    print(f"elapsed {time.time() - start:.1f}s")
+    print(f"elapsed {time.perf_counter() - start:.1f}s")
     return 0
 
 

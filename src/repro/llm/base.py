@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.text.tokenizer import ApproxTokenizer
 
@@ -119,13 +120,39 @@ class LLMClient(ABC):
         self.model_name = model_name
         self.tokenizer = tokenizer or ApproxTokenizer()
         self.usage = UsageTracker()
+        self._completion_observers: list[Callable[[LLMResponse, float], None]] = []
 
     @abstractmethod
     def _generate(self, prompt_text: str) -> str:
         """Produce the completion text for ``prompt_text``."""
 
+    def add_completion_observer(
+        self, observer: Callable[["LLMResponse", float], None]
+    ) -> None:
+        """Register a per-call observer: ``observer(response, seconds)``.
+
+        Observers see every completed call with its wall-clock latency — the
+        seam the observability layer uses to record per-engine latency
+        histograms and token counters.  Observation must not alter the
+        response; with no observers registered the per-call overhead is one
+        clock read and a truthiness check.
+        """
+        self._completion_observers.append(observer)
+
+    def remove_completion_observer(
+        self, observer: Callable[["LLMResponse", float], None]
+    ) -> None:
+        """Unregister a previously added completion observer."""
+        self._completion_observers.remove(observer)
+
+    def _notify_completion(self, response: "LLMResponse", seconds: float) -> None:
+        """Fan one completed call out to the registered observers."""
+        for observer in self._completion_observers:
+            observer(response, seconds)
+
     def complete(self, prompt_text: str) -> LLMResponse:
         """Run one completion and record its token usage."""
+        started = time.perf_counter()
         completion_text = self._generate(prompt_text)
         response = LLMResponse(
             text=completion_text,
@@ -140,6 +167,8 @@ class LLMClient(ABC):
                 completion_tokens=response.completion_tokens,
             )
         )
+        if self._completion_observers:
+            self._notify_completion(response, time.perf_counter() - started)
         return response
 
     def complete_many(

@@ -19,6 +19,8 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
+from repro.observability.tracing import carry_current_span
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.llm.base import LLMClient, LLMResponse
 
@@ -129,6 +131,9 @@ class ConcurrentExecutor(ExecutionBackend):
         materialised: Sequence[ItemT] = list(items)
         if len(materialised) <= 1:
             return [fn(item) for item in materialised]
+        # Worker threads have no ambient trace context; carry the submitting
+        # thread's current span across so worker-side spans parent correctly.
+        fn = carry_current_span(fn)
         if self._pool is not None:
             # Executor.map preserves input order, which is the determinism
             # guarantee callers rely on.
@@ -209,6 +214,11 @@ class AsyncExecutor(ExecutionBackend):
         semaphore = asyncio.Semaphore(self.max_in_flight)
         loop = asyncio.get_running_loop()
         is_async = inspect.iscoroutinefunction(fn)
+        if not is_async:
+            # Coroutines inherit the ambient context when their task is
+            # created, but run_in_executor hops to a pool thread that does
+            # not; carry the current span across explicitly.
+            fn = carry_current_span(fn)
         workers = min(self.max_in_flight, len(items))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             # Bound asyncio.to_thread (used by Engine.acomplete's fallback)

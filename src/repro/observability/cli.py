@@ -1,0 +1,184 @@
+"""``repro-trace``: render a JSONL trace into a latency tree.
+
+Reads a trace file written by :class:`~repro.observability.export.
+JsonlTraceSink` and prints, per trace:
+
+* the span tree with per-span duration, the *self* time (duration minus the
+  time covered by child spans), and attributes;
+* an aggregate per-name table (count, total, mean, max) — the "where did this
+  run spend its time" answer across repeated operations;
+* the top-N slowest spans overall.
+
+.. code-block:: bash
+
+    repro-trace run-trace.jsonl --top 10
+    repro-trace run-trace.jsonl --tree      # span tree only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from repro.observability.export import read_trace_file
+
+__all__ = [
+    "aggregate_by_name",
+    "build_forest",
+    "main",
+    "render_tree",
+    "slowest_spans",
+]
+
+
+def build_forest(
+    spans: Sequence[Mapping[str, object]],
+) -> tuple[list[Mapping[str, object]], dict[str, list[Mapping[str, object]]]]:
+    """Organize span records into (roots, children-by-parent-id).
+
+    Spans whose parent never finished (e.g. the process died mid-trace) are
+    promoted to roots rather than dropped.  Children are ordered by start
+    timestamp; roots by (trace id, start).
+    """
+    by_id = {str(span["span"]): span for span in spans}
+    children: dict[str, list[Mapping[str, object]]] = defaultdict(list)
+    roots: list[Mapping[str, object]] = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and str(parent) in by_id:
+            children[str(parent)].append(span)
+        else:
+            roots.append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: float(span.get("start", 0.0)))
+    roots.sort(key=lambda span: (str(span.get("trace", "")), float(span.get("start", 0.0))))
+    return roots, dict(children)
+
+
+def self_time(
+    span: Mapping[str, object], children: Mapping[str, list[Mapping[str, object]]]
+) -> float:
+    """Span duration not covered by its direct children."""
+    own = float(span.get("duration", 0.0))
+    covered = sum(
+        float(child.get("duration", 0.0))
+        for child in children.get(str(span["span"]), [])
+    )
+    return max(0.0, own - covered)
+
+
+def render_tree(spans: Sequence[Mapping[str, object]]) -> str:
+    """Render the span forest as an indented latency tree."""
+    roots, children = build_forest(spans)
+    lines: list[str] = []
+    last_trace: str | None = None
+
+    def walk(span: Mapping[str, object], depth: int) -> None:
+        duration = float(span.get("duration", 0.0))
+        own = self_time(span, children)
+        status = str(span.get("status", "ok"))
+        marker = "" if status == "ok" else f" [{status}]"
+        attributes = span.get("attributes") or {}
+        attr_text = (
+            " " + " ".join(f"{key}={value}" for key, value in attributes.items())
+            if attributes
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{span.get('name')}  "
+            f"{duration * 1000:.2f}ms (self {own * 1000:.2f}ms){marker}{attr_text}"
+        )
+        for child in children.get(str(span["span"]), []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        trace = str(root.get("trace", ""))
+        if trace != last_trace:
+            lines.append(f"trace {trace}")
+            last_trace = trace
+        walk(root, 1)
+    return "\n".join(lines)
+
+
+def aggregate_by_name(
+    spans: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    """Per-name aggregate rows (count/total/mean/max), slowest total first."""
+    totals: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        totals[str(span.get("name"))].append(float(span.get("duration", 0.0)))
+    rows = [
+        {
+            "name": name,
+            "count": len(durations),
+            "total_seconds": sum(durations),
+            "mean_seconds": sum(durations) / len(durations),
+            "max_seconds": max(durations),
+        }
+        for name, durations in totals.items()
+    ]
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    return rows
+
+
+def slowest_spans(
+    spans: Sequence[Mapping[str, object]], top: int = 10
+) -> list[Mapping[str, object]]:
+    """The ``top`` spans with the largest durations, slowest first."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    return sorted(
+        spans, key=lambda span: float(span.get("duration", 0.0)), reverse=True
+    )[:top]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-trace`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render a repro observability trace (JSONL) as a latency tree.",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace file")
+    parser.add_argument(
+        "--top", type=int, default=10, help="number of slowest spans to list"
+    )
+    parser.add_argument(
+        "--tree", action="store_true", help="print only the span tree"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = read_trace_file(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"repro-trace: {error}", file=sys.stderr)
+        return 1
+    if not spans:
+        print("repro-trace: trace file holds no spans", file=sys.stderr)
+        return 1
+
+    print(render_tree(spans))
+    if args.tree:
+        return 0
+
+    print("\n== per-stage latency ==")
+    print(f"{'name':40s} {'count':>6s} {'total':>10s} {'mean':>10s} {'max':>10s}")
+    for row in aggregate_by_name(spans):
+        print(
+            f"{str(row['name'])[:40]:40s} {row['count']:6d} "
+            f"{row['total_seconds'] * 1000:9.2f}m {row['mean_seconds'] * 1000:9.2f}m "
+            f"{row['max_seconds'] * 1000:9.2f}m"
+        )
+
+    print(f"\n== top {args.top} slowest spans ==")
+    for span in slowest_spans(spans, top=args.top):
+        print(
+            f"{float(span.get('duration', 0.0)) * 1000:9.2f}ms  "
+            f"{span.get('name')}  (trace {span.get('trace')}, span {span.get('span')})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

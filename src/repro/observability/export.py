@@ -1,0 +1,96 @@
+"""Trace exporters: persist finished spans as append-only JSONL.
+
+One span per line, written and flushed as each span finishes — the same
+discipline as the run engine's :class:`~repro.engine.checkpoint.
+CheckpointStore` appends: a killed process loses at most the span that was
+mid-write, and a torn trailing line is skipped (not fatal) when the file is
+read back.  The format is :meth:`~repro.observability.tracing.Span.to_dict`,
+which the ``repro-trace`` CLI (:mod:`repro.observability.cli`) renders into a
+latency tree.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.observability.tracing import Span
+
+__all__ = ["JsonlTraceSink", "read_trace_file"]
+
+
+class JsonlTraceSink:
+    """Append-only JSONL span sink with per-span flush.
+
+    Args:
+        path: destination file; parent directories are created.  An existing
+            file is appended to, so several runs can share one trace file
+            (each run's spans carry their own trace ids).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._written = 0
+
+    @property
+    def num_written(self) -> int:
+        """Spans written by this sink instance."""
+        with self._lock:
+            return self._written
+
+    def write(self, span: Span) -> None:
+        """Append one finished span and flush it to the OS."""
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            if self._file.closed:
+                raise ValueError(f"trace sink {self.path} is closed")
+            self._file.write(line + "\n")
+            self._file.flush()
+            self._written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlTraceSink(path={str(self.path)!r})"
+
+
+def read_trace_file(path: str | Path) -> list[dict[str, object]]:
+    """Parse a JSONL trace file back into span dictionaries.
+
+    A torn trailing line (the kill-mid-write artifact) is tolerated; a
+    corrupt line anywhere *else* raises, because it means the file was not
+    produced by an append-only sink.
+
+    Raises:
+        ValueError: on a malformed non-trailing line or a non-object line.
+    """
+    path = Path(path)
+    spans: list[dict[str, object]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # torn tail: the process died mid-append
+            raise ValueError(f"{path}:{number}: malformed trace line") from None
+        if not isinstance(entry, dict) or "span" not in entry:
+            raise ValueError(f"{path}:{number}: not a span record")
+        spans.append(entry)
+    return spans

@@ -28,6 +28,7 @@ from repro.data.schema import Dataset, EntityPair, MatchLabel
 from repro.features.engine import FeatureStore
 from repro.llm.base import LLMClient, LLMResponse
 from repro.llm.registry import create_llm
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.prompting.prompt import Prompt
 from repro.selection.base import SelectionResult
 
@@ -81,6 +82,9 @@ class PipelineContext:
             context; :meth:`Pipeline.run` skips them, so ``run_until`` followed
             by ``run`` resumes instead of re-executing (and re-charging) the
             prefix.
+        tracer: span producer the pipeline (and everything it calls) records
+            into; the default :data:`~repro.observability.tracing.NOOP_TRACER`
+            keeps untraced runs effectively free of tracing overhead.
     """
 
     config: BatcherConfig
@@ -105,6 +109,7 @@ class PipelineContext:
     result: RunResult | None = None
     timings: list[StageTiming] = field(default_factory=list)
     completed_stages: list[str] = field(default_factory=list)
+    tracer: Tracer = NOOP_TRACER
 
     # -- construction --------------------------------------------------------
 
@@ -268,6 +273,7 @@ class PipelineContext:
             feature_store=self.feature_store,
             batches=local_batches,
             prompts=list(prompts),
+            tracer=self.tracer,
         )
 
     # -- stage plumbing -------------------------------------------------------

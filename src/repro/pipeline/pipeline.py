@@ -136,7 +136,10 @@ class Pipeline:
             hook.on_stage_start(stage, context)
         started = time.perf_counter()
         try:
-            stage.run(context)
+            with context.tracer.span(f"stage:{stage.name}") as scope:
+                if context.tracer.enabled:
+                    scope.set_attribute("questions", context.num_questions)
+                stage.run(context)
         except Exception as error:
             for hook in self.hooks:
                 hook.on_stage_error(stage, context, error)

@@ -31,6 +31,7 @@ from repro.features.engine import FeatureStore, create_feature_store
 from repro.llm.base import LLMClient, UsageTracker
 from repro.llm.executors import ExecutionBackend
 from repro.llm.registry import create_llm
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline, StageHook
 
@@ -85,6 +86,8 @@ class Resolver:
             config.  Usage accumulates across the whole session.
         executor: optional execution backend for concurrent prompt dispatch.
         hooks: pipeline telemetry hooks applied to every resolve call.
+        tracer: optional span producer; every :meth:`resolve` call opens a
+            ``resolver:resolve`` root span with per-stage children.
     """
 
     def __init__(
@@ -95,9 +98,11 @@ class Resolver:
         llm: LLMClient | None = None,
         executor: ExecutionBackend | None = None,
         hooks: Iterable[StageHook] = (),
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or BatcherConfig()
         self.attributes = attributes
+        self.tracer = tracer or NOOP_TRACER
         self._llm = llm or create_llm(
             self.config.model,
             seed=self.config.seed,
@@ -272,8 +277,12 @@ class Resolver:
         )
         context.feature_store = self.feature_store
         context.pool_features = self._pool_features()
+        context.tracer = self.tracer
         try:
-            self._pipeline.run(context)
+            with self.tracer.span("resolver:resolve") as scope:
+                if self.tracer.enabled:
+                    scope.set_attribute("pairs", len(pairs))
+                self._pipeline.run(context)
         finally:
             # Demonstrations are charged to the session tracker the moment
             # SelectDemonstrations runs; remember them even when a later stage

@@ -19,13 +19,59 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import Sequence
 
 from repro.core.config import BatcherConfig
 from repro.data.registry import available_datasets, load_dataset
+from repro.observability.tracing import Tracer
 from repro.service.config import ServiceConfig
 from repro.service.service import ResolutionService
+
+#: One Prometheus text-exposition sample line: ``name{labels} value``.
+_SAMPLE_LINE = re.compile(
+    r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? [^ ]+$"
+)
+
+
+def _exposition_is_valid(text: str) -> bool:
+    """Whether every non-comment line of ``text`` is a well-formed sample."""
+    samples = [line for line in text.splitlines() if line and not line.startswith("#")]
+    return bool(samples) and all(_SAMPLE_LINE.match(line) for line in samples)
+
+
+def _family_total(text: str, name: str) -> float:
+    """Sum of all sample values of one metric family in an exposition."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith("#") or not line.startswith(name):
+            continue
+        rest = line[len(name):]
+        if rest and rest[0] not in (" ", "{"):
+            continue  # a longer family name sharing the prefix
+        try:
+            total += float(line.rsplit(" ", 1)[1])
+        except (IndexError, ValueError):
+            continue
+    return total
+
+
+def _fetch_metrics(service: ResolutionService) -> tuple[str, str]:
+    """Serve the service over HTTP on a free port and GET ``/metrics``."""
+    from urllib.request import urlopen
+
+    from repro.service.http import ServiceHTTPServer
+
+    server = ServiceHTTPServer(service, port=0).serve_in_background()
+    try:
+        with urlopen(f"{server.address}/metrics", timeout=10.0) as response:
+            content_type = response.headers.get("Content-Type", "")
+            text = response.read().decode("utf-8")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return text, content_type
 
 
 def build_service(args: argparse.Namespace) -> ResolutionService:
@@ -60,21 +106,28 @@ def run_self_test(
     — and therefore every label — is reproducible for a fixed seed.
 
     The report's ``"ok"`` key is ``False`` when an amortization / cache /
-    determinism invariant is violated (``main()`` turns that into exit
-    code 1); individual outcomes are under ``"checks"``.
+    determinism / observability invariant is violated (``main()`` turns that
+    into exit code 1); individual outcomes are under ``"checks"``.
+
+    The first pass runs with tracing enabled and the second without: equal
+    labels across the passes therefore also prove that instrumentation
+    observes the run without altering it.  Before stopping, the first pass
+    serves itself over HTTP on a free port and validates the ``GET /metrics``
+    Prometheus exposition (populated latency histogram, retry counters,
+    cache hit-rate gauge).
     """
     dataset = load_dataset(dataset_name, seed=data_seed, scale=scale)
     unique = [pair.without_label() for pair in dataset.splits.test][:80]
     workload = unique + unique[: max(1, len(unique) // 4)]
 
-    def serve_once() -> tuple[list[int], dict[str, object]]:
+    def serve_once(tracer: Tracer | None) -> tuple[list[int], dict[str, object]]:
         config = ServiceConfig(
             batcher=BatcherConfig(seed=seed, model=model),
             max_batch_size=max_batch_size,
             max_wait_seconds=max_wait_seconds,
             num_workers=num_workers,
         )
-        service = ResolutionService.from_dataset(dataset, config)
+        service = ResolutionService.from_dataset(dataset, config, tracer=tracer)
         # Submit the whole workload before starting the consumer: flush
         # composition is then a pure function of the workload, which is what
         # makes every label reproducible for a fixed seed.
@@ -85,15 +138,27 @@ def run_self_test(
         # Phase 2: the same unique set again — must be pure cache hits.
         service.resolve_many(unique)
         repeat = service.stats().to_dict()
+        metrics_text, metrics_content_type = _fetch_metrics(service)
         service.stop()
-        return labels, {"first_pass": first_pass, "repeat": repeat}
+        return labels, {
+            "first_pass": first_pass,
+            "repeat": repeat,
+            "metrics_text": metrics_text,
+            "metrics_content_type": metrics_content_type,
+        }
 
-    labels, report = serve_once()
-    labels_again, _ = serve_once()
+    tracer = Tracer()
+    labels, report = serve_once(tracer)
+    labels_again, _ = serve_once(None)
 
     first = report["first_pass"]
     repeat = report["repeat"]
     feature_store = repeat.get("feature_store") or {}
+    metrics_text = str(report.pop("metrics_text"))
+    metrics_content_type = str(report.pop("metrics_content_type"))
+    spans = tracer.finished_spans()
+    span_names = {span.name for span in spans}
+    stage_spans = [span for span in spans if span.name.startswith("stage:")]
     checks = {
         "fewer_llm_calls_than_requests": first["llm_calls"] < len(workload),
         "duplicates_joined_in_flight": first["inflight_joined"] >= 1,
@@ -106,6 +171,27 @@ def run_self_test(
         # computed (pool + questions), content-addressed by fingerprint.
         "feature_store_holds_session_vectors": (
             feature_store.get("size", 0) >= len(unique)
+        ),
+        # Pass 1 was traced, pass 2 was not; equal labels above already prove
+        # tracing changed nothing.  These pin the trace shape itself.
+        "traced_flushes_with_nested_stages": (
+            {"service:flush", "resolver:resolve", "stage:inference"} <= span_names
+            and bool(stage_spans)
+            and all(span.parent_id is not None for span in stage_spans)
+        ),
+        "metrics_exposition_is_valid": (
+            _exposition_is_valid(metrics_text)
+            and metrics_content_type.startswith("text/plain")
+        ),
+        "llm_latency_histogram_populated": (
+            _family_total(metrics_text, "repro_llm_latency_seconds_count") > 0
+        ),
+        "retry_counters_exposed": "repro_transport_retries_total" in metrics_text,
+        "cache_hit_rate_gauge_populated": (
+            _family_total(metrics_text, "repro_cache_hit_rate") > 0
+        ),
+        "flushes_counted_by_reason": (
+            _family_total(metrics_text, "repro_service_flushes_total") >= 1
         ),
     }
     report.update(

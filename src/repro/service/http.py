@@ -9,7 +9,11 @@ Endpoints:
   resolves through the engine-backed bulk path
   (:meth:`ResolutionService.resolve_bulk`), which shards the submission
   deterministically past the micro-batch queue.
-* ``GET /stats`` — the service's :meth:`ServiceStats.to_dict` snapshot.
+* ``GET /stats`` — the service's :meth:`ServiceStats.to_dict` snapshot,
+  consolidated with a ``"metrics"`` dump of the service's registry so both
+  endpoints read from the same source of truth.
+* ``GET /metrics`` — the registry in Prometheus text exposition format
+  (``text/plain; version=0.0.4``), ready for an external scraper.
 * ``GET /healthz`` — liveness probe.
 
 Error mapping: malformed requests → 400, cost-budget rejection → 429,
@@ -150,7 +154,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 },
             )
         elif self.path == "/stats":
-            self._send_json(200, service.stats().to_dict())
+            payload = service.stats().to_dict()
+            payload["metrics"] = service.metrics.snapshot()
+            self._send_json(200, payload)
+        elif self.path == "/metrics":
+            body = service.metrics.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 

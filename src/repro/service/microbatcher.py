@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.data.schema import EntityPair
+from repro.engines.transport import Clock
 
 
 class ServiceClosed(RuntimeError):
@@ -62,12 +63,16 @@ class RequestQueue:
 
     Args:
         capacity: maximum number of queued requests.
+        clock: time source for admission timestamps and deadlines; tests
+            inject a :class:`~repro.engines.faults.FakeClock` to drive the
+            deadline logic without sleeping.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, clock: Clock | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.clock = clock or Clock()
         self._items: list[PendingRequest] = []
         self._condition = threading.Condition()
         self._closed = False
@@ -90,14 +95,16 @@ class RequestQueue:
             ServiceOverloaded: if the queue is still full after ``timeout``
                 seconds (``None`` blocks indefinitely).
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self.clock.monotonic() + timeout
         with self._condition:
             while True:
                 if self._closed:
                     raise ServiceClosed("request queue is closed")
                 if len(self._items) < self.capacity:
                     break
-                remaining = None if deadline is None else deadline - time.monotonic()
+                remaining = (
+                    None if deadline is None else deadline - self.clock.monotonic()
+                )
                 if remaining is not None and remaining <= 0:
                     raise ServiceOverloaded(
                         f"request queue full ({self.capacity} pending) for "
@@ -131,7 +138,7 @@ class RequestQueue:
             batch = self._take(max_size)
             deadline = batch[0].enqueued_at + max_wait
             while len(batch) < max_size and not self._closed:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self.clock.monotonic()
                 if remaining <= 0:
                     break
                 self._condition.wait(remaining)
@@ -172,6 +179,11 @@ class MicroBatcher:
         max_batch_size: requests per flush.
         max_wait: seconds the oldest admitted request may wait before a
             partial batch is flushed.
+        on_flush: optional observer called as ``on_flush(batch, reason)``
+            before each flush, where ``reason`` is ``"size"`` (the batch
+            filled), ``"deadline"`` (the oldest request's wait expired) or
+            ``"close"`` (shutdown drain).  Exceptions it raises are swallowed
+            like flush exceptions — observation must not kill the consumer.
     """
 
     def __init__(
@@ -180,6 +192,7 @@ class MicroBatcher:
         flush: Callable[[list[PendingRequest]], None],
         max_batch_size: int,
         max_wait: float,
+        on_flush: Callable[[list[PendingRequest], str], None] | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -189,6 +202,7 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
         self._flush = flush
+        self._on_flush = on_flush
         self._thread: threading.Thread | None = None
         self.num_flushes = 0
 
@@ -219,6 +233,14 @@ class MicroBatcher:
             if not self._thread.is_alive():
                 self._thread = None
 
+    def flush_reason(self, batch: list[PendingRequest]) -> str:
+        """Why ``batch`` left the queue: ``"size"``, ``"close"`` or ``"deadline"``."""
+        if len(batch) >= self.max_batch_size:
+            return "size"
+        if self.queue.closed:
+            return "close"
+        return "deadline"
+
     def _loop(self) -> None:
         while True:
             batch = self.queue.get_batch(self.max_batch_size, self.max_wait)
@@ -226,6 +248,11 @@ class MicroBatcher:
                 # Only returned once the queue is closed and fully drained.
                 return
             self.num_flushes += 1
+            if self._on_flush is not None:
+                try:
+                    self._on_flush(batch, self.flush_reason(batch))
+                except Exception:  # noqa: BLE001 - observers must not kill
+                    pass  # the consumer thread
             try:
                 self._flush(batch)
             except Exception:  # noqa: BLE001 - the consumer must outlive any

@@ -22,7 +22,6 @@ self-test and benchmarks use to pin down exact outputs for a fixed seed.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -31,8 +30,11 @@ from repro.cost.tracker import CostBreakdown
 from repro.data.schema import Dataset, EntityPair
 from repro.engine.sharding import ShardPlanner
 from repro.engines.base import Engine as EngineBackend
+from repro.engines.transport import Clock, RetryingTransport
 from repro.features.engine import FeatureStoreStats
 from repro.llm.executors import ConcurrentExecutor, ExecutionBackend, SerialExecutor
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.pipeline.resolver import Resolution, Resolver
 from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
 from repro.service.config import ServiceConfig
@@ -195,6 +197,13 @@ class ResolutionService:
         demonstrations: labeled pool for the default-built resolver (ignored
             when ``resolver`` is given).
         attributes: attribute schema for the default-built resolver.
+        clock: injectable time source for every deadline the service computes
+            (admission timeouts, batch deadlines, resolve waits, uptime);
+            tests drive it with a :class:`~repro.engines.faults.FakeClock`.
+        tracer: span producer threaded through the session, micro-batch
+            flushes and the LLM transport; default: tracing disabled.
+        metrics: metrics registry to populate; by default the service builds
+            its own (always exposed via :attr:`metrics` and ``GET /metrics``).
     """
 
     def __init__(
@@ -203,8 +212,14 @@ class ResolutionService:
         resolver: Resolver | None = None,
         demonstrations: Sequence[EntityPair] = (),
         attributes: tuple[str, ...] | None = None,
+        clock: Clock | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        self._clock = clock or Clock()
+        self.tracer = tracer or NOOP_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry(self._clock)
         self._owns_executor = resolver is None
         self._executor: ExecutionBackend | None = None
         if resolver is None:
@@ -218,15 +233,19 @@ class ResolutionService:
                 demonstrations=demonstrations,
                 attributes=attributes,
                 executor=self._executor,
+                tracer=self.tracer if self.tracer.enabled else None,
             )
+        elif tracer is not None:
+            resolver.tracer = tracer
         self._resolver = resolver
         self._cache = ResultCache(self.config.cache_capacity)
-        self._queue = RequestQueue(self.config.queue_capacity)
+        self._queue = RequestQueue(self.config.queue_capacity, clock=self._clock)
         self._batcher = MicroBatcher(
             self._queue,
             self._flush,
             max_batch_size=self.config.max_batch_size,
             max_wait=self.config.max_wait_seconds,
+            on_flush=self._observe_flush,
         )
         # fingerprint -> list of (pair-as-submitted, future) awaiting one
         # in-flight resolution.  The first entry's pair is the one resolved.
@@ -250,6 +269,128 @@ class ResolutionService:
         self._bulk_resolved = 0
         self._started_at: float | None = None
         self._stopped = False
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Wire the metric families to the service's live state.
+
+        Live event streams (flush reasons, LLM call latency) are recorded as
+        they happen; everything that already has an authoritative counter
+        (cache stats, queue depth, transport totals, feature-store hit rate)
+        is bridged with scrape-time callbacks instead of double-keeping.
+        """
+        metrics = self.metrics
+        self._metric_flushes = metrics.counter(
+            "repro_service_flushes_total",
+            "Micro-batch flushes by trigger reason.",
+            labels=("reason",),
+        )
+        for reason in ("size", "deadline", "close"):
+            self._metric_flushes.inc(0, reason=reason)
+        self._metric_flush_seconds = metrics.histogram(
+            "repro_service_flush_seconds", "Micro-batch flush latency."
+        )
+        self._metric_llm_latency = metrics.histogram(
+            "repro_llm_latency_seconds",
+            "LLM completion latency by engine and model.",
+            labels=("engine", "model"),
+        )
+        llm = self._resolver.llm
+        engine_label = getattr(llm, "engine_name", type(llm).__name__)
+
+        def observe_completion(response, seconds: float) -> None:
+            self._metric_llm_latency.observe(
+                seconds, engine=engine_label, model=response.model
+            )
+
+        llm.add_completion_observer(observe_completion)
+
+        usage = self._resolver.usage
+        metrics.counter(
+            "repro_llm_calls_total", "LLM calls made by the session."
+        ).set_function(lambda: usage.num_calls)
+        tokens = metrics.counter(
+            "repro_llm_tokens_total", "Tokens spent by the session.", labels=("kind",)
+        )
+        tokens.set_function(lambda: usage.prompt_tokens, kind="prompt")
+        tokens.set_function(lambda: usage.completion_tokens, kind="completion")
+        metrics.gauge(
+            "repro_llm_cost_dollars", "Cumulative session cost (API + labeling)."
+        ).set_function(lambda: self._resolver.cost().total_cost)
+
+        cache = self._cache
+        metrics.counter(
+            "repro_cache_hits_total", "Result-cache lookup hits."
+        ).set_function(lambda: cache.hits)
+        metrics.counter(
+            "repro_cache_misses_total", "Result-cache lookup misses."
+        ).set_function(lambda: cache.misses)
+        metrics.gauge(
+            "repro_cache_size", "Entries currently in the result cache."
+        ).set_function(lambda: len(cache))
+        metrics.gauge(
+            "repro_cache_hit_rate", "Fraction of result-cache lookups served."
+        ).set_function(
+            lambda: cache.hits / (cache.hits + cache.misses)
+            if (cache.hits + cache.misses)
+            else 0.0
+        )
+        metrics.gauge(
+            "repro_feature_store_hit_rate",
+            "Fraction of feature-vector lookups served from the store.",
+        ).set_function(self._feature_store_hit_rate)
+        metrics.gauge(
+            "repro_feature_store_size", "Feature vectors currently cached."
+        ).set_function(
+            lambda: self._resolver.feature_store.stats().size
+            if self._resolver.feature_store is not None
+            else 0
+        )
+        metrics.gauge(
+            "repro_queue_depth", "Requests waiting in the micro-batch queue."
+        ).set_function(lambda: len(self._queue))
+        metrics.counter(
+            "repro_service_submitted_total", "Requests accepted by submit()."
+        ).set_function(lambda: self._submitted)
+        metrics.counter(
+            "repro_service_resolved_total", "Futures completed with a resolution."
+        ).set_function(lambda: self._resolved)
+        metrics.counter(
+            "repro_service_inflight_joined_total",
+            "Requests that joined an identical in-flight pair.",
+        ).set_function(lambda: self._inflight_joined)
+        rejected = metrics.counter(
+            "repro_service_rejected_total",
+            "Submissions rejected at admission, by reason.",
+            labels=("reason",),
+        )
+        rejected.set_function(lambda: self._rejected_overload, reason="overload")
+        rejected.set_function(lambda: self._rejected_budget, reason="budget")
+
+        # HTTP-backed engines route through a RetryingTransport; bind the
+        # service's tracer and registry so retry/429/rate-limit-wait counters
+        # and per-attempt spans land in the same place as everything else.
+        # Without one (simulated engines), the retry family still renders —
+        # at zero — so scrapers see a stable schema across backends.
+        transport = getattr(llm, "transport", None)
+        if isinstance(transport, RetryingTransport):
+            transport.bind_observability(tracer=self.tracer, metrics=metrics)
+        else:
+            metrics.counter(
+                "repro_transport_retries_total",
+                "Retried attempts by failure reason.",
+                labels=("reason",),
+            ).inc(0, reason="429")
+
+    def _feature_store_hit_rate(self) -> float:
+        store = self._resolver.feature_store
+        if store is None:
+            return 0.0
+        return store.stats().hit_rate
+
+    def _observe_flush(self, batch: list[PendingRequest], reason: str) -> None:
+        """Per-flush metrics hook (runs on the consumer thread, pre-flush)."""
+        self._metric_flushes.inc(reason=reason)
 
     @classmethod
     def from_dataset(
@@ -283,7 +424,7 @@ class ResolutionService:
         if self.config.spill_path is not None:
             self._cache.warm_start(self.config.spill_path, on_vector=self._seed_vector)
         if self._started_at is None:
-            self._started_at = time.monotonic()
+            self._started_at = self._clock.monotonic()
         self._batcher.start()
         return self
 
@@ -426,7 +567,12 @@ class ResolutionService:
 
         if self._attach(fingerprint, pair, future, register_if_absent=True):
             return future  # lost a race with a concurrent submitter: joined
-        request = PendingRequest(pair=pair, fingerprint=fingerprint, future=future)
+        request = PendingRequest(
+            pair=pair,
+            fingerprint=fingerprint,
+            future=future,
+            enqueued_at=self._clock.monotonic(),
+        )
         try:
             self._queue.put(request, timeout=self.config.admission_timeout_seconds)
         except ServiceOverloaded as error:
@@ -475,10 +621,10 @@ class ResolutionService:
             TimeoutError: if the deadline passes before all pairs resolve.
         """
         futures = [self.submit(pair) for pair in pairs]
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock.monotonic() + timeout
         resolutions = []
         for future in futures:
-            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            remaining = None if deadline is None else max(0.0, deadline - self._clock.monotonic())
             resolutions.append(future.result(timeout=remaining))
         return resolutions
 
@@ -601,10 +747,10 @@ class ResolutionService:
                         )
 
         if joined:
-            deadline = None if timeout is None else time.monotonic() + timeout
+            deadline = None if timeout is None else self._clock.monotonic() + timeout
             for fingerprint, future in joined.items():
                 remaining = (
-                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                    None if deadline is None else max(0.0, deadline - self._clock.monotonic())
                 )
                 resolved[fingerprint] = future.result(timeout=remaining)
 
@@ -622,6 +768,14 @@ class ResolutionService:
         """Resolve one micro-batch and fan results out to every waiter."""
         if not batch:
             return
+        with self.metrics.time(self._metric_flush_seconds):
+            with self.tracer.span("service:flush") as scope:
+                if self.tracer.enabled:
+                    scope.set_attribute("requests", len(batch))
+                    scope.set_attribute("reason", self._batcher.flush_reason(batch))
+                self._flush_batch(batch)
+
+    def _flush_batch(self, batch: list[PendingRequest]) -> None:
         # First resolutions may establish the attribute schema (and hence the
         # feature store); seed any warm-start vectors that were waiting on it.
         self._drain_pending_vectors()
@@ -712,7 +866,7 @@ class ResolutionService:
                 pairs_resolved=self._bulk_resolved,
             )
         uptime = (
-            time.monotonic() - self._started_at if self._started_at is not None else 0.0
+            self._clock.monotonic() - self._started_at if self._started_at is not None else 0.0
         )
         store = self._resolver.feature_store
         llm = self._resolver.llm
