@@ -67,14 +67,17 @@ echo "== feature engine smoke benchmark (BENCH_features.json) =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_feature_engine.py --min-speedup 0 > /dev/null
 
 echo "== batch planning smoke benchmark (BENCH_planning.json) =="
-# --small --min-speedup 0: a timing-independent run of the dense-vs-sparse
-# planning oracle — it *asserts* identical DBSCAN labels and covering
-# selections between the two paths; the 5x speedup floor is checked by the
-# full-size manual invocation (benchmarks/bench_batch_planning.py --min-speedup 5).
-# The smoke report goes to a scratch file so it never clobbers a full-size
-# BENCH_planning.json with small-n numbers.
+# --small --min-speedup 0 --min-lsh-speedup 0: a timing-independent run of
+# the planning oracles — it *asserts* identical DBSCAN labels and covering
+# selections across the dense / exact-sparse / LSH arms, and at n = 5000 it
+# rebuilds the exact graph to check the LSH subgraph property and the
+# >= 0.95 edge-recall floor.  The wall-clock floors (dense-vs-sparse and
+# LSH-vs-exact-sparse speedups) are checked by the full-size manual
+# invocation (benchmarks/bench_batch_planning.py --min-speedup 5
+# --min-lsh-speedup 5 --n 1000000).  The smoke report goes to a scratch
+# file so it never clobbers a full-size BENCH_planning.json.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_batch_planning.py \
-  --small --min-speedup 0 --report "$(mktemp)" > /dev/null
+  --small --min-speedup 0 --min-lsh-speedup 0 --report "$(mktemp)" > /dev/null
 
 echo "== engines smoke benchmark (BENCH_async.json) =="
 # --small --min-speedup 0: a dispatch-identity and retry-parity oracle, not a

@@ -5,18 +5,24 @@ ER system first applies blocking to prune the ``|TA| x |TB|`` cross product to
 a manageable candidate set, then the matcher (BatchER) labels candidates.  Our
 benchmark generator produces candidate sets directly, but a real deployment
 needs a blocker, so this package provides standard token-overlap and
-similarity-threshold blockers plus blocking-quality metrics (pair recall and
+similarity-threshold blockers, a sub-quadratic MinHash-LSH blocker for
+million-record tables, plus blocking-quality metrics (pair recall and
 reduction ratio).
 """
 
 from repro.blocking.base import Blocker, BlockingResult, evaluate_blocking
+from repro.blocking.minhash import MinHashLSHBlocker, MinHashSigner, band_keys, hash_tokens
 from repro.blocking.overlap import TokenOverlapBlocker
 from repro.blocking.similarity import SimilarityThresholdBlocker
 
 __all__ = [
     "Blocker",
     "BlockingResult",
+    "MinHashLSHBlocker",
+    "MinHashSigner",
     "SimilarityThresholdBlocker",
     "TokenOverlapBlocker",
+    "band_keys",
     "evaluate_blocking",
+    "hash_tokens",
 ]

@@ -23,8 +23,16 @@ subsystem:
   :class:`~repro.clustering.neighbors.NeighborPlanner` wired to its distance
   cache: question sets up to the planner's dense threshold keep the cached
   dense matrix (the historical, byte-identical path), larger ones plan over
-  sparse epsilon-neighbor graphs built in fixed-size blocks so the dense
-  ``(n, n)`` matrix is never materialised.
+  sparse epsilon-neighbor graphs built in fixed-size blocks, and sets above
+  the planner's ``approx_threshold`` route to the MinHash-LSH approximate
+  graph — the dense ``(n, n)`` matrix is never materialised past the dense
+  regime;
+* **chunked featurization** — :meth:`FeatureStore.extract_matrix` walks its
+  input in fixed-size blocks (each block is one columnar extractor call), so
+  peak *working* memory is bounded by the block size; with a
+  ``matrix_byte_budget`` the output matrix itself spills to an anonymous
+  ``np.memmap`` once it would exceed the budget, which is what lets a
+  million-record featurization run without holding the result in RAM.
 
 The store is thread-safe: a service flushes micro-batches from its consumer
 thread while HTTP handler threads read statistics.  Miss computation is
@@ -35,6 +43,7 @@ memo caches), while lookups, stats and gets stay concurrent.
 from __future__ import annotations
 
 import hashlib
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -54,6 +63,9 @@ DEFAULT_CAPACITY = 65536
 #: Default bound on the number of cached pairwise-distance matrices.
 DEFAULT_DISTANCE_CACHE_SIZE = 4
 
+#: Pairs featurized per columnar extractor call in chunked extraction.
+DEFAULT_EXTRACT_BLOCK_SIZE = 8192
+
 
 @dataclass(frozen=True)
 class FeatureStoreStats:
@@ -67,9 +79,14 @@ class FeatureStoreStats:
         evictions: vectors dropped by the LRU bound so far.
         distance_hits / distance_misses: pairwise-distance matrix cache
             outcomes.
+        chunked_extracts: ``extract_matrix`` calls that spanned more than one
+            extraction block.
+        memmap_matrices: output matrices spilled to ``np.memmap`` because
+            they exceeded the store's byte budget.
         planning: routing counters of the store's
-            :class:`~repro.clustering.neighbors.NeighborPlanner` (dense vs
-            sparse graphs built, radii sampled, edges kept).
+            :class:`~repro.clustering.neighbors.NeighborPlanner` (dense /
+            sparse / LSH graphs built, radii sampled, edges kept, LSH
+            candidate counts and oracle recall).
     """
 
     size: int
@@ -79,7 +96,9 @@ class FeatureStoreStats:
     evictions: int
     distance_hits: int
     distance_misses: int
-    planning: dict[str, int] = field(default_factory=dict)
+    chunked_extracts: int = 0
+    memmap_matrices: int = 0
+    planning: dict[str, object] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -98,6 +117,8 @@ class FeatureStoreStats:
             "evictions": self.evictions,
             "distance_hits": self.distance_hits,
             "distance_misses": self.distance_misses,
+            "chunked_extracts": self.chunked_extracts,
+            "memmap_matrices": self.memmap_matrices,
             "planning": dict(self.planning),
         }
 
@@ -120,6 +141,18 @@ class FeatureStore:
             planner's dense threshold (``0`` forces sparse planning
             everywhere — used by the equivalence tests); ignored when an
             explicit ``planner`` is supplied.
+        approx_planning_threshold: convenience override of the default
+            planner's ``approx_threshold`` (``0`` plus a zero dense
+            threshold forces LSH planning everywhere — used by the
+            forced-LSH golden tests); ignored when an explicit ``planner``
+            is supplied.
+        extract_block_size: pairs featurized per columnar extractor call;
+            larger inputs are walked block by block (output rows are
+            bit-identical to one-shot extraction — extractor rows are
+            independent).
+        matrix_byte_budget: when set, output matrices whose float64 bytes
+            exceed this budget are allocated as anonymous ``np.memmap``
+            arrays instead of RAM; ``None`` keeps everything in memory.
     """
 
     def __init__(
@@ -129,6 +162,9 @@ class FeatureStore:
         distance_cache_size: int = DEFAULT_DISTANCE_CACHE_SIZE,
         planner: NeighborPlanner | None = None,
         dense_planning_threshold: int | None = None,
+        approx_planning_threshold: int | None = None,
+        extract_block_size: int = DEFAULT_EXTRACT_BLOCK_SIZE,
+        matrix_byte_budget: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -136,13 +172,21 @@ class FeatureStore:
             raise ValueError(
                 f"distance_cache_size must be >= 1, got {distance_cache_size}"
             )
+        if extract_block_size < 1:
+            raise ValueError(
+                f"extract_block_size must be >= 1, got {extract_block_size}"
+            )
         self.extractor = extractor
         self.capacity = capacity
         self.distance_cache_size = distance_cache_size
+        self.extract_block_size = extract_block_size
+        self.matrix_byte_budget = matrix_byte_budget
         if planner is None:
             planner_kwargs = {"dense_distances": self.pairwise_distances}
             if dense_planning_threshold is not None:
                 planner_kwargs["dense_threshold"] = dense_planning_threshold
+            if approx_planning_threshold is not None:
+                planner_kwargs["approx_threshold"] = approx_planning_threshold
             planner = NeighborPlanner(**planner_kwargs)
         self.planner = planner
         self._vectors: OrderedDict[str, np.ndarray] = OrderedDict()
@@ -157,6 +201,8 @@ class FeatureStore:
         self._evictions = 0
         self._distance_hits = 0
         self._distance_misses = 0
+        self._chunked_extracts = 0
+        self._memmap_matrices = 0
 
     @property
     def dimension(self) -> int:
@@ -225,21 +271,29 @@ class FeatureStore:
             self._vectors.popitem(last=False)
             self._evictions += 1
 
-    def extract_matrix(self, pairs: Sequence[EntityPair]) -> np.ndarray:
-        """Return the ``(n, d)`` feature matrix of ``pairs``, memoized.
+    def _allocate_matrix(self, rows: int) -> np.ndarray:
+        """The output matrix: RAM, or an anonymous memmap past the budget.
 
-        Pairs already in the store (by content fingerprint) reuse their cached
-        vector; the remaining distinct pairs are featurized in one columnar
-        ``extract_matrix`` call on the wrapped extractor.  Output rows are
-        bit-identical to scalar per-pair extraction, so store-served runs
-        reproduce store-free runs exactly.
+        The memmap is backed by an unlinked temporary file, so the spill
+        needs no cleanup — the mapping (and its disk space) is released when
+        the array is garbage collected.
         """
-        pairs = list(pairs)
-        if not pairs:
-            return np.zeros((0, self.dimension), dtype=float)
-        fingerprints = [pair_fingerprint(pair) for pair in pairs]
+        if (
+            self.matrix_byte_budget is not None
+            and rows * self.dimension * 8 > self.matrix_byte_budget
+        ):
+            handle = tempfile.TemporaryFile()
+            matrix = np.memmap(
+                handle, dtype=np.float64, mode="w+", shape=(rows, self.dimension)
+            )
+            with self._lock:
+                self._memmap_matrices += 1
+            return matrix
+        return np.empty((rows, self.dimension), dtype=float)
 
-        matrix = np.empty((len(pairs), self.dimension), dtype=float)
+    def _extract_block(self, pairs: Sequence[EntityPair], out: np.ndarray) -> None:
+        """Fill ``out`` with the vectors of one block of ``pairs``."""
+        fingerprints = [pair_fingerprint(pair) for pair in pairs]
         missing: dict[str, EntityPair] = {}
         missing_rows: list[int] = []
         with self._lock:
@@ -248,7 +302,7 @@ class FeatureStore:
                 if vector is not None:
                     self._vectors.move_to_end(fingerprint)
                     self._hits += 1
-                    matrix[row] = vector
+                    out[row] = vector
                 else:
                     self._misses += 1
                     missing.setdefault(fingerprint, pair)
@@ -262,7 +316,31 @@ class FeatureStore:
                 for fingerprint, vector in by_fingerprint.items():
                     self._store(fingerprint, np.array(vector, dtype=float))
                 for row in missing_rows:
-                    matrix[row] = by_fingerprint[fingerprints[row]]
+                    out[row] = by_fingerprint[fingerprints[row]]
+
+    def extract_matrix(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Return the ``(n, d)`` feature matrix of ``pairs``, memoized.
+
+        Pairs already in the store (by content fingerprint) reuse their cached
+        vector; the remaining distinct pairs are featurized in columnar
+        ``extract_matrix`` calls on the wrapped extractor, at most
+        ``extract_block_size`` pairs per call, so working memory stays
+        bounded however long the input is.  Output rows are bit-identical to
+        scalar per-pair extraction (extractor rows are independent, so block
+        composition cannot change them), and the matrix itself spills to an
+        anonymous ``np.memmap`` when it exceeds ``matrix_byte_budget``.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros((0, self.dimension), dtype=float)
+        matrix = self._allocate_matrix(len(pairs))
+        block = self.extract_block_size
+        if len(pairs) > block:
+            with self._lock:
+                self._chunked_extracts += 1
+        for start in range(0, len(pairs), block):
+            stop = min(start + block, len(pairs))
+            self._extract_block(pairs[start:stop], matrix[start:stop])
         return matrix
 
     # -- pairwise distances --------------------------------------------------
@@ -311,6 +389,8 @@ class FeatureStore:
                 evictions=self._evictions,
                 distance_hits=self._distance_hits,
                 distance_misses=self._distance_misses,
+                chunked_extracts=self._chunked_extracts,
+                memmap_matrices=self._memmap_matrices,
                 planning=self.planner.stats().to_dict(),
             )
 
@@ -333,6 +413,8 @@ def create_feature_store(
     attributes: tuple[str, ...],
     capacity: int = DEFAULT_CAPACITY,
     dense_planning_threshold: int | None = None,
+    approx_planning_threshold: int | None = None,
+    matrix_byte_budget: int | None = None,
 ) -> FeatureStore:
     """Build a :class:`FeatureStore` over one of the paper's extractor variants."""
     from repro.features.factory import create_feature_extractor
@@ -341,4 +423,6 @@ def create_feature_store(
         create_feature_extractor(variant, attributes),
         capacity=capacity,
         dense_planning_threshold=dense_planning_threshold,
+        approx_planning_threshold=approx_planning_threshold,
+        matrix_byte_budget=matrix_byte_budget,
     )

@@ -203,9 +203,13 @@ class Resolver:
         if self._feature_store is None and self.attributes is not None:
             with self._feature_store_lock:
                 if self._feature_store is None:
-                    self._feature_store = create_feature_store(
+                    store = create_feature_store(
                         self.config.feature_extractor, self.attributes
                     )
+                    # Bind the session tracer so graph builds and radius
+                    # resolutions show up as planner:* spans in traces.
+                    store.planner.tracer = self.tracer
+                    self._feature_store = store
         return self._feature_store
 
     def _pool_features(self) -> np.ndarray:

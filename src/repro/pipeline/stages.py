@@ -64,9 +64,13 @@ class Featurize(PipelineStage):
 
     def run(self, context: PipelineContext) -> None:
         if context.feature_store is None:
-            context.feature_store = create_feature_store(
+            store = create_feature_store(
                 context.config.feature_extractor, context.attributes
             )
+            # Ephemeral stores inherit the run's tracer so planner routing
+            # (dense / sparse / LSH graph builds) appears in the trace.
+            store.planner.tracer = context.tracer
+            context.feature_store = store
         store = context.feature_store
         if context.question_features is None:
             context.question_features = store.extract_matrix(context.questions)
@@ -81,8 +85,10 @@ class BatchQuestions(PipelineStage):
     routes the clustering geometry: question sets up to the planner's dense
     threshold consume the engine's cached pairwise distance matrix (shared
     with the covering selector), larger ones cluster over a sparse
-    epsilon-neighbor graph built in fixed-size blocks — the dense ``(n, n)``
-    matrix is never materialised above the threshold.
+    epsilon-neighbor graph built in fixed-size blocks, and sets above the
+    planner's ``approx_threshold`` cluster over the approximate MinHash-LSH
+    epsilon-graph — the dense ``(n, n)`` matrix is never materialised above
+    the dense threshold.
     """
 
     name = "batch-questions"

@@ -193,6 +193,20 @@ def run_self_test(
         "flushes_counted_by_reason": (
             _family_total(metrics_text, "repro_service_flushes_total") >= 1
         ),
+        # The planner's routing counters must reach both surfaces: the
+        # /stats planning dict (lsh_routes / candidate counts / oracle
+        # recall) and the per-regime route metric.  At self-test scale every
+        # self-join is dense, so the dense counter carries the routes while
+        # the lsh family renders at zero — proving the schema is stable
+        # before any large input arrives.
+        "planner_routing_counters_in_stats": (
+            {"lsh_routes", "lsh_candidates", "lsh_recall_min"}
+            <= set(feature_store.get("planning") or {})
+        ),
+        "planner_route_metric_exposed": (
+            "repro_planner_route_total" in metrics_text
+            and _family_total(metrics_text, "repro_planner_route_total") >= 1
+        ),
     }
     report.update(
         {

@@ -346,6 +346,24 @@ class ResolutionService:
             if self._resolver.feature_store is not None
             else 0
         )
+        planner_routes = metrics.counter(
+            "repro_planner_route_total",
+            "Epsilon-graph builds by planner routing regime.",
+            labels=("regime",),
+        )
+        planner_routes.set_function(
+            lambda: self._planner_stat("dense_graphs"), regime="dense"
+        )
+        planner_routes.set_function(
+            lambda: self._planner_stat("sparse_graphs"), regime="sparse"
+        )
+        planner_routes.set_function(
+            lambda: self._planner_stat("lsh_graphs"), regime="lsh"
+        )
+        metrics.counter(
+            "repro_planner_lsh_candidates_total",
+            "Directed candidate pairs verified by the LSH planning regime.",
+        ).set_function(lambda: self._planner_stat("lsh_candidates"))
         metrics.gauge(
             "repro_queue_depth", "Requests waiting in the micro-batch queue."
         ).set_function(lambda: len(self._queue))
@@ -387,6 +405,13 @@ class ResolutionService:
         if store is None:
             return 0.0
         return store.stats().hit_rate
+
+    def _planner_stat(self, name: str) -> int:
+        """One routing counter of the resolver's planner (0 before planning)."""
+        store = self._resolver.feature_store
+        if store is None:
+            return 0
+        return int(getattr(store.planner.stats(), name))
 
     def _observe_flush(self, batch: list[PendingRequest], reason: str) -> None:
         """Per-flush metrics hook (runs on the consumer thread, pre-flush)."""

@@ -3,9 +3,13 @@
 import pytest
 
 from repro.blocking import (
+    MinHashLSHBlocker,
+    MinHashSigner,
     SimilarityThresholdBlocker,
     TokenOverlapBlocker,
+    band_keys,
     evaluate_blocking,
+    hash_tokens,
 )
 from repro.data.schema import CandidateSet, EntityPair, MatchLabel, Record, Table
 
@@ -96,6 +100,67 @@ class TestTokenOverlapBlocker:
         quality = evaluate_blocking(result, wa_dataset.candidate_pairs)
         assert quality["pair_recall"] >= 0.9
         assert quality["reduction_ratio"] > 0.5
+
+
+class TestMinHashLSHBlocker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shingle_size"):
+            MinHashLSHBlocker(shingle_size=0)
+        with pytest.raises(ValueError, match="bands"):
+            MinHashLSHBlocker(num_perm=64, bands=7)
+        with pytest.raises(ValueError, match="candidate_cap"):
+            MinHashLSHBlocker(candidate_cap=0)
+
+    def test_keeps_similar_pairs(self):
+        table_a, table_b = make_tables()
+        result = MinHashLSHBlocker(bands=32).block(table_a, table_b)
+        surviving = {(p.left.record_id, p.right.record_id) for p in result.candidates}
+        assert ("A-0", "B-0") in surviving
+        assert ("A-1", "B-1") in surviving
+
+    def test_recall_and_reduction_on_generated_dataset(self, wa_dataset):
+        result = MinHashLSHBlocker().block(wa_dataset.table_a, wa_dataset.table_b)
+        quality = evaluate_blocking(result, wa_dataset.candidate_pairs)
+        assert quality["pair_recall"] >= 0.9
+        assert quality["reduction_ratio"] > 0.9
+
+    def test_deterministic_across_calls(self, wa_dataset):
+        blocker = MinHashLSHBlocker()
+        first = blocker.block(wa_dataset.table_a, wa_dataset.table_b)
+        second = MinHashLSHBlocker().block(wa_dataset.table_a, wa_dataset.table_b)
+        key = lambda result: [
+            (p.left.record_id, p.right.record_id) for p in result.candidates
+        ]
+        assert key(first) == key(second)
+
+    def test_candidate_cap_bounds_each_left_record(self, wa_dataset):
+        result = MinHashLSHBlocker(bands=32, candidate_cap=2).block(
+            wa_dataset.table_a, wa_dataset.table_b
+        )
+        per_left = {}
+        for pair in result.candidates:
+            per_left[pair.left.record_id] = per_left.get(pair.left.record_id, 0) + 1
+        assert per_left and max(per_left.values()) <= 2
+
+    def test_signer_is_deterministic_and_banded(self):
+        sets = [
+            hash_tokens(tokens)
+            for tokens in (
+                ("samsung", "led", "tv"),
+                ("samsung", "led", "television"),
+                ("sony",),
+            )
+        ]
+        signer = MinHashSigner(num_perm=64, seed=3)
+        signatures = signer.signatures_of_sets(sets)
+        assert signatures.shape == (3, 64)
+        assert (signatures == MinHashSigner(num_perm=64, seed=3).signatures_of_sets(sets)).all()
+        keys = band_keys(signatures, bands=16)
+        assert keys.shape == (3, 16)
+        # Overlapping token sets collide in more bands than disjoint ones.
+        similar = int((keys[0] == keys[1]).sum())
+        disjoint = int((keys[0] == keys[2]).sum())
+        assert similar > disjoint
 
 
 class TestSimilarityThresholdBlocker:

@@ -201,6 +201,74 @@ class TestFeatureStore:
         assert store.extract_matrix([]).shape == (0, 1)
 
 
+class TestChunkedExtraction:
+    """Block-walked ``extract_matrix`` + memmap spill (million-record path)."""
+
+    def make_pairs(self, count):
+        return [
+            make_pair(f"c{i}", {"name": f"item {i}"}, {"name": f"thing {i % 7}"})
+            for i in range(count)
+        ]
+
+    def test_chunked_matrix_identical_to_one_shot(self):
+        pairs = self.make_pairs(25)
+        attributes = ("name",)
+        chunked = FeatureStore(
+            create_feature_extractor("lr", attributes), extract_block_size=4
+        )
+        one_shot = FeatureStore(
+            create_feature_extractor("lr", attributes), extract_block_size=4096
+        )
+        assert np.array_equal(
+            chunked.extract_matrix(pairs), one_shot.extract_matrix(pairs)
+        )
+        assert chunked.stats().chunked_extracts == 1
+        assert one_shot.stats().chunked_extracts == 0
+        # Hits on a warm store flow through the same chunked path.
+        assert np.array_equal(
+            chunked.extract_matrix(pairs), one_shot.extract_matrix(pairs)
+        )
+        assert chunked.stats().chunked_extracts == 2
+
+    def test_memmap_spill_over_byte_budget(self):
+        pairs = self.make_pairs(12)
+        attributes = ("name",)
+        store = FeatureStore(
+            create_feature_extractor("lr", attributes),
+            extract_block_size=5,
+            matrix_byte_budget=8,  # any real matrix exceeds 8 bytes
+        )
+        in_ram = FeatureStore(create_feature_extractor("lr", attributes))
+        spilled = store.extract_matrix(pairs)
+        assert isinstance(spilled, np.memmap)
+        assert np.array_equal(np.asarray(spilled), in_ram.extract_matrix(pairs))
+        assert store.stats().memmap_matrices == 1
+        # Small outputs stay in RAM even with a budget configured.
+        assert not isinstance(store.extract_matrix([]), np.memmap)
+
+    def test_stats_dict_carries_chunking_counters(self):
+        store = create_feature_store("lr", ("name",))
+        payload = store.stats().to_dict()
+        assert {"chunked_extracts", "memmap_matrices", "planning"} <= set(payload)
+
+    def test_create_feature_store_passthrough_reaches_planner(self):
+        store = create_feature_store(
+            "lr",
+            ("name",),
+            dense_planning_threshold=0,
+            approx_planning_threshold=0,
+            matrix_byte_budget=64,
+        )
+        assert store.planner.dense_threshold == 0
+        assert store.planner.approx_threshold == 0
+        assert store.matrix_byte_budget == 64
+
+    def test_extract_block_size_validated(self):
+        extractor = create_feature_extractor("lr", ("name",))
+        with pytest.raises(ValueError, match="extract_block_size"):
+            FeatureStore(extractor, extract_block_size=0)
+
+
 class TestSharedDistanceMatrix:
     def test_distance_matrix_cached_by_content(self, beer_question_features):
         store = create_feature_store("lr", ("name",))
