@@ -1,0 +1,413 @@
+"""Benchmark: resilience chaos harness — scripted outages on virtual time.
+
+Every arm runs on a :class:`~repro.engines.faults.FakeClock`, so "latency"
+is *virtual* seconds consumed per logical request (backoff sleeps, stalls),
+the whole harness finishes in milliseconds of real time, and every oracle is
+deterministic.  Four scripted outage scenarios:
+
+1. **dead backend** — a backend that never answers.  Without the breaker
+   every request pays the full retry ladder; with it, the first request
+   trips the breaker and everything after fast-fails.  Oracle: p50 virtual
+   latency with the breaker open is below 1% of the full-ladder baseline.
+2. **flapping backend** — dead for a scripted window, then healthy.  Oracle:
+   the first request *admitted* after the backend recovers is a half-open
+   probe that succeeds and closes the breaker — recovery within one probe
+   cycle, no thundering herd.
+3. **slow-but-alive stall** — the backend eats the per-attempt socket
+   timeout and fails with ``retry_reason="timeout"``.  Oracle: a deadline
+   budget caps each logical request near the budget (budget + at most one
+   in-flight attempt) instead of the full ladder, and the typed
+   :class:`~repro.resilience.DeadlineExceeded` chains to the timeout error.
+4. **healthy backend parity** — the breaker must be pure overhead-free
+   observation when nothing fails.  Oracle: breaker-on and breaker-off
+   :class:`~repro.core.batcher.RunResult` objects are byte-identical and the
+   breaker records zero trips and zero fast failures.
+
+The report lands in ``BENCH_resilience.json`` at the repository root; unlike
+the timing benchmarks this one is *tracked* — its numbers are virtual-time
+facts, not machine-local measurements.
+
+Standalone (the CI smoke invocation uses ``--small``)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro.core.config import BatcherConfig
+from repro.data.registry import load_dataset
+from repro.engine import RunEngine
+from repro.engines import FakeClock, SimulatedBackendTransport, create_engine
+from repro.engines.transport import (
+    RetryPolicy,
+    RetryableTransportError,
+    RetryingTransport,
+    Transport,
+    TransportRequest,
+    TransportResponse,
+    error_for_status,
+    retry_reason,
+)
+from repro.llm.simulated import SimulatedLLM
+from repro.resilience import (
+    STATE_CLOSED,
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineBudget,
+    DeadlineExceeded,
+    deadline_scope,
+)
+
+#: Where the headline numbers land (repository root, tracked).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+#: Requests driven through the dead-backend arm.
+DEFAULT_DEAD_REQUESTS = 50
+SMALL_DEAD_REQUESTS = 20
+
+#: Questions evaluated by the healthy-parity arm.
+DEFAULT_MAX_QUESTIONS = 48
+SMALL_MAX_QUESTIONS = 16
+
+REQUEST = TransportRequest(url="https://api.bench/v1/x", payload={"q": "bench"})
+
+#: Deterministic ladder: delays 1, 2, 4, 8, 16 between six attempts.
+POLICY = RetryPolicy(
+    max_attempts=6, base_delay=1.0, multiplier=2.0, max_delay=60.0, jitter=0.0
+)
+
+
+class WindowedOutageTransport(Transport):
+    """Healthy except during a scripted ``[start, end)`` outage window.
+
+    During the outage, sends fail immediately with a retryable 503 (the
+    backend is *dead*); outside it they return an OK payload.
+    """
+
+    def __init__(self, clock: FakeClock, outage: tuple[float, float]) -> None:
+        self.clock = clock
+        self.outage = outage
+        self.calls = 0
+
+    def send(self, request: TransportRequest) -> TransportResponse:
+        self.calls += 1
+        start, end = self.outage
+        if start <= self.clock.monotonic() < end:
+            raise error_for_status(503, "backend down for maintenance window")
+        return TransportResponse(status=200, payload={"ok": True})
+
+
+class StallingTransport(Transport):
+    """Slow-but-alive: every send eats ``stall_seconds`` then times out."""
+
+    def __init__(self, clock: FakeClock, stall_seconds: float) -> None:
+        self.clock = clock
+        self.stall_seconds = stall_seconds
+        self.calls = 0
+
+    def send(self, request: TransportRequest) -> TransportResponse:
+        self.calls += 1
+        self.clock.advance(self.stall_seconds)
+        raise RetryableTransportError(
+            f"timeout after {self.stall_seconds}s of silence", reason="timeout"
+        )
+
+
+def _timed_sends(transport: RetryingTransport, clock: FakeClock, count: int):
+    """Virtual seconds consumed by each of ``count`` sends (failures included)."""
+    latencies = []
+    for _ in range(count):
+        started = clock.monotonic()
+        try:
+            transport.send(REQUEST)
+        except (CircuitOpenError, DeadlineExceeded, RetryableTransportError):
+            pass
+        latencies.append(clock.monotonic() - started)
+    return latencies
+
+
+def dead_backend_arm(requests: int) -> dict[str, object]:
+    """Arm 1: fast-fail economics against a backend that never answers."""
+    forever = (0.0, float("inf"))
+
+    baseline_clock = FakeClock()
+    baseline = RetryingTransport(
+        WindowedOutageTransport(baseline_clock, forever),
+        policy=POLICY,
+        clock=baseline_clock,
+    )
+    baseline_latencies = _timed_sends(baseline, baseline_clock, requests)
+
+    breaker_clock = FakeClock()
+    # Long cooldown: the arm measures steady-state open behaviour, so the
+    # breaker must not slip to half-open mid-measurement (fast-fails consume
+    # zero virtual time, so only the first request's backoff advances time).
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=5, cooldown_seconds=10_000.0),
+        clock=breaker_clock,
+        name="dead-backend",
+    )
+    gated = RetryingTransport(
+        WindowedOutageTransport(breaker_clock, forever),
+        policy=POLICY,
+        clock=breaker_clock,
+        breaker=breaker,
+    )
+    gated_latencies = _timed_sends(gated, breaker_clock, requests)
+
+    p50_baseline = statistics.median(baseline_latencies)
+    p50_gated = statistics.median(gated_latencies)
+    if p50_baseline <= 0:
+        raise AssertionError("dead-backend baseline paid no backoff; harness broken")
+    ratio = p50_gated / p50_baseline
+    if ratio >= 0.01:
+        raise AssertionError(
+            f"breaker-open p50 {p50_gated:.3f}s is {ratio:.1%} of the "
+            f"full-ladder baseline {p50_baseline:.3f}s; expected < 1%"
+        )
+    if breaker.fast_failures < requests - 1:
+        raise AssertionError(
+            f"expected >= {requests - 1} fast-fails, got {breaker.fast_failures}"
+        )
+    return {
+        "requests": requests,
+        "p50_full_ladder_seconds": round(p50_baseline, 3),
+        "p50_breaker_open_seconds": round(p50_gated, 6),
+        "latency_ratio": round(ratio, 6),
+        "backend_sends_baseline": baseline.inner.calls,
+        "backend_sends_gated": gated.inner.calls,
+        "fast_failures": breaker.fast_failures,
+    }
+
+
+def flapping_backend_arm() -> dict[str, object]:
+    """Arm 2: a scripted outage window ends; one probe cycle must recover."""
+    clock = FakeClock()
+    outage_end = 40.0
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=3, cooldown_seconds=10.0),
+        clock=clock,
+        name="flapping-backend",
+    )
+    transport = RetryingTransport(
+        WindowedOutageTransport(clock, (0.0, outage_end)),
+        policy=POLICY,
+        clock=clock,
+        breaker=breaker,
+    )
+    admitted_after_recovery = 0
+    recovered_at = None
+    for _ in range(64):
+        sends_before = transport.inner.calls
+        started = clock.monotonic()
+        try:
+            transport.send(REQUEST)
+            success = True
+        except (CircuitOpenError, RetryableTransportError):
+            success = False
+        admitted = transport.inner.calls > sends_before
+        # Classify by when the request *started*: a probe launched into the
+        # tail of the outage (whose backoff then crosses the boundary) still
+        # belongs to the outage, not to the recovery.
+        if started >= outage_end and admitted:
+            admitted_after_recovery += 1
+            if success:
+                recovered_at = clock.monotonic()
+                break
+        clock.advance(5.0)  # request inter-arrival time
+    if recovered_at is None:
+        raise AssertionError("breaker never recovered after the outage window")
+    if admitted_after_recovery != 1:
+        raise AssertionError(
+            f"recovery took {admitted_after_recovery} admitted requests; "
+            "expected the first half-open probe to close the breaker"
+        )
+    if breaker.state != STATE_CLOSED:
+        raise AssertionError(f"breaker ended {breaker.state!r}, expected closed")
+    return {
+        "outage_window_seconds": outage_end,
+        "recovered_at_virtual_seconds": round(recovered_at, 3),
+        "admitted_requests_to_recover": admitted_after_recovery,
+        "trips": breaker.trips,
+        "final_state": breaker.state,
+    }
+
+
+def slow_stall_arm() -> dict[str, object]:
+    """Arm 3: deadline budgets cap a stalling backend's latency bleed."""
+    stall, budget = 20.0, 45.0
+
+    baseline_clock = FakeClock()
+    baseline = RetryingTransport(
+        StallingTransport(baseline_clock, stall), policy=POLICY, clock=baseline_clock
+    )
+    [baseline_latency] = _timed_sends(baseline, baseline_clock, 1)
+
+    clock = FakeClock()
+    transport = RetryingTransport(
+        StallingTransport(clock, stall), policy=POLICY, clock=clock
+    )
+    started = clock.monotonic()
+    error: Exception | None = None
+    with deadline_scope(DeadlineBudget(budget, clock=clock)):
+        try:
+            transport.send(REQUEST)
+        except DeadlineExceeded as caught:
+            error = caught
+    capped_latency = clock.monotonic() - started
+
+    if error is None:
+        raise AssertionError("stalling backend did not trip the deadline budget")
+    cause = error.__cause__
+    if not isinstance(cause, RetryableTransportError) or retry_reason(cause) != "timeout":
+        raise AssertionError(
+            f"deadline error should chain to a timeout-reason transport error, "
+            f"got {cause!r}"
+        )
+    # The budget gates attempt starts and backoff sleeps; one in-flight
+    # attempt may still run to its own socket timeout, hence the + stall.
+    if capped_latency > budget + stall:
+        raise AssertionError(
+            f"deadline-capped latency {capped_latency:.1f}s exceeds "
+            f"budget {budget}s + one attempt stall {stall}s"
+        )
+    if capped_latency >= baseline_latency:
+        raise AssertionError("deadline budget saved no time over the full ladder")
+    return {
+        "stall_seconds": stall,
+        "budget_seconds": budget,
+        "full_ladder_seconds": round(baseline_latency, 3),
+        "deadline_capped_seconds": round(capped_latency, 3),
+        "attempts_baseline": baseline.inner.calls,
+        "attempts_capped": transport.inner.calls,
+        "cause_retry_reason": retry_reason(cause),
+    }
+
+
+def healthy_parity_arm(max_questions: int) -> dict[str, object]:
+    """Arm 4: on a healthy backend the breaker must change nothing."""
+    dataset = load_dataset("beer", seed=7, scale=1.0)
+    config = BatcherConfig(seed=1, max_questions=max_questions)
+
+    def run(breaker: CircuitBreaker | None):
+        engine = create_engine(
+            "openai",
+            transport=SimulatedBackendTransport(
+                SimulatedLLM(model_name=config.model, seed=config.seed)
+            ),
+            clock=FakeClock(),
+            breaker=breaker,
+            api_key="bench-key",
+            seed=config.seed,
+        )
+        return RunEngine(config=config, llm=engine).run(dataset)
+
+    breaker = CircuitBreaker(BreakerConfig(), clock=FakeClock(), name="healthy")
+    gated_result = run(breaker)
+    plain_result = run(None)
+    if gated_result != plain_result:
+        raise AssertionError("breaker-on run diverges from breaker-off run")
+    if breaker.trips != 0 or breaker.fast_failures != 0:
+        raise AssertionError(
+            f"healthy backend moved the breaker: trips={breaker.trips}, "
+            f"fast_failures={breaker.fast_failures}"
+        )
+    if breaker.state != STATE_CLOSED:
+        raise AssertionError(f"breaker ended {breaker.state!r} on a healthy backend")
+    return {
+        "max_questions": max_questions,
+        "identical_run_results": True,
+        "llm_calls": plain_result.cost.num_llm_calls,
+        "breaker_trips": 0,
+        "breaker_fast_failures": 0,
+    }
+
+
+def run_bench(dead_requests: int, max_questions: int) -> dict[str, object]:
+    dead = dead_backend_arm(dead_requests)
+    print(
+        f"dead backend    p50 {dead['p50_full_ladder_seconds']:7.1f}s -> "
+        f"{dead['p50_breaker_open_seconds']:.3f}s virtual "
+        f"(ratio {dead['latency_ratio']:.4%})",
+        file=sys.stderr,
+    )
+    flapping = flapping_backend_arm()
+    print(
+        f"flapping        recovered in {flapping['admitted_requests_to_recover']} "
+        f"probe at t={flapping['recovered_at_virtual_seconds']}s",
+        file=sys.stderr,
+    )
+    stall = slow_stall_arm()
+    print(
+        f"slow stall      {stall['full_ladder_seconds']:7.1f}s -> "
+        f"{stall['deadline_capped_seconds']:.1f}s virtual under the budget",
+        file=sys.stderr,
+    )
+    parity = healthy_parity_arm(max_questions)
+    print(
+        f"healthy parity  identical results over {parity['llm_calls']} LLM calls",
+        file=sys.stderr,
+    )
+    return {
+        "workload": {
+            "dataset": "beer",
+            "dead_requests": dead_requests,
+            "max_questions": max_questions,
+            "clock": "virtual (FakeClock; zero real sleeps)",
+        },
+        "dead_backend": dead,
+        "flapping_backend": flapping,
+        "slow_stall": stall,
+        "healthy_parity": parity,
+        "headline": {
+            "breaker_open_latency_ratio": dead["latency_ratio"],
+            "recovery_probe_cycles": flapping["admitted_requests_to_recover"],
+            "deadline_capped_seconds": stall["deadline_capped_seconds"],
+            "healthy_results_identical": parity["identical_run_results"],
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dead-requests",
+        type=int,
+        default=None,
+        help="requests driven through the dead-backend arm",
+    )
+    parser.add_argument(
+        "--max-questions",
+        type=int,
+        default=None,
+        help="questions evaluated by the healthy-parity arm",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="tiny run for the CI smoke invocation (oracles still assert)",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=REPORT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    dead_requests = args.dead_requests or (
+        SMALL_DEAD_REQUESTS if args.small else DEFAULT_DEAD_REQUESTS
+    )
+    max_questions = args.max_questions or (
+        SMALL_MAX_QUESTIONS if args.small else DEFAULT_MAX_QUESTIONS
+    )
+    report = run_bench(dead_requests, max_questions)
+    args.report.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -99,4 +99,15 @@ echo "== sharded run engine smoke benchmark (BENCH_engine.json) =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_sharded_run.py \
   --small --report "$(mktemp)" > /dev/null
 
+echo "== resilience chaos smoke benchmark (BENCH_resilience.json) =="
+# Deterministic chaos harness on the fake clock — zero real sleeps.  It
+# *asserts* the breaker-open p50 is <1% of the full-retry-ladder baseline
+# against a dead backend, that a flapping backend recovers within one
+# half-open probe cycle, that a deadline budget caps a slow-but-alive stall
+# below the unbudgeted ladder, and that a healthy run with the breaker wired
+# is byte-identical to one without.  The smoke report goes to a scratch file
+# so it never clobbers a full-size BENCH_resilience.json with small-n numbers.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_resilience.py \
+  --small --report "$(mktemp)" > /dev/null
+
 echo "== OK =="

@@ -81,7 +81,7 @@ from repro.pipeline import (
 )
 from repro.service import ResolutionService, ResultCache, ServiceConfig
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BatchER",

@@ -48,6 +48,7 @@ from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.pipeline import Pipeline, StageHook
 from repro.pipeline.stages import Inference, ParseAnswers, RenderPrompts
+from repro.resilience.breaker import CircuitOpenError
 
 
 def config_fingerprint(config: BatcherConfig) -> str:
@@ -75,6 +76,10 @@ class EngineReport:
         llm_calls_saved: calls the resume avoided re-paying.
         shard_sizes: batches per shard, in shard-id order.
         checkpointed: whether a checkpoint store persisted this run.
+        paused: the run stopped on an open circuit breaker
+            (:class:`~repro.resilience.CircuitOpenError`) after persisting
+            every completed batch — call :meth:`RunEngine.execute` again once
+            the backend recovers; the resume repeats zero LLM calls.
     """
 
     num_shards: int
@@ -86,6 +91,7 @@ class EngineReport:
     llm_calls_saved: int
     shard_sizes: tuple[int, ...]
     checkpointed: bool
+    paused: bool = False
 
     def to_dict(self) -> dict[str, object]:
         """Return a plain-dict snapshot (JSON-serializable, for benchmarks)."""
@@ -99,6 +105,7 @@ class EngineReport:
             "llm_calls_saved": self.llm_calls_saved,
             "shard_sizes": list(self.shard_sizes),
             "checkpointed": self.checkpointed,
+            "paused": self.paused,
         }
 
 
@@ -200,6 +207,14 @@ class RunEngine:
         is re-raised — a subsequent call resumes from exactly where the
         failure struck.
 
+        An open circuit breaker is the planned instance of that contract: a
+        :class:`~repro.resilience.CircuitOpenError` surfacing from a shard is
+        a *checkpoint-then-pause*, not a loss.  Every batch completed before
+        the breaker tripped is already on disk, ``last_report`` is populated
+        with the partial progress (``paused=True``), and calling ``execute``
+        again after the backend recovers resumes with zero repeated LLM
+        calls.
+
         Raises:
             ValueError: when the context has not been planned (no prompts).
             Exception: the first shard failure, re-raised after all in-flight
@@ -223,6 +238,30 @@ class RunEngine:
             )
         errors = [error for _, error in outcomes if error is not None]
         if errors:
+            # All shards have settled and every completed batch is already
+            # checkpointed; record the partial progress before re-raising so
+            # a breaker pause is observable (counters from shards that
+            # failed mid-way reappear as resumed batches on the next run).
+            settled = [outcome for outcome, error in outcomes if error is None]
+            executed = sum(shard_executed for _, shard_executed, _ in settled)
+            resumed = sum(shard_resumed for _, _, shard_resumed in settled)
+            calls = sum(
+                record.num_calls
+                for shard_records, _, _ in settled
+                for record in shard_records.values()
+            )
+            self.last_report = EngineReport(
+                num_shards=plan.num_shards,
+                strategy=plan.strategy,
+                num_batches=plan.num_batches,
+                batches_executed=executed,
+                batches_resumed=resumed,
+                llm_calls=calls,
+                llm_calls_saved=calls - executed,
+                shard_sizes=plan.shard_sizes(),
+                checkpointed=store is not None,
+                paused=any(isinstance(error, CircuitOpenError) for error in errors),
+            )
             raise errors[0]
 
         records: dict[int, BatchRecord] = {}

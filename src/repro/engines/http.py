@@ -40,6 +40,7 @@ from repro.engines.transport import (
     TransportRequest,
     UrllibTransport,
 )
+from repro.resilience.breaker import CircuitBreaker
 from repro.llm.base import LLMResponse, UsageRecord
 from repro.llm.profiles import available_models
 
@@ -132,6 +133,8 @@ class HttpEngine(Engine):
             scripted/flaky/simulated-backend test transports.  The retry and
             rate-limit stack wraps whatever is injected.
         clock: time source for backoff and rate-limit waits.
+        breaker: optional per-engine circuit breaker threaded into the
+            retry stack (see :mod:`repro.resilience`).
     """
 
     requires_network: ClassVar[bool] = True
@@ -145,6 +148,7 @@ class HttpEngine(Engine):
         config: HttpEngineConfig,
         transport: Transport | None = None,
         clock: Clock | None = None,
+        breaker: "CircuitBreaker | None" = None,
     ) -> None:
         key = config.model.strip().lower()
         if key not in available_models():
@@ -169,6 +173,7 @@ class HttpEngine(Engine):
             limiter=limiter,
             clock=self._clock,
             seed=config.seed,
+            breaker=breaker,
         )
 
     @property

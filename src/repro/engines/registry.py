@@ -36,6 +36,7 @@ from typing import Callable, Mapping
 from repro.engines.base import Engine
 from repro.engines.transport import Clock, RetryPolicy, Transport
 from repro.llm.profiles import available_models
+from repro.resilience.breaker import CircuitBreaker
 
 __all__ = [
     "AnthropicEngineConfig",
@@ -192,12 +193,18 @@ class EngineSpec:
 
 
 def _simulated_factory(
-    config: EngineConfig, *, transport: Transport | None = None, clock: Clock | None = None
+    config: EngineConfig,
+    *,
+    transport: Transport | None = None,
+    clock: Clock | None = None,
+    breaker: "CircuitBreaker | None" = None,
 ) -> Engine:
     from repro.engines.simulated import SimulatedEngine
 
     if transport is not None:
         raise ValueError("the simulated engine has no transport to inject")
+    if breaker is not None:
+        raise ValueError("the simulated engine has no transport to gate")
     key = config.model.strip().lower()
     if key not in available_models():
         known = ", ".join(available_models())
@@ -217,11 +224,12 @@ def _http_factory(engine_attr: str) -> EngineFactory:
         *,
         transport: Transport | None = None,
         clock: Clock | None = None,
+        breaker: "CircuitBreaker | None" = None,
     ) -> Engine:
         from repro.engines import http
 
         engine_cls = getattr(http, engine_attr)
-        return engine_cls(config, transport=transport, clock=clock)
+        return engine_cls(config, transport=transport, clock=clock, breaker=breaker)
 
     return factory
 
@@ -310,6 +318,7 @@ def create_engine(
     *,
     transport: Transport | None = None,
     clock: Clock | None = None,
+    breaker: "CircuitBreaker | None" = None,
     **overrides: object,
 ) -> Engine:
     """Build a live engine from a registered name or a ready config.
@@ -320,6 +329,8 @@ def create_engine(
         transport: optional transport injection (HTTP backends only) — the
             hook the scripted/flaky test transports use.
         clock: optional time source for the backend's retry/rate-limit stack.
+        breaker: optional per-engine circuit breaker gating the backend
+            (HTTP backends only; see :mod:`repro.resilience`).
         **overrides: config field overrides applied on top of the defaults
             (or on top of the given config instance).
 
@@ -333,7 +344,7 @@ def create_engine(
     else:
         spec = get_engine_spec(engine)
         config = build_config(spec.name, **overrides)
-    return spec.factory(config, transport=transport, clock=clock)
+    return spec.factory(config, transport=transport, clock=clock, breaker=breaker)
 
 
 def engine_config_from_env(

@@ -21,18 +21,25 @@ from __future__ import annotations
 
 import json
 import random
+import socket
 import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
+from repro.resilience.deadline import DeadlineExceeded, current_deadline
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.observability.metrics import MetricsRegistry
     from repro.observability.tracing import Tracer
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Clock",
+    "DeadlineExceeded",
     "RateLimiter",
     "RetryPolicy",
     "RetryingTransport",
@@ -80,13 +87,18 @@ class TransportError(RuntimeError):
         status: HTTP status code when the failure came from a response
             (``None`` for connection-level failures).
         retryable: whether the retry layer may attempt the request again.
+        reason: optional explicit retry-reason label (e.g. ``"timeout"``);
+            when ``None``, :func:`retry_reason` derives one from ``status``.
     """
 
     retryable: bool = False
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    def __init__(
+        self, message: str, status: int | None = None, reason: str | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.reason = reason
 
 
 class RetryableTransportError(TransportError):
@@ -192,6 +204,16 @@ class UrllibTransport(Transport):
                 error.code, f"HTTP {error.code} from {request.url}: {detail}"
             ) from error
         except (urllib.error.URLError, TimeoutError, OSError) as error:
+            # socket.timeout is a TimeoutError alias since 3.10, but urllib
+            # often wraps it inside URLError.reason — unwrap so a stalled
+            # backend is labeled "timeout" (deadline/stall territory) rather
+            # than blending into the generic "connection" family.
+            cause = getattr(error, "reason", error)
+            if isinstance(cause, (TimeoutError, socket.timeout)):
+                raise RetryableTransportError(
+                    f"timeout after {self.timeout}s talking to {request.url}: {error}",
+                    reason="timeout",
+                ) from error
             raise RetryableTransportError(
                 f"connection failure to {request.url}: {error}"
             ) from error
@@ -379,6 +401,8 @@ def retry_reason(error: TransportError) -> str:
     Used both as the retry-metric label and as the span tag, so a 429 storm
     is distinguishable from a flapping backend at a glance.
     """
+    if error.reason is not None:
+        return error.reason
     if error.status is None:
         return "connection"
     if error.status == 429:
@@ -398,6 +422,18 @@ class RetryingTransport(Transport):
     errors — or the last retryable error once attempts are exhausted —
     unchanged.
 
+    Resilience: when a :class:`~repro.resilience.CircuitBreaker` is attached,
+    every attempt first passes through ``breaker.acquire()`` — an open
+    breaker fast-fails the whole send with
+    :class:`~repro.resilience.CircuitOpenError` *before* any rate budget or
+    transport counter is spent — and each attempt's outcome is reported back
+    (retryable failures count against the breaker; terminal ones prove the
+    backend is alive).  When the ambient
+    :func:`~repro.resilience.current_deadline` is set, the ladder refuses to
+    start an attempt past the deadline or to sleep a backoff that would
+    overshoot it, raising :class:`~repro.resilience.DeadlineExceeded`
+    chained to the last transport error.
+
     Observability: when a tracer is attached, every :meth:`send` opens a
     ``transport:send`` span with one ``transport:attempt`` child per attempt,
     tagged with the attempt ordinal, the rate-limiter wait it paid and — on
@@ -415,6 +451,8 @@ class RetryingTransport(Transport):
         tracer: span producer (default: tracing disabled).
         metrics: metrics registry to record transport counters into
             (``None`` = no metrics).
+        breaker: optional circuit breaker gating every attempt
+            (``None`` = no availability gating).
     """
 
     def __init__(
@@ -426,10 +464,12 @@ class RetryingTransport(Transport):
         seed: int = 0,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.inner = inner
         self.policy = policy or RetryPolicy()
         self.limiter = limiter
+        self.breaker = breaker
         self._clock = clock or Clock()
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
@@ -494,7 +534,15 @@ class RetryingTransport(Transport):
 
     def _send_attempts(self, request: TransportRequest) -> TransportResponse:
         last_error: TransportError | None = None
+        deadline = current_deadline()
         for attempt in range(self.policy.max_attempts):
+            if deadline is not None:
+                deadline.check("transport send")
+            if self.breaker is not None:
+                # An open breaker fast-fails before any rate budget or
+                # transport counter is spent; the breaker's own
+                # fast-failure counter records the refusal.
+                self.breaker.acquire()
             waited = 0.0
             if self.limiter is not None:
                 waited = self.limiter.throttle(request.estimated_tokens)
@@ -513,9 +561,18 @@ class RetryingTransport(Transport):
                 if self.tracer.enabled:
                     scope.set_attribute("attempt", attempt)
                     scope.set_attribute("rate_limit_wait_seconds", waited)
+                    if self.breaker is not None:
+                        scope.set_attribute("breaker_state", self.breaker.state)
                 try:
-                    return self.inner.send(request)
+                    response = self.inner.send(request)
                 except TransportError as error:
+                    if self.breaker is not None:
+                        if error.retryable:
+                            self.breaker.record_failure()
+                        else:
+                            # A terminal 4xx is a *live* backend answering;
+                            # it must not push the breaker toward open.
+                            self.breaker.record_success()
                     last_error = error
                     reason = retry_reason(error)
                     if self.tracer.enabled:
@@ -535,6 +592,24 @@ class RetryingTransport(Transport):
                         delay = self.policy.delay(attempt, self._rng)
                     if self._metric_retries is not None:
                         self._metric_retries.inc(reason=reason)
+                else:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    return response
+            if deadline is not None and not deadline.allows(delay):
+                # Sleeping the backoff would overshoot the budget: fail now,
+                # typed, with the transport error as the cause chain.
+                with self._lock:
+                    self._failures += 1
+                if self._metric_failures is not None:
+                    self._metric_failures.inc()
+                raise DeadlineExceeded(
+                    f"backoff of {delay:.3f}s would overshoot the deadline "
+                    f"({deadline.remaining():.3f}s remaining) after "
+                    f"{attempt + 1} attempts",
+                    budget_seconds=deadline.budget_seconds,
+                    elapsed_seconds=deadline.elapsed(),
+                ) from last_error
             self._clock.sleep(delay)
         raise last_error if last_error is not None else AssertionError("unreachable")
 
@@ -550,6 +625,8 @@ class RetryingTransport(Transport):
         if self.limiter is not None:
             stats["throttled_requests"] = self.limiter.throttled_requests
             stats["rate_limit_wait_seconds"] = round(self.limiter.waited_seconds, 6)
+        if self.breaker is not None:
+            stats["breaker"] = self.breaker.stats()
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,40 @@
+"""Resilience primitives: circuit breaking and deadline budgets.
+
+This package is the availability layer under the engines and the serving
+front end: a :class:`CircuitBreaker` gates a flaky backend (fast-fail while
+open, half-open probes to recover) and a :class:`DeadlineBudget` bounds the
+total wall-clock a logical request may spend, retry backoff included.
+
+It is deliberately dependency-free (stdlib only, duck-typed clocks) so the
+transport layer can import it without cycles; see the README "Resilience"
+section for how the pieces compose across transport, serving and the run
+engine.
+"""
+
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.deadline import (
+    DeadlineBudget,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "current_deadline",
+    "deadline_scope",
+]

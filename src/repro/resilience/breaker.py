@@ -1,0 +1,370 @@
+"""Circuit breaker: availability gating around a flaky backend.
+
+The breaker is a small state machine shared by every caller of one backend
+(per-engine instances — a dead OpenAI endpoint must not gate an Anthropic
+one):
+
+- **closed** — requests flow; failures are recorded.  The breaker trips to
+  *open* on either ``failure_threshold`` consecutive retryable failures or
+  an error rate over a sliding window (``error_rate_threshold`` across the
+  last ``window_seconds``, once at least ``min_window_requests`` outcomes
+  are in the window).
+- **open** — :meth:`CircuitBreaker.acquire` fast-fails with
+  :class:`CircuitOpenError` instead of letting callers pay a full retry
+  ladder against a dead backend.  After ``cooldown_seconds`` the breaker
+  moves to *half-open*.
+- **half-open** — up to ``half_open_probes`` concurrent probe requests are
+  admitted; ``success_threshold`` consecutive probe successes close the
+  breaker, any probe failure re-opens it (and restarts the cooldown).
+
+Time is read through a duck-typed clock (anything with a ``monotonic()``
+method, defaulting to :func:`time.monotonic`), so the whole state machine
+is deterministic under :class:`repro.engines.faults.FakeClock`.  This module
+deliberately imports nothing from :mod:`repro.engines` — the transport layer
+imports *us*, and :class:`CircuitOpenError` therefore derives from
+:class:`RuntimeError` with a ``retryable = False`` attribute rather than
+from ``TransportError``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]
+
+#: Canonical state names, also used as the ``state`` label / span attribute.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Stable numeric encoding for the ``repro_breaker_state`` gauge
+#: (closed=0, open=1, half_open=2 — "anything non-zero needs attention").
+_STATE_CODES = {STATE_CLOSED: 0, STATE_OPEN: 1, STATE_HALF_OPEN: 2}
+
+
+class CircuitOpenError(RuntimeError):
+    """Fast-fail raised when the breaker refuses a request.
+
+    Deliberately *not* a ``TransportError`` subclass (this package sits
+    below the transport layer), but it carries the same ``retryable``
+    discriminator so retry ladders treat it as terminal: retrying against
+    a gated backend is exactly what the breaker exists to prevent.
+
+    Attributes:
+        retry_after: seconds until the breaker will admit a probe —
+            surfaced as the HTTP ``Retry-After`` hint by the serving layer.
+    """
+
+    retryable: bool = False
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tunables of one :class:`CircuitBreaker`.
+
+    Attributes:
+        failure_threshold: consecutive retryable failures that trip the
+            breaker from closed to open.
+        window_seconds: length of the sliding outcome window used by the
+            error-rate trip condition.
+        error_rate_threshold: failure fraction over the window that trips
+            the breaker (only once ``min_window_requests`` outcomes are in
+            the window, so a single early failure cannot trip it).
+        min_window_requests: minimum windowed outcomes before the error-rate
+            condition is considered.
+        cooldown_seconds: how long the breaker stays open before admitting
+            half-open probes.
+        half_open_probes: concurrent probe requests admitted in half-open.
+        success_threshold: consecutive probe successes required to close.
+    """
+
+    failure_threshold: int = 5
+    window_seconds: float = 30.0
+    error_rate_threshold: float = 0.5
+    min_window_requests: int = 20
+    cooldown_seconds: float = 5.0
+    half_open_probes: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0, got {self.window_seconds}")
+        if not 0.0 < self.error_rate_threshold <= 1.0:
+            raise ValueError(
+                f"error_rate_threshold must be in (0, 1], got {self.error_rate_threshold}"
+            )
+        if self.min_window_requests < 1:
+            raise ValueError(
+                f"min_window_requests must be >= 1, got {self.min_window_requests}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}"
+            )
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+        if self.success_threshold < 1:
+            raise ValueError(
+                f"success_threshold must be >= 1, got {self.success_threshold}"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "BreakerConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain-dict snapshot of every field."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BreakerConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown breaker config fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open availability gate.
+
+    Callers bracket each logical request with :meth:`acquire` (which
+    fast-fails with :class:`CircuitOpenError` while open) and exactly one of
+    :meth:`record_success` / :meth:`record_failure`.
+
+    Args:
+        config: trip/cooldown/probe tunables.
+        clock: any object with a ``monotonic() -> float`` method; defaults
+            to the system monotonic clock.
+        name: label used in error messages and stats (e.g. the engine name).
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Any | None = None,
+        name: str = "backend",
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.name = name
+        monotonic: Callable[[], float]
+        if clock is None:
+            import time
+
+            monotonic = time.monotonic
+        else:
+            monotonic = clock.monotonic
+        self._monotonic = monotonic
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        # Sliding outcome window: (monotonic timestamp, failed?) pairs.
+        self._window: deque[tuple[float, bool]] = deque()
+        # Monotone counters for stats() / metrics.
+        self._trips = 0
+        self._fast_failures = 0
+        self._probes = 0
+        self._open_seconds_total = 0.0
+
+    # -- state transitions (call with self._lock held) -----------------------
+
+    def _trip(self, now: float) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = now
+        self._trips += 1
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def _close(self, now: float) -> None:
+        if self._opened_at is not None:
+            self._open_seconds_total += now - self._opened_at
+        self._state = STATE_CLOSED
+        self._opened_at = None
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._window.clear()
+
+    def _prune_window(self, now: float) -> None:
+        horizon = now - self.config.window_seconds
+        while self._window and self._window[0][0] < horizon:
+            self._window.popleft()
+
+    def _maybe_half_open(self, now: float) -> None:
+        if (
+            self._state == STATE_OPEN
+            and self._opened_at is not None
+            and now - self._opened_at >= self.config.cooldown_seconds
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Admit one request, or fast-fail with :class:`CircuitOpenError`."""
+        now = self._monotonic()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == STATE_CLOSED:
+                return
+            if self._state == STATE_HALF_OPEN:
+                if self._probes_in_flight < self.config.half_open_probes:
+                    self._probes_in_flight += 1
+                    self._probes += 1
+                    return
+                self._fast_failures += 1
+                raise CircuitOpenError(
+                    f"circuit '{self.name}' is half-open with all probe slots taken",
+                    retry_after=self._retry_after_locked(now),
+                )
+            self._fast_failures += 1
+            raise CircuitOpenError(
+                f"circuit '{self.name}' is open "
+                f"(backend gated for {self._retry_after_locked(now):.3f}s more)",
+                retry_after=self._retry_after_locked(now),
+            )
+
+    def record_success(self) -> None:
+        """Report that an admitted request succeeded."""
+        now = self._monotonic()
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.success_threshold:
+                    self._close(now)
+                return
+            if self._state == STATE_CLOSED:
+                self._consecutive_failures = 0
+                self._prune_window(now)
+                self._window.append((now, False))
+
+    def record_failure(self) -> None:
+        """Report that an admitted request failed (retryably)."""
+        now = self._monotonic()
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                # A failed probe re-opens immediately and restarts cooldown.
+                self._trip(now)
+                return
+            if self._state != STATE_CLOSED:
+                return
+            self._consecutive_failures += 1
+            self._prune_window(now)
+            self._window.append((now, True))
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._trip(now)
+                return
+            if len(self._window) >= self.config.min_window_requests:
+                failures = sum(1 for _, failed in self._window if failed)
+                if failures / len(self._window) >= self.config.error_rate_threshold:
+                    self._trip(now)
+
+    # -- introspection --------------------------------------------------------
+
+    def _retry_after_locked(self, now: float) -> float:
+        if self._state == STATE_HALF_OPEN:
+            # Probes are in flight; callers should retry about a cooldown out.
+            return self.config.cooldown_seconds
+        if self._opened_at is None:
+            return 0.0
+        return max(0.0, self.config.cooldown_seconds - (now - self._opened_at))
+
+    @property
+    def state(self) -> str:
+        """Current state name (cooldown expiry applied lazily)."""
+        now = self._monotonic()
+        with self._lock:
+            self._maybe_half_open(now)
+            return self._state
+
+    def state_code(self) -> int:
+        """Numeric state for the gauge: closed=0, open=1, half_open=2."""
+        return _STATE_CODES[self.state]
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the breaker will next admit a request (0 if closed)."""
+        now = self._monotonic()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == STATE_CLOSED:
+                return 0.0
+            if self._state == STATE_HALF_OPEN:
+                return 0.0 if self._probes_in_flight < self.config.half_open_probes else self.config.cooldown_seconds
+            return self._retry_after_locked(now)
+
+    @property
+    def trips(self) -> int:
+        """Times the breaker transitioned to open (probe re-opens included)."""
+        with self._lock:
+            return self._trips
+
+    @property
+    def fast_failures(self) -> int:
+        """Requests refused without touching the backend."""
+        with self._lock:
+            return self._fast_failures
+
+    def open_seconds_total(self) -> float:
+        """Cumulative seconds spent open/half-open (live span included)."""
+        now = self._monotonic()
+        with self._lock:
+            total = self._open_seconds_total
+            if self._opened_at is not None:
+                total += now - self._opened_at
+            return total
+
+    def stats(self) -> dict[str, object]:
+        """JSON-serializable snapshot (folded into ``/stats``)."""
+        now = self._monotonic()
+        with self._lock:
+            self._maybe_half_open(now)
+            open_seconds = self._open_seconds_total
+            if self._opened_at is not None:
+                open_seconds += now - self._opened_at
+            return {
+                "name": self.name,
+                "state": self._state,
+                "trips": self._trips,
+                "fast_failures": self._fast_failures,
+                "probes": self._probes,
+                "consecutive_failures": self._consecutive_failures,
+                "open_seconds_total": round(open_seconds, 6),
+                "retry_after": round(self._retry_after_locked(now), 6)
+                if self._state != STATE_CLOSED
+                else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(name={self.name!r}, state={self.state!r})"

@@ -1,0 +1,127 @@
+"""Deadline budgets: a total wall-clock allowance per logical request.
+
+A :class:`DeadlineBudget` is created once at the edge (e.g. when the service
+starts resolving a flush) and threaded implicitly through the call stack via
+a :mod:`contextvars` context variable, so the retry ladder deep inside the
+transport can ask "how much time is left?" without every intermediate layer
+growing a ``deadline`` parameter.  The transport uses it to refuse a backoff
+sleep that would overshoot the budget, raising a typed
+:class:`DeadlineExceeded` instead of silently blowing the latency SLO.
+
+Like the rest of :mod:`repro.resilience`, this module is stdlib-only and
+clock-agnostic: pass anything with a ``monotonic() -> float`` method to run
+the budget on virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A logical request ran out of its wall-clock budget.
+
+    Carries ``retryable = False`` so retry ladders treat it as terminal:
+    the budget is for the *logical* request, and it is already spent.
+
+    Attributes:
+        budget_seconds: the total allowance that was exceeded.
+        elapsed_seconds: wall-clock consumed when the budget tripped.
+    """
+
+    retryable: bool = False
+
+    def __init__(
+        self, message: str, budget_seconds: float = 0.0, elapsed_seconds: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class DeadlineBudget:
+    """Wall-clock budget for one logical request.
+
+    Args:
+        budget_seconds: total allowance in seconds (> 0).
+        clock: any object with a ``monotonic() -> float`` method; defaults
+            to the system monotonic clock.
+    """
+
+    def __init__(self, budget_seconds: float, clock: Any | None = None) -> None:
+        if budget_seconds <= 0:
+            raise ValueError(f"budget_seconds must be > 0, got {budget_seconds}")
+        monotonic: Callable[[], float]
+        monotonic = time.monotonic if clock is None else clock.monotonic
+        self.budget_seconds = float(budget_seconds)
+        self._monotonic = monotonic
+        self._started_at = monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds consumed since the budget was created."""
+        return self._monotonic() - self._started_at
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget_seconds - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has been fully consumed."""
+        return self.elapsed() >= self.budget_seconds
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        elapsed = self.elapsed()
+        if elapsed >= self.budget_seconds:
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget_seconds:.3f}s deadline budget "
+                f"({elapsed:.3f}s elapsed)",
+                budget_seconds=self.budget_seconds,
+                elapsed_seconds=elapsed,
+            )
+
+    def allows(self, seconds: float) -> bool:
+        """Whether spending ``seconds`` more would stay within the budget."""
+        return seconds < self.remaining()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeadlineBudget(budget_seconds={self.budget_seconds}, "
+            f"remaining={self.remaining():.3f})"
+        )
+
+
+#: The ambient deadline of the current logical request (``None`` = no budget).
+_CURRENT_DEADLINE: ContextVar[DeadlineBudget | None] = ContextVar(
+    "repro_deadline", default=None
+)
+
+
+def current_deadline() -> DeadlineBudget | None:
+    """The deadline budget governing the current context, if any."""
+    return _CURRENT_DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(budget: DeadlineBudget | None) -> Iterator[DeadlineBudget | None]:
+    """Install ``budget`` as the ambient deadline for the dynamic extent.
+
+    ``None`` explicitly clears any inherited deadline, which matters when a
+    worker thread pool reuses contexts across unrelated requests.
+    """
+    token = _CURRENT_DEADLINE.set(budget)
+    try:
+        yield budget
+    finally:
+        _CURRENT_DEADLINE.reset(token)

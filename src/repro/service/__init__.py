@@ -43,6 +43,7 @@ from repro.service.service import (
     CostBudgetExceeded,
     EngineStats,
     ResolutionService,
+    ServiceDegraded,
     ServiceStats,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "ResultCache",
     "ServiceClosed",
     "ServiceConfig",
+    "ServiceDegraded",
     "ServiceOverloaded",
     "ServiceStats",
     "pair_fingerprint",

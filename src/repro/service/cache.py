@@ -165,14 +165,23 @@ class ResultCache:
                 vector — the service uses it to seed the feature store after
                 checking the tag against the current extractor.
 
+        Torn-tail tolerance: a spill interrupted mid-write (a crash, a full
+        disk) leaves at most one partial entry, and only as the *final* line
+        of the file.  An unparseable final line is therefore skipped — the
+        preceding entries warm-start normally — while corruption anywhere
+        else still raises, since that is a damaged file rather than an
+        interrupted append.
+
         Raises:
-            ValueError: if the file exists but a line is not a valid entry.
+            ValueError: if the file exists but a non-final line is not a
+                valid entry.
         """
         path = Path(path)
         if not path.exists():
             return 0
         loaded = 0
-        for line_number, line in enumerate(_read_lines(path), start=1):
+        lines = list(_read_lines(path))
+        for index, (line_number, line) in enumerate(lines):
             try:
                 entry = json.loads(line)
                 fingerprint = entry["fingerprint"]
@@ -192,6 +201,8 @@ class ResultCache:
                         f"'extractor' must be a string, got {type(tag).__name__}"
                     )
             except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+                if index == len(lines) - 1:
+                    break  # torn final line from an interrupted spill
                 raise ValueError(
                     f"invalid cache spill entry at {path}:{line_number}: {error}"
                 ) from error
@@ -208,9 +219,9 @@ class ResultCache:
         )
 
 
-def _read_lines(path: Path) -> Iterator[str]:
+def _read_lines(path: Path) -> Iterator[tuple[int, str]]:
     with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                yield line
+                yield line_number, line

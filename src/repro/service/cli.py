@@ -26,6 +26,7 @@ from typing import Sequence
 from repro.core.config import BatcherConfig
 from repro.data.registry import available_datasets, load_dataset
 from repro.observability.tracing import Tracer
+from repro.resilience import BreakerConfig
 from repro.service.config import ServiceConfig
 from repro.service.service import ResolutionService
 
@@ -126,6 +127,10 @@ def run_self_test(
             max_batch_size=max_batch_size,
             max_wait_seconds=max_wait_seconds,
             num_workers=num_workers,
+            # Gating enabled so the self-test also proves the breaker surface:
+            # state in /stats, pre-seeded metric families, and (on a healthy
+            # simulated backend) a breaker that never leaves "closed".
+            breaker=BreakerConfig(),
         )
         service = ResolutionService.from_dataset(dataset, config, tracer=tracer)
         # Submit the whole workload before starting the consumer: flush
@@ -206,6 +211,22 @@ def run_self_test(
         "planner_route_metric_exposed": (
             "repro_planner_route_total" in metrics_text
             and _family_total(metrics_text, "repro_planner_route_total") >= 1
+        ),
+        # The resilience layer: breaker state must reach /stats, and every
+        # breaker/degraded family must render pre-seeded — at zero, since the
+        # simulated backend is healthy — so scrape schemas are stable before
+        # the first outage.
+        "breaker_state_in_stats": (
+            (first.get("breaker") or {}).get("state") == "closed"
+        ),
+        "breaker_metrics_pre_seeded_at_zero": all(
+            name in metrics_text and _family_total(metrics_text, name) == 0
+            for name in (
+                "repro_breaker_state",
+                "repro_breaker_trips_total",
+                "repro_breaker_fast_failures_total",
+                "repro_service_degraded_total",
+            )
         ),
     }
     report.update(

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.core.config import BatcherConfig
+from repro.resilience.breaker import BreakerConfig
 
 #: Default number of pairs collected into one micro-batch flush.
 DEFAULT_MAX_BATCH_SIZE = 32
@@ -55,6 +56,16 @@ class ServiceConfig:
             requests already queued or in flight when it is crossed (bounded
             by ``queue_capacity``); size the budget with that headroom in
             mind.
+        breaker: optional :class:`~repro.resilience.BreakerConfig` enabling
+            the circuit breaker around the LLM backend.  When the breaker is
+            open the service serves cache hits and in-flight joins but
+            refuses new LLM-bound work with
+            :class:`~repro.service.service.ServiceDegraded` (HTTP 503 +
+            ``Retry-After``); ``None`` disables availability gating.
+        deadline_budget_seconds: optional total wall-clock budget per flush
+            (threaded down through the retry ladder as the ambient
+            :func:`~repro.resilience.current_deadline`); ``None`` disables
+            deadline budgets.
     """
 
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
@@ -66,6 +77,8 @@ class ServiceConfig:
     cache_capacity: int = 4096
     spill_path: str | None = None
     cost_budget: float | None = None
+    breaker: BreakerConfig | None = None
+    deadline_budget_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -87,6 +100,14 @@ class ServiceConfig:
             raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
         if self.cost_budget is not None and self.cost_budget <= 0:
             raise ValueError(f"cost_budget must be > 0, got {self.cost_budget}")
+        if (
+            self.deadline_budget_seconds is not None
+            and self.deadline_budget_seconds <= 0
+        ):
+            raise ValueError(
+                "deadline_budget_seconds must be > 0, "
+                f"got {self.deadline_budget_seconds}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "ServiceConfig":
         """Return a copy of this config with the given fields replaced."""
@@ -104,6 +125,8 @@ class ServiceConfig:
             "cache_capacity": self.cache_capacity,
             "spill_path": self.spill_path,
             "cost_budget": self.cost_budget,
+            "breaker": self.breaker.to_dict() if self.breaker is not None else None,
+            "deadline_budget_seconds": self.deadline_budget_seconds,
         }
 
     @classmethod
@@ -127,4 +150,7 @@ class ServiceConfig:
             batcher = BatcherConfig.from_dict(batcher)
         if batcher is not None:
             snapshot["batcher"] = batcher
+        breaker = snapshot.get("breaker")
+        if isinstance(breaker, Mapping):
+            snapshot["breaker"] = BreakerConfig.from_dict(breaker)
         return cls(**snapshot)

@@ -14,26 +14,34 @@ Endpoints:
   endpoints read from the same source of truth.
 * ``GET /metrics`` — the registry in Prometheus text exposition format
   (``text/plain; version=0.0.4``), ready for an external scraper.
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — *liveness* probe: 200 while the process serves, with
+  ``live`` / ``ready`` fields so one probe answers both questions.
+* ``GET /readyz`` — *readiness* probe: 503 (+ ``Retry-After``) while the
+  backend circuit breaker is open or the consumer is not running, so a load
+  balancer drains the replica without restarting it.
 
 Error mapping: malformed requests → 400, cost-budget rejection → 429,
-queue backpressure → 503 (with ``Retry-After``).
+queue backpressure and degraded mode (breaker open) → 503 (with
+``Retry-After``), tripped deadline budgets → 504.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import math
 import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 from repro.data.schema import EntityPair, Record
+from repro.resilience import CircuitOpenError, DeadlineExceeded
 from repro.service.service import (
     CostBudgetExceeded,
     ResolutionService,
     ServiceClosed,
+    ServiceDegraded,
     ServiceOverloaded,
 )
 
@@ -48,6 +56,11 @@ _request_ids = itertools.count(1)
 
 class BadRequest(ValueError):
     """A malformed ``/resolve`` payload (mapped to HTTP 400)."""
+
+
+def _retry_after_header(seconds: float) -> str:
+    """Format a ``Retry-After`` value: integral seconds, at least 1."""
+    return str(max(1, math.ceil(seconds)))
 
 
 def pair_from_json(payload: Mapping[str, Any], request_id: int) -> EntityPair:
@@ -145,14 +158,32 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
         if self.path == "/healthz":
+            # Liveness: always 200 while the process answers.  Readiness is
+            # reported as a field here and as the status code of /readyz.
             self._send_json(
                 200,
                 {
                     "status": "ok",
+                    "live": True,
+                    "ready": service.ready,
                     "running": service.running,
                     "pool_size": service.resolver.pool_size,
                 },
             )
+        elif self.path == "/readyz":
+            breaker = service.breaker
+            payload = {
+                "ready": service.ready,
+                "running": service.running,
+                "breaker": breaker.stats() if breaker is not None else None,
+            }
+            if service.ready:
+                self._send_json(200, payload)
+            else:
+                retry_after = breaker.retry_after if breaker is not None else 1.0
+                self._send_json(
+                    503, payload, {"Retry-After": _retry_after_header(retry_after)}
+                )
         elif self.path == "/stats":
             payload = service.stats().to_dict()
             payload["metrics"] = service.metrics.snapshot()
@@ -197,8 +228,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except CostBudgetExceeded as error:
             self._send_error_json(429, str(error))
             return
+        except (ServiceDegraded, CircuitOpenError) as error:
+            # Degraded mode: the breaker refused new LLM-bound work, either
+            # at admission (ServiceDegraded) or deep in the transport
+            # (CircuitOpenError surfacing through a failed flush future).
+            retry_after = getattr(error, "retry_after", 1.0)
+            self._send_error_json(
+                503, str(error), {"Retry-After": _retry_after_header(retry_after)}
+            )
+            return
         except (ServiceOverloaded, ServiceClosed) as error:
             self._send_error_json(503, str(error), {"Retry-After": "1"})
+            return
+        except DeadlineExceeded as error:
+            self._send_error_json(504, str(error))
             return
         # concurrent.futures.TimeoutError is only an alias of the builtin
         # from Python 3.11; catch both to stay correct on 3.10.

@@ -173,9 +173,12 @@ class MicroBatcher:
 
     Args:
         queue: the bounded request queue to drain.
-        flush: callback invoked with each non-empty micro-batch; exceptions it
-            raises are its own responsibility (the service's flush handler
-            fails the batch's futures rather than raising).
+        flush: callback invoked with each non-empty micro-batch; the
+            service's flush handler fails the batch's futures rather than
+            raising, but if the callback does raise, the batcher fails any
+            still-pending futures of the batch with that exception and keeps
+            the consumer thread alive (:attr:`num_flush_failures` counts
+            such flushes).
         max_batch_size: requests per flush.
         max_wait: seconds the oldest admitted request may wait before a
             partial batch is flushed.
@@ -205,6 +208,9 @@ class MicroBatcher:
         self._on_flush = on_flush
         self._thread: threading.Thread | None = None
         self.num_flushes = 0
+        #: Flushes whose callback raised (the batch's futures were failed
+        #: with that exception and the consumer thread kept running).
+        self.num_flush_failures = 0
 
     @property
     def running(self) -> bool:
@@ -255,7 +261,12 @@ class MicroBatcher:
                     pass  # the consumer thread
             try:
                 self._flush(batch)
-            except Exception:  # noqa: BLE001 - the consumer must outlive any
-                # single bad flush; the flush callback owns result/error
-                # delivery, so there is nobody else to re-raise to.
-                continue
+            except Exception as error:  # noqa: BLE001 - the consumer must
+                # outlive any single bad flush (an open circuit breaker, a
+                # poison batch).  The flush callback normally owns delivery,
+                # but if it raised *before* failing its futures, waiters
+                # would hang forever — fail them here, then keep consuming.
+                self.num_flush_failures += 1
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import ContextManager, Iterable, Sequence
 
 from repro.cost.tracker import CostBreakdown
 from repro.data.schema import Dataset, EntityPair
@@ -36,6 +37,12 @@ from repro.llm.executors import ConcurrentExecutor, ExecutionBackend, SerialExec
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.pipeline.resolver import Resolution, Resolver
+from repro.resilience import (
+    STATE_OPEN,
+    CircuitBreaker,
+    DeadlineBudget,
+    deadline_scope,
+)
 from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
 from repro.service.config import ServiceConfig
 from repro.service.microbatcher import (
@@ -53,6 +60,7 @@ __all__ = [
     "EngineStats",
     "ResolutionService",
     "ServiceClosed",
+    "ServiceDegraded",
     "ServiceOverloaded",
     "ServiceStats",
 ]
@@ -95,6 +103,22 @@ class CostBudgetExceeded(AdmissionError):
     """Raised when the session cost budget is exhausted (cache still serves)."""
 
 
+class ServiceDegraded(AdmissionError):
+    """New LLM-bound work refused because the backend breaker is open.
+
+    Cache hits and in-flight joins are still served — a degraded service
+    shrinks to a cache, it does not go dark.  The HTTP layer maps this to
+    503 with a ``Retry-After`` header taken from :attr:`retry_after`.
+
+    Attributes:
+        retry_after: seconds until the breaker will next admit a probe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """A point-in-time snapshot of the service's counters.
@@ -109,6 +133,8 @@ class ServiceStats:
             identical pair instead of enqueueing a duplicate.
         rejected_overload: submissions rejected by queue backpressure.
         rejected_budget: submissions rejected by the cost budget.
+        rejected_degraded: submissions refused while the backend breaker was
+            open (degraded mode; cache hits and joins are never refused).
         queue_depth: requests currently waiting in the queue.
         flushes: micro-batches flushed through the pipeline.
         llm_calls: cumulative LLM calls of the underlying session.
@@ -128,6 +154,8 @@ class ServiceStats:
         uptime_seconds: seconds since :meth:`ResolutionService.start` (0.0
             before).
         throughput_pairs_per_second: ``resolved / uptime_seconds``.
+        breaker: snapshot of the backend circuit breaker (state, trips,
+            fast failures, open duration); ``None`` when gating is disabled.
     """
 
     submitted: int
@@ -138,6 +166,7 @@ class ServiceStats:
     inflight_joined: int
     rejected_overload: int
     rejected_budget: int
+    rejected_degraded: int
     queue_depth: int
     flushes: int
     llm_calls: int
@@ -149,6 +178,7 @@ class ServiceStats:
     feature_store: FeatureStoreStats | None
     uptime_seconds: float
     throughput_pairs_per_second: float
+    breaker: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -168,6 +198,7 @@ class ServiceStats:
             "inflight_joined": self.inflight_joined,
             "rejected_overload": self.rejected_overload,
             "rejected_budget": self.rejected_budget,
+            "rejected_degraded": self.rejected_degraded,
             "queue_depth": self.queue_depth,
             "flushes": self.flushes,
             "llm_calls": self.llm_calls,
@@ -181,6 +212,7 @@ class ServiceStats:
             ),
             "uptime_seconds": self.uptime_seconds,
             "throughput_pairs_per_second": self.throughput_pairs_per_second,
+            "breaker": self.breaker,
         }
 
 
@@ -204,6 +236,10 @@ class ResolutionService:
             flushes and the LLM transport; default: tracing disabled.
         metrics: metrics registry to populate; by default the service builds
             its own (always exposed via :attr:`metrics` and ``GET /metrics``).
+        breaker: pre-built circuit breaker to adopt (shared with an engine's
+            transport, for example); by default one is built from
+            ``config.breaker`` when that is set, and an engine-level breaker
+            already on the session's transport is adopted otherwise.
     """
 
     def __init__(
@@ -215,6 +251,7 @@ class ResolutionService:
         clock: Clock | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._clock = clock or Clock()
@@ -262,6 +299,7 @@ class ResolutionService:
         self._inflight_joined = 0
         self._rejected_overload = 0
         self._rejected_budget = 0
+        self._rejected_degraded = 0
         self._bulk_requests = 0
         self._bulk_pairs = 0
         self._bulk_shards = 0
@@ -269,6 +307,23 @@ class ResolutionService:
         self._bulk_resolved = 0
         self._started_at: float | None = None
         self._stopped = False
+        # Availability gating: build a breaker from config (or adopt the one
+        # passed in / already on the engine's transport) and make sure the
+        # transport both consults and feeds it.
+        self.breaker: CircuitBreaker | None = breaker
+        if self.breaker is None and self.config.breaker is not None:
+            llm = self._resolver.llm
+            self.breaker = CircuitBreaker(
+                self.config.breaker,
+                clock=self._clock,
+                name=getattr(llm, "engine_name", type(llm).__name__),
+            )
+        transport = getattr(self._resolver.llm, "transport", None)
+        if isinstance(transport, RetryingTransport):
+            if self.breaker is None:
+                self.breaker = transport.breaker
+            elif transport.breaker is None:
+                transport.breaker = self.breaker
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -384,6 +439,34 @@ class ResolutionService:
         )
         rejected.set_function(lambda: self._rejected_overload, reason="overload")
         rejected.set_function(lambda: self._rejected_budget, reason="budget")
+        rejected.set_function(lambda: self._rejected_degraded, reason="degraded")
+
+        # Breaker families render even without a breaker (at zero / closed):
+        # scrapers must see a stable schema whether or not gating is on, the
+        # same discipline as the pre-seeded 429 retry counter below.
+        breaker = self.breaker
+        metrics.gauge(
+            "repro_breaker_state",
+            "Backend circuit-breaker state (0=closed, 1=open, 2=half-open).",
+        ).set_function(lambda: breaker.state_code() if breaker is not None else 0)
+        metrics.counter(
+            "repro_breaker_trips_total",
+            "Times the breaker tripped open (probe re-opens included).",
+        ).set_function(lambda: breaker.trips if breaker is not None else 0)
+        metrics.counter(
+            "repro_breaker_fast_failures_total",
+            "Requests refused by the breaker without touching the backend.",
+        ).set_function(lambda: breaker.fast_failures if breaker is not None else 0)
+        metrics.counter(
+            "repro_breaker_open_seconds_total",
+            "Cumulative seconds the breaker spent open or half-open.",
+        ).set_function(
+            lambda: breaker.open_seconds_total() if breaker is not None else 0.0
+        )
+        metrics.counter(
+            "repro_service_degraded_total",
+            "Submissions refused in degraded mode (breaker open).",
+        ).set_function(lambda: self._rejected_degraded)
 
         # HTTP-backed engines route through a RetryingTransport; bind the
         # service's tracer and registry so retry/429/rate-limit-wait counters
@@ -552,6 +635,8 @@ class ResolutionService:
 
         Raises:
             ServiceClosed: if the service has been stopped.
+            ServiceDegraded: if the backend breaker is open and the pair is
+                neither cached nor already in flight.
             CostBudgetExceeded: if the session cost budget is exhausted and
                 the pair is not cached.
             ServiceOverloaded: if the queue stays full past the admission
@@ -576,6 +661,12 @@ class ResolutionService:
         future: Future = Future()
         if self._attach(fingerprint, pair, future, register_if_absent=False):
             return future
+
+        # Degraded mode: with the breaker open, new LLM-bound work is refused
+        # up front (cache hits and joins were already served above) instead
+        # of queueing doomed requests behind a gated backend.  Half-open is
+        # *not* degraded — probe traffic is how the service recovers.
+        self._check_degraded()
 
         # Cost-aware admission applies to *new* LLM work only: cache hits and
         # in-flight joins are free and therefore always served.
@@ -611,6 +702,25 @@ class ResolutionService:
         with self._lock:
             self._submitted += 1
         return future
+
+    def _check_degraded(self) -> None:
+        """Refuse new LLM-bound work while the backend breaker is open."""
+        breaker = self.breaker
+        if breaker is not None and breaker.state == STATE_OPEN:
+            with self._lock:
+                self._rejected_degraded += 1
+            raise ServiceDegraded(
+                "backend circuit breaker is open; only cached and in-flight "
+                "pairs are served",
+                retry_after=breaker.retry_after,
+            )
+
+    def _deadline(self) -> ContextManager[DeadlineBudget | None]:
+        """Ambient deadline scope for one logical unit of LLM-bound work."""
+        budget = self.config.deadline_budget_seconds
+        if budget is None:
+            return nullcontext(None)
+        return deadline_scope(DeadlineBudget(budget, clock=self._clock))
 
     def _attach(
         self,
@@ -686,6 +796,8 @@ class ResolutionService:
 
         Raises:
             ServiceClosed: if the service has been stopped.
+            ServiceDegraded: if uncached work remains while the backend
+                breaker is open (cached and joined pairs alone still resolve).
             CostBudgetExceeded: if uncached work remains but the session cost
                 budget is exhausted (cached pairs alone still resolve).
             TimeoutError: if a joined in-flight pair does not resolve within
@@ -741,7 +853,11 @@ class ResolutionService:
                 # bulk submission may then overshoot the budget by at most
                 # one shard, matching the per-submit granularity of the
                 # micro-batch path.  Shards resolved before the rejection
-                # stay cached, so a retry pays nothing for them.
+                # stay cached, so a retry pays nothing for them.  The same
+                # per-shard granularity applies to degraded mode: a breaker
+                # that opens mid-bulk stops the run at the next shard
+                # boundary with everything before it cached.
+                self._check_degraded()
                 budget = self.config.cost_budget
                 if budget is not None:
                     spent = self._resolver.cost().total_cost
@@ -753,7 +869,7 @@ class ResolutionService:
                             f"${budget:.4f}; only cached pairs are served"
                         )
                 shard_pairs = [unique[index] for index in indices]
-                with self._resolver_lock:
+                with self._resolver_lock, self._deadline():
                     shard_resolutions = self._resolver.resolve(shard_pairs)
                 with self._lock:
                     self._bulk_shards += 1
@@ -811,7 +927,9 @@ class ResolutionService:
         for request in batch:
             unique.setdefault(request.fingerprint, request.pair)
         try:
-            with self._resolver_lock:
+            # One flush is one logical request for deadline purposes: the
+            # budget spans the whole resolve, retry backoff included.
+            with self._resolver_lock, self._deadline():
                 resolutions = self._resolver.resolve(list(unique.values()))
         except Exception as error:  # noqa: BLE001 - failures travel via futures
             for fingerprint in unique:
@@ -869,6 +987,20 @@ class ResolutionService:
         return self._batcher.running
 
     @property
+    def ready(self) -> bool:
+        """Readiness: running *and* able to accept new LLM-bound work.
+
+        Liveness (:attr:`running`) says the process is healthy; readiness
+        additionally requires the backend breaker not to be open, so a load
+        balancer can drain a replica whose backend is gated while health
+        checks keep passing.  Half-open counts as ready — probe traffic is
+        how the replica recovers.
+        """
+        return self.running and (
+            self.breaker is None or self.breaker.state != STATE_OPEN
+        )
+
+    @property
     def queue_depth(self) -> int:
         """Requests currently waiting in the queue."""
         return len(self._queue)
@@ -883,6 +1015,7 @@ class ResolutionService:
             inflight_joined = self._inflight_joined
             rejected_overload = self._rejected_overload
             rejected_budget = self._rejected_budget
+            rejected_degraded = self._rejected_degraded
             engine = EngineStats(
                 bulk_requests=self._bulk_requests,
                 bulk_pairs=self._bulk_pairs,
@@ -905,6 +1038,7 @@ class ResolutionService:
             inflight_joined=inflight_joined,
             rejected_overload=rejected_overload,
             rejected_budget=rejected_budget,
+            rejected_degraded=rejected_degraded,
             queue_depth=self.queue_depth,
             flushes=self._batcher.num_flushes,
             llm_calls=self._resolver.usage.num_calls,
@@ -916,6 +1050,7 @@ class ResolutionService:
             feature_store=store.stats() if store is not None else None,
             uptime_seconds=uptime,
             throughput_pairs_per_second=(resolved / uptime if uptime > 0 else 0.0),
+            breaker=self.breaker.stats() if self.breaker is not None else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -20,6 +20,7 @@ from repro.engines.transport import (
     TransportRequest,
     error_for_status,
     is_retryable_status,
+    retry_reason,
 )
 
 REQUEST = TransportRequest(url="https://api.test/v1/x", payload={"k": "v"})
@@ -40,6 +41,49 @@ class TestErrorClassification:
         error = error_for_status(status, "boom")
         assert isinstance(error, TerminalTransportError)
         assert not error.retryable
+
+
+class TestUrllibErrorMapping:
+    """A stalled socket must surface as reason="timeout", not "connection"."""
+
+    @staticmethod
+    def _send_with(monkeypatch, raised: BaseException) -> RetryableTransportError:
+        import urllib.request
+
+        from repro.engines.transport import UrllibTransport
+
+        def explode(*args, **kwargs):
+            raise raised
+
+        monkeypatch.setattr(urllib.request, "urlopen", explode)
+        with pytest.raises(RetryableTransportError) as excinfo:
+            UrllibTransport(timeout=0.5).send(REQUEST)
+        return excinfo.value
+
+    def test_bare_socket_timeout_maps_to_timeout_reason(self, monkeypatch):
+        import socket
+
+        error = self._send_with(monkeypatch, socket.timeout("timed out"))
+        assert retry_reason(error) == "timeout"
+
+    def test_urlerror_wrapped_timeout_maps_to_timeout_reason(self, monkeypatch):
+        # urllib usually wraps the socket timeout inside URLError.reason —
+        # the transport must unwrap it rather than labeling it "connection".
+        import socket
+        import urllib.error
+
+        error = self._send_with(
+            monkeypatch, urllib.error.URLError(socket.timeout("timed out"))
+        )
+        assert retry_reason(error) == "timeout"
+
+    def test_connection_refused_stays_connection_reason(self, monkeypatch):
+        import urllib.error
+
+        error = self._send_with(
+            monkeypatch, urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+        )
+        assert retry_reason(error) == "connection"
 
 
 class TestRetryPolicy:

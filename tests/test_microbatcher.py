@@ -165,6 +165,54 @@ class TestMicroBatcher:
         batcher.stop(timeout=5.0)
         assert flushed == ["fp0", "fp1", "fp2"]
 
+    def test_flush_exception_fails_futures_and_keeps_consumer_alive(self):
+        # A flush callback that raises before delivering its futures must not
+        # kill the consumer thread or strand its waiters: the batcher fails
+        # the batch's still-pending futures with the exception and keeps
+        # consuming subsequent batches.
+        queue = RequestQueue(capacity=16)
+        boom = RuntimeError("poison batch")
+        flushed_ok: list[str] = []
+        recovered = threading.Event()
+
+        def flush(batch):
+            if any(request.fingerprint == "fp0" for request in batch):
+                raise boom
+            flushed_ok.extend(request.fingerprint for request in batch)
+            recovered.set()
+
+        batcher = MicroBatcher(queue, flush, max_batch_size=1, max_wait=0.01)
+        poisoned = _request(0)
+        queue.put(poisoned)
+        batcher.start()
+        with pytest.raises(RuntimeError, match="poison batch"):
+            poisoned.future.result(timeout=5.0)
+        assert batcher.running  # the consumer survived the bad flush
+        queue.put(_request(1))  # and keeps serving the next batch
+        assert recovered.wait(timeout=5.0)
+        assert flushed_ok == ["fp1"]
+        assert batcher.num_flush_failures == 1
+        batcher.stop(timeout=5.0)
+
+    def test_flush_exception_leaves_delivered_futures_alone(self):
+        # If the callback already settled some futures before raising, only
+        # the still-pending ones receive the exception.
+        queue = RequestQueue(capacity=16)
+
+        def flush(batch):
+            batch[0].future.set_result("delivered")
+            raise RuntimeError("failed after partial delivery")
+
+        batcher = MicroBatcher(queue, flush, max_batch_size=2, max_wait=10.0)
+        first, second = _request(0), _request(1)
+        queue.put(first)
+        queue.put(second)
+        batcher.start()
+        assert first.future.result(timeout=5.0) == "delivered"
+        with pytest.raises(RuntimeError, match="partial delivery"):
+            second.future.result(timeout=5.0)
+        batcher.stop(timeout=5.0)
+
     def test_start_is_idempotent(self):
         queue = RequestQueue(capacity=4)
         batcher = MicroBatcher(queue, lambda batch: None, max_batch_size=2, max_wait=0.01)

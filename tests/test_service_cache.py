@@ -119,11 +119,45 @@ class TestResultCache:
         assert cache.warm_start(tmp_path / "absent.jsonl") == 0
         assert len(cache) == 0
 
-    def test_warm_start_rejects_corrupt_entries(self, tmp_path):
+    def test_warm_start_rejects_interior_corruption(self, tmp_path):
+        # Corruption followed by more entries cannot be a torn append — the
+        # file is damaged and warm-start must refuse it, naming the line.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"fingerprint": "x"}\n', encoding="utf-8")
+        good = ResultCache(capacity=4)
+        good.put("fp1", CachedResult(MatchLabel.MATCH, True))
+        good.spill(path)
+        content = path.read_text(encoding="utf-8")
+        path.write_text(
+            '{"fingerprint": "x"}\n' + content, encoding="utf-8"
+        )
         with pytest.raises(ValueError, match="bad.jsonl:1"):
             ResultCache(capacity=4).warm_start(path)
+
+    def test_warm_start_tolerates_torn_final_line(self, tmp_path):
+        # A crash mid-spill leaves a truncated final line; the entries before
+        # it must still warm-start.
+        path = tmp_path / "torn.jsonl"
+        cache = ResultCache(capacity=8)
+        cache.put("fp1", CachedResult(MatchLabel.MATCH, True))
+        cache.put("fp2", CachedResult(MatchLabel.NON_MATCH, False))
+        cache.spill(path)
+        content = path.read_text(encoding="utf-8")
+        torn = content + '{"fingerprint": "fp3", "lab'  # no newline: torn write
+        path.write_text(torn, encoding="utf-8")
+
+        warmed = ResultCache(capacity=8)
+        assert warmed.warm_start(path) == 2
+        assert warmed.get("fp1") == CachedResult(MatchLabel.MATCH, True)
+        assert warmed.get("fp2") == CachedResult(MatchLabel.NON_MATCH, False)
+        assert len(warmed) == 2
+
+    def test_warm_start_tolerates_single_torn_line(self, tmp_path):
+        # Degenerate torn tail: the crash struck the very first entry.
+        path = tmp_path / "torn1.jsonl"
+        path.write_text('{"fingerpr', encoding="utf-8")
+        cache = ResultCache(capacity=4)
+        assert cache.warm_start(path) == 0
+        assert len(cache) == 0
 
     def test_warm_start_respects_capacity(self, tmp_path):
         path = tmp_path / "cache.jsonl"
