@@ -19,6 +19,10 @@ echo "== service smoke test (repro-serve --self-test) =="
 # never alters results), asserts span nesting, and scrapes its own
 # GET /metrics over HTTP to check the Prometheus exposition is well-formed
 # with populated latency histograms, retry counters and cache hit-rate gauges.
+# It additionally serves itself on BOTH HTTP front ends (asyncio + threaded)
+# to assert byte-identical bodies and HEAD support, and checks the tenant
+# admission layer (quota reject/recover, budget blocking, API-key auth) on a
+# fake clock.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.cli --self-test
 
 echo "== observability smoke (traced run + repro-trace render) =="
@@ -109,5 +113,16 @@ echo "== resilience chaos smoke benchmark (BENCH_resilience.json) =="
 # so it never clobbers a full-size BENCH_resilience.json with small-n numbers.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_resilience.py \
   --small --report "$(mktemp)" > /dev/null
+
+echo "== serving latency smoke benchmark (BENCH_latency.json) =="
+# --small --oracles-only: timing-independent — it *asserts* that the asyncio
+# front end answers byte-identically to the threaded one (both delegate to
+# the shared ServiceRouter) and that a greedy tenant hammering admission at
+# 10x quota cannot starve a quota-respecting tenant (virtual-clock token
+# buckets).  The p50/p95/p99 load arm runs only on manual/release
+# invocations; the smoke report goes to a scratch file so it never clobbers
+# the tracked full-size BENCH_latency.json.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_latency.py \
+  --small --oracles-only --report "$(mktemp)" > /dev/null
 
 echo "== OK =="

@@ -12,7 +12,7 @@ _readme = Path(__file__).parent / "README.md"
 
 setup(
     name="batcher-repro",
-    version="1.9.0",
+    version="1.10.0",
     description=(
         "Reproduction of 'Cost-Effective In-Context Learning for Entity "
         "Resolution: A Design Space Exploration' (ICDE 2024) with a staged "

@@ -31,8 +31,9 @@ It provides:
   :mod:`repro.engine.faults`),
 * the online serving subsystem (:mod:`repro.service`): a micro-batching
   :class:`ResolutionService` aggregating concurrent requests into shared
-  batch prompts, with a pair-level result cache, cost-aware admission and a
-  stdlib HTTP front end (``repro-serve``), and
+  batch prompts, with a pair-level result cache, cost-aware admission,
+  multi-tenant API-key quotas and budgets, and two byte-identical stdlib
+  HTTP front ends — asyncio and threaded (``repro-serve``), and
 * experiment runners reproducing every table and figure of the paper
   (:mod:`repro.experiments`).
 
@@ -79,9 +80,9 @@ from repro.pipeline import (
     Resolver,
     StageHook,
 )
-from repro.service import ResolutionService, ResultCache, ServiceConfig
+from repro.service import ResolutionService, ResultCache, ServiceConfig, TenantConfig
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "BatchER",
@@ -104,6 +105,7 @@ __all__ = [
     "ServiceConfig",
     "StageHook",
     "StandardPromptingER",
+    "TenantConfig",
     "available_datasets",
     "create_executor",
     "evaluate_predictions",

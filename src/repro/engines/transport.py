@@ -312,6 +312,30 @@ class TokenBucket:
                 return 0.0
             return -self._level / self.rate
 
+    def try_reserve(self, amount: float) -> float:
+        """Debit ``amount`` only if the bucket can afford it right now.
+
+        Returns ``0.0`` on success (the units were debited) or the seconds
+        until the reservation would be affordable (nothing debited).  Unlike
+        :meth:`reserve`, a refusal leaves the bucket untouched, which is the
+        admission-control contract: a rejected request must not push the
+        bucket into debt and penalize later, well-behaved callers.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        if amount == 0:
+            return 0.0
+        with self._lock:
+            now = self._clock.monotonic()
+            self._level = min(
+                self.capacity, self._level + (now - self._updated_at) * self.rate
+            )
+            self._updated_at = now
+            if self._level >= amount:
+                self._level -= amount
+                return 0.0
+            return (amount - self._level) / self.rate
+
     @property
     def level(self) -> float:
         """Current (possibly negative) stored units, without refilling."""

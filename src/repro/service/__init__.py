@@ -24,9 +24,16 @@ Layers:
   the engine-backed ``resolve_bulk`` path that shards large submissions
   deterministically past the micro-batch queue (counters under
   ``stats().engine``).
-* :mod:`repro.service.http` — a stdlib HTTP JSON front end
-  (``POST /resolve``, ``POST /bulk``, ``GET /stats``, ``GET /healthz``),
-  exposed via the ``repro-serve`` console script (:mod:`repro.service.cli`).
+* :mod:`repro.service.tenants` — multi-tenant admission: API keys
+  (``X-API-Key``) resolving to per-tenant requests-per-second quotas
+  (non-debiting token-bucket rejection → 429 + ``Retry-After``) and cost
+  budgets (attributed flush costs; exhausted tenants degrade to cache hits).
+* :mod:`repro.service.http` / :mod:`repro.service.aio` — two stdlib HTTP
+  JSON front ends (``POST /resolve``, ``POST /bulk``, ``GET /stats``,
+  ``GET /healthz``; every GET route answers HEAD) sharing one
+  transport-agnostic ``ServiceRouter``, so the threaded and asyncio servers
+  answer byte-identically; exposed via the ``repro-serve`` console script
+  (:mod:`repro.service.cli`, ``--frontend async|threaded``).
 """
 
 from repro.service.cache import CachedResult, ResultCache, pair_fingerprint
@@ -46,6 +53,14 @@ from repro.service.service import (
     ServiceDegraded,
     ServiceStats,
 )
+from repro.service.tenants import (
+    Tenant,
+    TenantBudgetExceeded,
+    TenantConfig,
+    TenantManager,
+    TenantQuotaExceeded,
+    UnknownTenant,
+)
 
 __all__ = [
     "AdmissionError",
@@ -62,5 +77,11 @@ __all__ = [
     "ServiceDegraded",
     "ServiceOverloaded",
     "ServiceStats",
+    "Tenant",
+    "TenantBudgetExceeded",
+    "TenantConfig",
+    "TenantManager",
+    "TenantQuotaExceeded",
+    "UnknownTenant",
     "pair_fingerprint",
 ]

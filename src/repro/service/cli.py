@@ -29,6 +29,7 @@ from repro.observability.tracing import Tracer
 from repro.resilience import BreakerConfig
 from repro.service.config import ServiceConfig
 from repro.service.service import ResolutionService
+from repro.service.tenants import TenantConfig
 
 #: One Prometheus text-exposition sample line: ``name{labels} value``.
 _SAMPLE_LINE = re.compile(
@@ -75,6 +76,159 @@ def _fetch_metrics(service: ResolutionService) -> tuple[str, str]:
     return text, content_type
 
 
+def _frontend_checks(service: ResolutionService) -> dict[str, bool]:
+    """Serve ``service`` on both front ends and compare their behavior.
+
+    Returns check outcomes: the async front end must answer a warmed (cached)
+    ``POST /resolve`` with a byte-identical body to the threaded one, and both
+    must answer ``HEAD /healthz`` with 200 and no body.
+    """
+    from urllib.request import Request, urlopen
+
+    from repro.service.aio import AsyncServiceHTTPServer
+    from repro.service.http import ServiceHTTPServer
+
+    payload = json.dumps(
+        {
+            "pairs": [
+                {
+                    "pair_id": "self-test-identity",
+                    "left": {"name": "ipa", "style": "india pale ale"},
+                    "right": {"name": "IPA", "style": "India Pale Ale"},
+                }
+            ]
+        }
+    ).encode("utf-8")
+
+    def post(base: str) -> bytes:
+        request = Request(
+            f"{base}/resolve", data=payload, headers={"Content-Type": "application/json"}
+        )
+        with urlopen(request, timeout=30.0) as response:
+            return response.read()
+
+    def head(base: str) -> tuple[int, bytes]:
+        request = Request(f"{base}/healthz", method="HEAD")
+        with urlopen(request, timeout=10.0) as response:
+            return response.status, response.read()
+
+    threaded = ServiceHTTPServer(service, port=0).serve_in_background()
+    aio = AsyncServiceHTTPServer(service, port=0).serve_in_background()
+    try:
+        post(threaded.address)  # warm the cache: comparisons below are hits
+        threaded_body = post(threaded.address)
+        async_body = post(aio.address)
+        threaded_head = head(threaded.address)
+        async_head = head(aio.address)
+    finally:
+        aio.shutdown()
+        threaded.shutdown()
+        threaded.server_close()
+    return {
+        "async_frontend_byte_identical_to_threaded": (
+            bool(threaded_body) and threaded_body == async_body
+        ),
+        "head_answered_on_both_frontends": (
+            threaded_head == (200, b"") and async_head == (200, b"")
+        ),
+    }
+
+
+def _tenant_checks() -> dict[str, bool]:
+    """Deterministic (fake-clock) checks of the tenant admission layer."""
+    from repro.engines.faults import FakeClock
+    from repro.service.tenants import (
+        TenantBudgetExceeded,
+        TenantManager,
+        TenantQuotaExceeded,
+        UnknownTenant,
+    )
+
+    clock = FakeClock()
+    manager = TenantManager(
+        (
+            TenantConfig(
+                name="quota", api_key="k-quota", requests_per_second=1.0, burst=1.0
+            ),
+            TenantConfig(name="budget", api_key="k-budget", cost_budget=0.01),
+        ),
+        require_api_key=True,
+        clock=clock,
+    )
+
+    quota = manager.authenticate("k-quota")
+    assert quota is not None
+    quota.admit()
+    quota_rejects = False
+    try:
+        quota.admit()
+    except TenantQuotaExceeded as error:
+        quota_rejects = error.retry_after > 0
+    clock.advance(1.5)  # refill at 1 req/s -> the bucket can afford one again
+    quota.admit()
+    quota_recovers = True
+
+    budget = manager.authenticate("k-budget")
+    assert budget is not None
+    budget.check_budget()  # nothing spent yet
+    budget.charge(0.02)
+    budget_blocks = False
+    try:
+        budget.check_budget()
+    except TenantBudgetExceeded:
+        budget_blocks = True
+
+    unknown_rejected = False
+    try:
+        manager.authenticate("wrong-key")
+    except UnknownTenant:
+        unknown_rejected = True
+    missing_rejected = False
+    try:
+        manager.authenticate(None)  # keys are required for this manager
+    except UnknownTenant:
+        missing_rejected = True
+
+    return {
+        "tenant_quota_rejects_then_recovers": quota_rejects and quota_recovers,
+        "tenant_budget_blocks_after_spend": budget_blocks,
+        "unknown_or_missing_api_key_rejected": unknown_rejected and missing_rejected,
+    }
+
+
+def parse_tenant(spec: str) -> TenantConfig:
+    """Parse one ``--tenant`` spec: comma-separated ``key=value`` fields.
+
+    ``name`` and ``key`` are required; ``rps``, ``burst`` and ``budget`` are
+    optional, e.g. ``--tenant name=acme,key=k-acme,rps=50,budget=2.5``.
+    """
+    fields: dict[str, str] = {}
+    for part in spec.split(","):
+        name, sep, value = part.partition("=")
+        if not sep or not name.strip():
+            raise argparse.ArgumentTypeError(
+                f"tenant field {part!r} is not key=value"
+            )
+        fields[name.strip()] = value.strip()
+    unknown = set(fields) - {"name", "key", "rps", "burst", "budget"}
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown tenant fields: {sorted(unknown)}"
+        )
+    if "name" not in fields or "key" not in fields:
+        raise argparse.ArgumentTypeError("tenant spec needs name= and key=")
+    try:
+        return TenantConfig(
+            name=fields["name"],
+            api_key=fields["key"],
+            requests_per_second=float(fields["rps"]) if "rps" in fields else None,
+            burst=float(fields["burst"]) if "burst" in fields else None,
+            cost_budget=float(fields["budget"]) if "budget" in fields else None,
+        )
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
 def build_service(args: argparse.Namespace) -> ResolutionService:
     """Build (but do not start) a service from parsed CLI arguments."""
     dataset = load_dataset(args.dataset, seed=args.data_seed, scale=args.scale)
@@ -86,6 +240,8 @@ def build_service(args: argparse.Namespace) -> ResolutionService:
         cache_capacity=args.cache_capacity,
         spill_path=args.spill,
         cost_budget=args.cost_budget,
+        tenants=tuple(args.tenant),
+        require_api_key=args.require_api_key,
     )
     return ResolutionService.from_dataset(dataset, config)
 
@@ -144,12 +300,14 @@ def run_self_test(
         service.resolve_many(unique)
         repeat = service.stats().to_dict()
         metrics_text, metrics_content_type = _fetch_metrics(service)
+        frontend_checks = _frontend_checks(service) if tracer is not None else {}
         service.stop()
         return labels, {
             "first_pass": first_pass,
             "repeat": repeat,
             "metrics_text": metrics_text,
             "metrics_content_type": metrics_content_type,
+            "frontend_checks": frontend_checks,
         }
 
     tracer = Tracer()
@@ -228,7 +386,18 @@ def run_self_test(
                 "repro_service_degraded_total",
             )
         ),
+        # Per-tenant request metric families render even without configured
+        # tenants (pre-seeded for the anonymous label), so dashboards keyed on
+        # them populate before the first API key is handed out.
+        "tenant_request_metrics_exposed": (
+            "repro_service_requests_total" in metrics_text
+        ),
     }
+    # The asyncio front end must be indistinguishable from the threaded one
+    # (byte-identical bodies) and the tenant layer must enforce quota/budget/
+    # auth deterministically — both checked on the pass-1 service above.
+    checks.update(report.pop("frontend_checks"))
+    checks.update(_tenant_checks())
     report.update(
         {
             "requests": len(workload),
@@ -280,11 +449,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--cost-budget", type=float, default=None, help="session budget in dollars"
     )
     parser.add_argument(
+        "--frontend",
+        choices=("async", "threaded"),
+        default="async",
+        help=(
+            "HTTP front end: the asyncio server (default) or the threaded "
+            "stdlib server kept as a behavioral oracle"
+        ),
+    )
+    parser.add_argument(
+        "--tenant",
+        action="append",
+        type=parse_tenant,
+        default=[],
+        metavar="name=N,key=K[,rps=R][,burst=B][,budget=D]",
+        help="register a tenant (repeatable); requests authenticate via X-API-Key",
+    )
+    parser.add_argument(
+        "--require-api-key",
+        action="store_true",
+        help="reject requests without a registered X-API-Key (401)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the deterministic serving smoke test and exit",
     )
     args = parser.parse_args(argv)
+    if args.require_api_key and not args.tenant:
+        parser.error("--require-api-key needs at least one --tenant")
 
     if args.self_test:
         report = run_self_test(
@@ -300,11 +493,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(json.dumps(report, indent=2))
         return 0 if report["ok"] else 1
 
-    from repro.service.http import ServiceHTTPServer
-
     service = build_service(args).start()
-    server = ServiceHTTPServer(service, host=args.host, port=args.port, verbose=True)
-    print(f"repro-serve listening on {server.address}", flush=True)
+    if args.frontend == "threaded":
+        from repro.service.http import ServiceHTTPServer
+
+        server = ServiceHTTPServer(
+            service, host=args.host, port=args.port, verbose=True
+        )
+    else:
+        from repro.service.aio import AsyncServiceHTTPServer
+
+        server = AsyncServiceHTTPServer(
+            service, host=args.host, port=args.port, verbose=True
+        ).serve_in_background()
+    print(
+        f"repro-serve ({args.frontend}) listening on {server.address}", flush=True
+    )
     print(
         "try:  curl -s -X POST "
         f"{server.address}/resolve -d '"
@@ -316,7 +520,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
     finally:
-        server.server_close()
+        if args.frontend == "threaded":
+            server.server_close()
+        else:
+            server.shutdown()
         service.stop()
     return 0
 

@@ -13,6 +13,7 @@ from typing import Any, Mapping
 
 from repro.core.config import BatcherConfig
 from repro.resilience.breaker import BreakerConfig
+from repro.service.tenants import TenantConfig
 
 #: Default number of pairs collected into one micro-batch flush.
 DEFAULT_MAX_BATCH_SIZE = 32
@@ -66,6 +67,14 @@ class ServiceConfig:
             (threaded down through the retry ladder as the ambient
             :func:`~repro.resilience.current_deadline`); ``None`` disables
             deadline budgets.
+        tenants: declared serving tenants
+            (:class:`~repro.service.tenants.TenantConfig`): API keys mapping
+            to per-tenant requests-per-second quotas and cost budgets.  Empty
+            means single-tenant operation — every request is anonymous and
+            only the global limits apply.
+        require_api_key: refuse keyless requests with
+            :class:`~repro.service.tenants.UnknownTenant` (HTTP 401) instead
+            of serving them anonymously; requires at least one tenant.
     """
 
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
@@ -79,6 +88,8 @@ class ServiceConfig:
     cost_budget: float | None = None
     breaker: BreakerConfig | None = None
     deadline_budget_seconds: float | None = None
+    tenants: tuple[TenantConfig, ...] = ()
+    require_api_key: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -108,6 +119,17 @@ class ServiceConfig:
                 "deadline_budget_seconds must be > 0, "
                 f"got {self.deadline_budget_seconds}"
             )
+        # Tuple-ify (so list literals work) and fail fast on collisions the
+        # TenantManager would otherwise reject only at service construction.
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        keys = [tenant.api_key for tenant in self.tenants]
+        if len(set(keys)) != len(keys):
+            raise ValueError("tenants must have distinct API keys")
+        if self.require_api_key and not self.tenants:
+            raise ValueError("require_api_key needs at least one configured tenant")
 
     def with_overrides(self, **overrides: Any) -> "ServiceConfig":
         """Return a copy of this config with the given fields replaced."""
@@ -127,6 +149,8 @@ class ServiceConfig:
             "cost_budget": self.cost_budget,
             "breaker": self.breaker.to_dict() if self.breaker is not None else None,
             "deadline_budget_seconds": self.deadline_budget_seconds,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "require_api_key": self.require_api_key,
         }
 
     @classmethod
@@ -153,4 +177,10 @@ class ServiceConfig:
         breaker = snapshot.get("breaker")
         if isinstance(breaker, Mapping):
             snapshot["breaker"] = BreakerConfig.from_dict(breaker)
+        tenants = snapshot.get("tenants")
+        if tenants is not None:
+            snapshot["tenants"] = tuple(
+                TenantConfig.from_dict(entry) if isinstance(entry, Mapping) else entry
+                for entry in tenants
+            )
         return cls(**snapshot)

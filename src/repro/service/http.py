@@ -20,9 +20,26 @@ Endpoints:
   backend circuit breaker is open or the consumer is not running, so a load
   balancer drains the replica without restarting it.
 
-Error mapping: malformed requests → 400, cost-budget rejection → 429,
-queue backpressure and degraded mode (breaker open) → 503 (with
-``Retry-After``), tripped deadline budgets → 504.
+Every ``GET`` route also answers ``HEAD`` (same status and headers, no
+body) — load balancers commonly probe with HEAD and the stdlib default would
+have answered 501.
+
+Multi-tenant requests authenticate with an ``X-API-Key`` header (see
+:mod:`repro.service.tenants`); an unknown key maps to 401, an over-quota or
+budget-exhausted tenant to 429 (quota rejections carry a ``Retry-After``).
+
+Error mapping: malformed requests → 400, stalled/short request bodies → 408,
+cost-budget and tenant-quota rejection → 429, queue backpressure and degraded
+mode (breaker open) → 503 (with ``Retry-After``; the backpressure value is
+derived from the queue backlog, see
+:meth:`ResolutionService.overload_retry_after`), tripped deadline budgets
+→ 504.
+
+The routing and error-mapping logic lives in the transport-agnostic
+:class:`ServiceRouter` so this threaded front end and the asyncio one
+(:mod:`repro.service.aio`) return byte-identical bodies for the same request
+— the identity oracle of ``benchmarks/bench_latency.py`` holds by
+construction.
 """
 
 from __future__ import annotations
@@ -30,8 +47,10 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import socket
 import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
@@ -44,12 +63,22 @@ from repro.service.service import (
     ServiceDegraded,
     ServiceOverloaded,
 )
+from repro.service.tenants import (
+    TenantBudgetExceeded,
+    TenantQuotaExceeded,
+    UnknownTenant,
+)
 
 #: Upper bound on accepted request bodies (1 MiB keeps parsing cheap).
 MAX_BODY_BYTES = 1 << 20
 
 #: Deadline for one HTTP resolve call (generous; micro-batches are fast).
 RESOLVE_TIMEOUT_SECONDS = 60.0
+
+#: Default deadline for reading one request body off the socket.  A client
+#: that promises ``Content-Length`` bytes and stalls mid-body is answered 408
+#: once this expires instead of parking a handler forever (slowloris).
+DEFAULT_BODY_READ_TIMEOUT_SECONDS = 10.0
 
 _request_ids = itertools.count(1)
 
@@ -121,46 +150,106 @@ def _shards_from_json(body: Mapping[str, Any]) -> int | None:
     return shards
 
 
-class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests to the server's attached service."""
+@dataclass(frozen=True)
+class RouteResult:
+    """One routed response, transport-agnostic.
 
-    server: "ServiceHTTPServer"
-    protocol_version = "HTTP/1.1"
+    The front ends (threaded and asyncio) turn this into wire bytes; the
+    body, status and extra headers are identical whichever transport carried
+    the request.
 
-    # -- helpers -------------------------------------------------------------
+    Attributes:
+        status: HTTP status code.
+        body: response body bytes (front ends omit it for ``HEAD`` but still
+            send its length, per RFC 9110).
+        content_type: ``Content-Type`` header value.
+        headers: extra response headers (``Retry-After`` etc.).
+        close: whether the connection must be closed after this response
+            (error paths may not have consumed the request body; leaving the
+            connection open would desynchronize HTTP/1.1 keep-alive).
+    """
 
-    def _send_json(
-        self, status: int, payload: Mapping[str, Any], headers: Mapping[str, str] = {}
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in headers.items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
+    close: bool = False
 
-    def _send_error_json(
-        self, status: int, message: str, headers: Mapping[str, str] = {}
-    ) -> None:
-        # Error paths may not have consumed the request body; close the
-        # connection so unread bytes cannot desynchronize HTTP/1.1 keep-alive.
-        self.close_connection = True
-        self._send_json(status, {"error": message}, {"Connection": "close", **headers})
 
-    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        if self.server.verbose:  # pragma: no cover - log plumbing
-            super().log_message(format, *args)
+def _json_result(
+    status: int,
+    payload: Mapping[str, Any],
+    headers: tuple[tuple[str, str], ...] = (),
+    close: bool = False,
+) -> RouteResult:
+    return RouteResult(
+        status=status,
+        body=json.dumps(payload).encode("utf-8"),
+        headers=headers,
+        close=close,
+    )
 
-    # -- routes --------------------------------------------------------------
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        if self.path == "/healthz":
+def _error_result(
+    status: int, message: str, headers: tuple[tuple[str, str], ...] = ()
+) -> RouteResult:
+    return _json_result(status, {"error": message}, headers=headers, close=True)
+
+
+class ServiceRouter:
+    """Transport-agnostic request routing for one :class:`ResolutionService`.
+
+    Both HTTP front ends delegate every parsed request here, so routing,
+    tenant authentication, error mapping and response bodies are identical by
+    construction.  Per-tenant request metrics
+    (``repro_service_requests_total{tenant,status}`` and the latency
+    histogram) are recorded for the POST routes on the way out.
+    """
+
+    def __init__(self, service: ResolutionService) -> None:
+        self.service = service
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        headers: Mapping[str, str],
+        body: bytes | None = None,
+    ) -> RouteResult:
+        """Route one request; never raises (failures become error results).
+
+        Args:
+            method: ``GET``, ``HEAD`` or ``POST`` (anything else → 501).
+            path: request path.
+            headers: request headers with *lower-cased* names.
+            body: request body (POST only).
+        """
+        if method in ("GET", "HEAD"):
+            return self._handle_get(path)
+        if method == "POST":
+            clock = self.service.metrics.clock
+            started = clock.monotonic()
+            tenant_label: str | None = None
+            try:
+                tenant = self.service.authenticate(headers.get("x-api-key"))
+                tenant_label = tenant.name if tenant is not None else None
+                result = self._handle_post(path, body if body is not None else b"", tenant)
+            except UnknownTenant as error:
+                result = _error_result(401, str(error))
+            self.service.observe_request(
+                tenant_label, result.status, clock.monotonic() - started
+            )
+            return result
+        return _error_result(501, f"unsupported method {method!r}")
+
+    # -- GET/HEAD routes -----------------------------------------------------
+
+    def _handle_get(self, path: str) -> RouteResult:
+        service = self.service
+        if path == "/healthz":
             # Liveness: always 200 while the process answers.  Readiness is
             # reported as a field here and as the status code of /readyz.
-            self._send_json(
+            return _json_result(
                 200,
                 {
                     "status": "ok",
@@ -170,7 +259,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     "pool_size": service.resolver.pool_size,
                 },
             )
-        elif self.path == "/readyz":
+        if path == "/readyz":
             breaker = service.breaker
             payload = {
                 "ready": service.ready,
@@ -178,83 +267,188 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 "breaker": breaker.stats() if breaker is not None else None,
             }
             if service.ready:
-                self._send_json(200, payload)
-            else:
-                retry_after = breaker.retry_after if breaker is not None else 1.0
-                self._send_json(
-                    503, payload, {"Retry-After": _retry_after_header(retry_after)}
-                )
-        elif self.path == "/stats":
+                return _json_result(200, payload)
+            retry_after = breaker.retry_after if breaker is not None else 1.0
+            return _json_result(
+                503, payload, (("Retry-After", _retry_after_header(retry_after)),)
+            )
+        if path == "/stats":
             payload = service.stats().to_dict()
             payload["metrics"] = service.metrics.snapshot()
-            self._send_json(200, payload)
-        elif self.path == "/metrics":
-            body = service.metrics.render().encode("utf-8")
-            self.send_response(200)
-            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-        else:
-            self._send_error_json(404, f"unknown path {self.path!r}")
+            return _json_result(200, payload)
+        if path == "/metrics":
+            return RouteResult(
+                status=200,
+                body=service.metrics.render().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return _error_result(404, f"unknown path {path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path not in ("/resolve", "/bulk"):
-            self._send_error_json(404, f"unknown path {self.path!r}")
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._send_error_json(400, "invalid Content-Length")
-            return
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_error_json(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
-            return
-        raw = self.rfile.read(length)
+    # -- POST routes ---------------------------------------------------------
+
+    def _handle_post(self, path: str, raw: bytes, tenant) -> RouteResult:
+        if path not in ("/resolve", "/bulk"):
+            return _error_result(404, f"unknown path {path!r}")
         try:
             body = json.loads(raw.decode("utf-8"))
             pairs = pairs_from_json(body)
-            shards = _shards_from_json(body) if self.path == "/bulk" else None
+            shards = _shards_from_json(body) if path == "/bulk" else None
         except (BadRequest, UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._send_error_json(400, str(error))
-            return
+            return _error_result(400, str(error))
+        service = self.service
         try:
-            if self.path == "/bulk":
-                resolutions = self.server.service.resolve_bulk(pairs, shards=shards)
+            if path == "/bulk":
+                resolutions = service.resolve_bulk(pairs, shards=shards, tenant=tenant)
             else:
-                resolutions = self.server.service.resolve_many(
-                    pairs, timeout=RESOLVE_TIMEOUT_SECONDS
+                resolutions = service.resolve_many(
+                    pairs, timeout=RESOLVE_TIMEOUT_SECONDS, tenant=tenant
                 )
-        except CostBudgetExceeded as error:
-            self._send_error_json(429, str(error))
-            return
+        except TenantQuotaExceeded as error:
+            return _error_result(
+                429,
+                str(error),
+                (("Retry-After", _retry_after_header(error.retry_after)),),
+            )
+        except (TenantBudgetExceeded, CostBudgetExceeded) as error:
+            return _error_result(429, str(error))
         except (ServiceDegraded, CircuitOpenError) as error:
             # Degraded mode: the breaker refused new LLM-bound work, either
             # at admission (ServiceDegraded) or deep in the transport
             # (CircuitOpenError surfacing through a failed flush future).
             retry_after = getattr(error, "retry_after", 1.0)
-            self._send_error_json(
-                503, str(error), {"Retry-After": _retry_after_header(retry_after)}
+            return _error_result(
+                503, str(error), (("Retry-After", _retry_after_header(retry_after)),)
             )
-            return
-        except (ServiceOverloaded, ServiceClosed) as error:
-            self._send_error_json(503, str(error), {"Retry-After": "1"})
-            return
+        except ServiceOverloaded as error:
+            # Backpressure: tell the client when the backlog should have
+            # drained instead of a flat "come back in a second".
+            return _error_result(
+                503,
+                str(error),
+                (
+                    (
+                        "Retry-After",
+                        _retry_after_header(service.overload_retry_after()),
+                    ),
+                ),
+            )
+        except ServiceClosed as error:
+            return _error_result(503, str(error), (("Retry-After", "1"),))
         except DeadlineExceeded as error:
-            self._send_error_json(504, str(error))
-            return
+            return _error_result(504, str(error))
         # concurrent.futures.TimeoutError is only an alias of the builtin
         # from Python 3.11; catch both to stay correct on 3.10.
         except (TimeoutError, FutureTimeoutError):
-            self._send_error_json(503, "resolution timed out", {"Retry-After": "1"})
-            return
+            return _error_result(503, "resolution timed out", (("Retry-After", "1"),))
         except Exception as error:  # noqa: BLE001 - a failed flush must not
             # drop the connection without a response.
-            self._send_error_json(500, f"resolution failed: {error}")
-            return
-        self._send_json(
+            return _error_result(500, f"resolution failed: {error}")
+        return _json_result(
             200, {"resolutions": [resolution.to_dict() for resolution in resolutions]}
         )
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the server's attached service."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------------
+
+    def _send_result(self, result: RouteResult, head_only: bool = False) -> None:
+        if result.close:
+            self.close_connection = True
+        self.send_response(result.status)
+        self.send_header("Content-Type", result.content_type)
+        self.send_header("Content-Length", str(len(result.body)))
+        for name, value in result.headers:
+            self.send_header(name, value)
+        if result.close:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        if not head_only:
+            self.wfile.write(result.body)
+
+    def _request_headers(self) -> dict[str, str]:
+        return {name.lower(): value for name, value in self.headers.items()}
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log plumbing
+            super().log_message(format, *args)
+
+    def _read_body(self, length: int) -> bytes | None:
+        """Read exactly ``length`` body bytes under a socket deadline.
+
+        Returns ``None`` when the client stalls mid-body or closes early —
+        a slowloris client that promises ``Content-Length`` bytes and sends
+        fewer must not park this handler thread forever.  The deadline covers
+        the *whole* body, so trickling one byte per timeout window cannot
+        extend it indefinitely either.
+        """
+        deadline_clock = self.server.service.metrics.clock
+        deadline = deadline_clock.monotonic() + self.server.body_read_timeout
+        chunks: list[bytes] = []
+        remaining = length
+        while remaining > 0:
+            budget = deadline - deadline_clock.monotonic()
+            if budget <= 0:
+                return None
+            try:
+                self.connection.settimeout(budget)
+                chunk = self.rfile.read1(remaining) if hasattr(
+                    self.rfile, "read1"
+                ) else self.rfile.read(remaining)
+            except (socket.timeout, TimeoutError):
+                return None
+            except OSError:
+                return None
+            finally:
+                self.connection.settimeout(self.server.socket_timeout)
+            if not chunk:
+                return None  # client closed before sending the promised bytes
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._send_result(self.server.router.handle("GET", self.path, {}))
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        # Load balancers commonly probe with HEAD; answer with the GET
+        # route's status and headers (Content-Length included) minus the body
+        # instead of the stdlib's default 501.
+        self._send_result(
+            self.server.router.handle("HEAD", self.path, {}), head_only=True
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_result(_error_result(400, "invalid Content-Length"))
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_result(
+                _error_result(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            )
+            return
+        raw = self._read_body(length)
+        if raw is None:
+            self._send_result(
+                _error_result(
+                    408,
+                    f"request body stalled: {length} bytes promised, fewer "
+                    f"received within {self.server.body_read_timeout:g}s",
+                )
+            )
+            return
+        result = self.server.router.handle(
+            "POST", self.path, self._request_headers(), raw
+        )
+        self._send_result(result)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -265,9 +459,16 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         host / port: bind address; port ``0`` picks a free port (see
             :attr:`server_port` for the actual one).
         verbose: log one line per request to stderr.
+        body_read_timeout: seconds a client gets to deliver a promised
+            request body before the handler answers 408 (slowloris guard).
     """
 
     daemon_threads = True
+
+    #: Per-connection socket timeout restored after each body read; also
+    #: bounds how long an idle keep-alive connection may sit between
+    #: requests before the handler closes it.
+    socket_timeout = 65.0
 
     def __init__(
         self,
@@ -275,9 +476,16 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        body_read_timeout: float = DEFAULT_BODY_READ_TIMEOUT_SECONDS,
     ) -> None:
+        if body_read_timeout <= 0:
+            raise ValueError(
+                f"body_read_timeout must be > 0, got {body_read_timeout}"
+            )
         self.service = service
+        self.router = ServiceRouter(service)
         self.verbose = verbose
+        self.body_read_timeout = body_read_timeout
         super().__init__((host, port), _ServiceRequestHandler)
         self._thread: threading.Thread | None = None
 

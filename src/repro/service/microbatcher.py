@@ -43,12 +43,15 @@ class PendingRequest:
         future: completed with a :class:`~repro.pipeline.resolver.Resolution`
             (or an exception) when the flush containing this request finishes.
         enqueued_at: ``time.monotonic()`` timestamp of admission.
+        tenant: name of the submitting tenant (cost attribution of the flush
+            charges the pair's owning tenant); ``None`` for anonymous traffic.
     """
 
     pair: EntityPair
     fingerprint: str
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    tenant: str | None = None
 
 
 class RequestQueue:

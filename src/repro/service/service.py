@@ -53,6 +53,7 @@ from repro.service.microbatcher import (
     ServiceClosed,
     ServiceOverloaded,
 )
+from repro.service.tenants import ANONYMOUS_TENANT, Tenant, TenantManager
 
 __all__ = [
     "AdmissionError",
@@ -64,6 +65,10 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceStats",
 ]
+
+#: Retry-After ceiling for overload responses when no breaker cooldown is
+#: configured to clamp against (seconds).
+DEFAULT_OVERLOAD_RETRY_CAP = 30.0
 
 
 @dataclass(frozen=True)
@@ -156,6 +161,9 @@ class ServiceStats:
         throughput_pairs_per_second: ``resolved / uptime_seconds``.
         breaker: snapshot of the backend circuit breaker (state, trips,
             fast failures, open duration); ``None`` when gating is disabled.
+        tenants: per-tenant admission/spend blocks keyed by tenant name
+            (admitted, quota/budget rejections, attributed cost); ``None``
+            when no tenants are configured.
     """
 
     submitted: int
@@ -179,6 +187,7 @@ class ServiceStats:
     uptime_seconds: float
     throughput_pairs_per_second: float
     breaker: dict | None = None
+    tenants: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -213,6 +222,7 @@ class ServiceStats:
             "uptime_seconds": self.uptime_seconds,
             "throughput_pairs_per_second": self.throughput_pairs_per_second,
             "breaker": self.breaker,
+            "tenants": self.tenants,
         }
 
 
@@ -307,6 +317,12 @@ class ResolutionService:
         self._bulk_resolved = 0
         self._started_at: float | None = None
         self._stopped = False
+        # Multi-tenant admission: API keys → quota buckets + cost budgets.
+        self.tenants = TenantManager(
+            self.config.tenants,
+            require_api_key=self.config.require_api_key,
+            clock=self._clock,
+        )
         # Availability gating: build a breaker from config (or adopt the one
         # passed in / already on the engine's transport) and make sure the
         # transport both consults and feeds it.
@@ -345,6 +361,22 @@ class ResolutionService:
         self._metric_flush_seconds = metrics.histogram(
             "repro_service_flush_seconds", "Micro-batch flush latency."
         )
+        # Per-tenant request families, pre-seeded for every configured tenant
+        # (and the anonymous label) so scrapers see a stable schema before a
+        # tenant's first request — the same discipline as the breaker/429
+        # pre-seeding below.
+        self._metric_requests = metrics.counter(
+            "repro_service_requests_total",
+            "Front-end requests by tenant and HTTP status.",
+            labels=("tenant", "status"),
+        )
+        self._metric_request_seconds = metrics.histogram(
+            "repro_service_request_seconds",
+            "Front-end request latency by tenant.",
+            labels=("tenant",),
+        )
+        for name in (*self.tenants.names, ANONYMOUS_TENANT):
+            self._metric_requests.inc(0, tenant=name, status="200")
         self._metric_llm_latency = metrics.histogram(
             "repro_llm_latency_seconds",
             "LLM completion latency by engine and model.",
@@ -500,6 +532,49 @@ class ResolutionService:
         """Per-flush metrics hook (runs on the consumer thread, pre-flush)."""
         self._metric_flushes.inc(reason=reason)
 
+    def observe_request(
+        self, tenant: str | None, status: int, seconds: float
+    ) -> None:
+        """Record one front-end request into the per-tenant metric families.
+
+        Both HTTP front ends call this once per routed request, so the
+        ``repro_service_requests_total{tenant,status}`` counter and the
+        per-tenant latency histogram mean the same thing whichever front end
+        served the traffic.
+        """
+        label = tenant if tenant else ANONYMOUS_TENANT
+        self._metric_requests.inc(tenant=label, status=str(status))
+        self._metric_request_seconds.observe(seconds, tenant=label)
+
+    def authenticate(self, api_key: str | None) -> Tenant | None:
+        """Resolve an API key to a tenant (see :meth:`TenantManager.authenticate`).
+
+        Raises:
+            UnknownTenant: for a missing key when the config requires one, or
+                for a key matching no tenant.
+        """
+        return self.tenants.authenticate(api_key)
+
+    def overload_retry_after(self) -> float:
+        """Backlog-derived ``Retry-After`` for overload (503) responses.
+
+        A full queue drains one micro-batch per flush deadline, so the
+        backlog clears in roughly ``queue_depth / max_batch_size`` flushes of
+        ``max_wait_seconds`` each.  The estimate is clamped to ``[1,
+        cooldown]`` — the breaker's cooldown when gating is configured (the
+        longest the service itself ever asks a client to back off), else
+        ``DEFAULT_OVERLOAD_RETRY_CAP`` — so a deep backlog never turns into
+        an unbounded go-away.
+        """
+        flushes = -(-self.queue_depth // self.config.max_batch_size)
+        estimate = flushes * self.config.max_wait_seconds
+        cap = (
+            self.breaker.config.cooldown_seconds
+            if self.breaker is not None
+            else DEFAULT_OVERLOAD_RETRY_CAP
+        )
+        return min(max(1.0, estimate), max(1.0, cap))
+
     @classmethod
     def from_dataset(
         cls, dataset: Dataset, config: ServiceConfig | None = None, **kwargs
@@ -626,15 +701,29 @@ class ResolutionService:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, pair: EntityPair) -> "Future[Resolution]":
+    def submit(
+        self, pair: EntityPair, tenant: Tenant | None = None
+    ) -> "Future[Resolution]":
         """Submit one pair; returns a future resolving to its resolution.
 
         Cache hits complete immediately; identical in-flight pairs share one
         pending resolution; everything else passes admission and queues for
         the next micro-batch.
 
+        Args:
+            tenant: the submitting tenant (from :meth:`authenticate`); its
+                quota bucket is debited one unit *before* any other path —
+                the rate limit protects the front end, so even cache hits
+                count against it — and its cost budget gates new uncached
+                work the way the global ``cost_budget`` does.  ``None``
+                submits anonymously (global limits only).
+
         Raises:
             ServiceClosed: if the service has been stopped.
+            TenantQuotaExceeded: if the tenant is over its requests-per-second
+                quota.
+            TenantBudgetExceeded: if the tenant's cost budget is spent and
+                the pair is not cached.
             ServiceDegraded: if the backend breaker is open and the pair is
                 neither cached nor already in flight.
             CostBudgetExceeded: if the session cost budget is exhausted and
@@ -644,6 +733,8 @@ class ResolutionService:
         """
         if self._stopped:
             raise ServiceClosed("service has been stopped")
+        if tenant is not None:
+            tenant.admit()
         if self._pending_vectors:
             self._drain_pending_vectors()
         fingerprint = pair_fingerprint(pair)
@@ -669,7 +760,10 @@ class ResolutionService:
         self._check_degraded()
 
         # Cost-aware admission applies to *new* LLM work only: cache hits and
-        # in-flight joins are free and therefore always served.
+        # in-flight joins are free and therefore always served.  The tenant
+        # budget extends the same discipline per tenant.
+        if tenant is not None:
+            tenant.check_budget()
         budget = self.config.cost_budget
         if budget is not None:
             spent = self._resolver.cost().total_cost
@@ -688,6 +782,7 @@ class ResolutionService:
             fingerprint=fingerprint,
             future=future,
             enqueued_at=self._clock.monotonic(),
+            tenant=tenant.name if tenant is not None else None,
         )
         try:
             self._queue.put(request, timeout=self.config.admission_timeout_seconds)
@@ -743,19 +838,23 @@ class ResolutionService:
             return False
 
     def resolve_many(
-        self, pairs: Iterable[EntityPair], timeout: float | None = 60.0
+        self,
+        pairs: Iterable[EntityPair],
+        timeout: float | None = 60.0,
+        tenant: Tenant | None = None,
     ) -> list[Resolution]:
         """Submit many pairs and block until all are resolved (input order).
 
         Args:
             timeout: overall deadline in seconds for the whole set
                 (``None`` waits indefinitely).
+            tenant: submitting tenant, threaded through :meth:`submit`.
 
         Raises:
             AdmissionError: if any submission is rejected.
             TimeoutError: if the deadline passes before all pairs resolve.
         """
-        futures = [self.submit(pair) for pair in pairs]
+        futures = [self.submit(pair, tenant=tenant) for pair in pairs]
         deadline = None if timeout is None else self._clock.monotonic() + timeout
         resolutions = []
         for future in futures:
@@ -768,6 +867,7 @@ class ResolutionService:
         pairs: Iterable[EntityPair],
         shards: int | None = None,
         timeout: float | None = 60.0,
+        tenant: Tenant | None = None,
     ) -> list[Resolution]:
         """Resolve a large pair set through the engine-backed bulk path.
 
@@ -793,9 +893,15 @@ class ResolutionService:
                 per-shard ceiling).
             timeout: seconds to wait for joined in-flight resolutions
                 (``None`` waits indefinitely).
+            tenant: submitting tenant; its quota bucket is debited one unit
+                per pair up front, its budget is re-checked at every shard
+                boundary next to the global one, and each resolved shard's
+                marginal cost is attributed to it.
 
         Raises:
             ServiceClosed: if the service has been stopped.
+            TenantQuotaExceeded: if the tenant's bucket cannot afford the
+                whole submission.
             ServiceDegraded: if uncached work remains while the backend
                 breaker is open (cached and joined pairs alone still resolve).
             CostBudgetExceeded: if uncached work remains but the session cost
@@ -806,6 +912,8 @@ class ResolutionService:
         if self._stopped:
             raise ServiceClosed("service has been stopped")
         pairs = list(pairs)
+        if tenant is not None and pairs:
+            tenant.admit(len(pairs))
         with self._lock:
             self._bulk_requests += 1
             self._bulk_pairs += len(pairs)
@@ -858,6 +966,8 @@ class ResolutionService:
                 # that opens mid-bulk stops the run at the next shard
                 # boundary with everything before it cached.
                 self._check_degraded()
+                if tenant is not None:
+                    tenant.check_budget()
                 budget = self.config.cost_budget
                 if budget is not None:
                     spent = self._resolver.cost().total_cost
@@ -869,8 +979,11 @@ class ResolutionService:
                             f"${budget:.4f}; only cached pairs are served"
                         )
                 shard_pairs = [unique[index] for index in indices]
+                cost_before = self._resolver.cost().total_cost
                 with self._resolver_lock, self._deadline():
                     shard_resolutions = self._resolver.resolve(shard_pairs)
+                if tenant is not None:
+                    tenant.charge(self._resolver.cost().total_cost - cost_before)
                 with self._lock:
                     self._bulk_shards += 1
                     self._bulk_resolved += len(shard_pairs)
@@ -924,8 +1037,12 @@ class ResolutionService:
         # duplicates, but a representative per fingerprint keeps the pipeline
         # input unique even if a duplicate slips through.
         unique: dict[str, EntityPair] = {}
+        owners: dict[str, str] = {}
         for request in batch:
+            if request.fingerprint not in unique and request.tenant is not None:
+                owners[request.fingerprint] = request.tenant
             unique.setdefault(request.fingerprint, request.pair)
+        cost_before = self._resolver.cost().total_cost
         try:
             # One flush is one logical request for deadline purposes: the
             # budget spans the whole resolve, retry backoff included.
@@ -935,6 +1052,19 @@ class ResolutionService:
             for fingerprint in unique:
                 self._fail(fingerprint, error)
             return
+        # Attribute the flush's marginal cost to the tenants whose requests
+        # paid it: each unique pair's *owner* (the request that enqueued it;
+        # in-flight joiners ride free, matching the cache/join discipline)
+        # is charged an equal share of the flush's cost delta.
+        if owners:
+            per_pair = (
+                self._resolver.cost().total_cost - cost_before
+            ) / len(unique)
+            if per_pair > 0:
+                for fingerprint, tenant_name in owners.items():
+                    owner = self.tenants.get(tenant_name)
+                    if owner is not None:
+                        owner.charge(per_pair)
         for fingerprint, resolution in zip(unique, resolutions):
             # Fallback labels (answered=False) are never cached: the next
             # request for such a pair gets a fresh LLM attempt instead of a
@@ -1051,6 +1181,7 @@ class ResolutionService:
             uptime_seconds=uptime,
             throughput_pairs_per_second=(resolved / uptime if uptime > 0 else 0.0),
             breaker=self.breaker.stats() if self.breaker is not None else None,
+            tenants=self.tenants.stats() if len(self.tenants) else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,332 @@
+"""Multi-tenant admission: API keys, per-tenant quotas and cost budgets.
+
+A :class:`TenantConfig` declares one tenant of the serving layer — an API key,
+a requests-per-second quota and an optional cost budget.  At runtime the
+:class:`TenantManager` authenticates API keys to live :class:`Tenant` objects
+and enforces both limits at admission time:
+
+* **quota** — a token bucket (the same
+  :class:`~repro.engines.transport.TokenBucket` the LLM transport throttles
+  with) debited one unit per submitted pair.  Serving admission differs from
+  transport throttling in one way: an over-quota request is *rejected* with
+  :class:`TenantQuotaExceeded` (HTTP 429 + ``Retry-After``) instead of slept,
+  and the refusal leaves the bucket untouched — a greedy tenant hammering the
+  front end cannot drive its own bucket into unbounded debt, so its next
+  within-quota request is admitted as soon as the bucket genuinely refills.
+* **budget** — per-tenant cost attribution extending the service's global
+  cost-aware admission: each live (uncached) resolution charges its owning
+  tenant the flush's marginal cost, and once a tenant's cumulative spend
+  reaches its ``cost_budget`` new uncached work is refused with
+  :class:`TenantBudgetExceeded` (HTTP 429) while cache hits keep serving —
+  per tenant, the same degrade-to-a-cache semantics the session budget has.
+
+Tenancy is opt-in: a service with no configured tenants admits anonymous
+traffic exactly as before, and :attr:`ServiceConfig.require_api_key` decides
+whether keyless requests are served anonymously or refused with
+:class:`UnknownTenant` (HTTP 401).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping
+
+from repro.engines.transport import Clock, TokenBucket
+from repro.service.microbatcher import AdmissionError
+
+__all__ = [
+    "Tenant",
+    "TenantBudgetExceeded",
+    "TenantConfig",
+    "TenantManager",
+    "TenantQuotaExceeded",
+    "UnknownTenant",
+    "ANONYMOUS_TENANT",
+]
+
+#: Metric label used for unauthenticated traffic.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class UnknownTenant(AdmissionError):
+    """Missing or unrecognized API key on a service that requires one.
+
+    The HTTP layer maps this to 401 (the key identifies, it does not merely
+    authorize, so 401 fits better than 403).
+    """
+
+
+class TenantQuotaExceeded(AdmissionError):
+    """A tenant exceeded its requests-per-second quota (HTTP 429).
+
+    Attributes:
+        tenant: name of the over-quota tenant.
+        retry_after: seconds until the tenant's bucket can afford one unit.
+    """
+
+    def __init__(self, message: str, tenant: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = max(0.0, retry_after)
+
+
+class TenantBudgetExceeded(AdmissionError):
+    """A tenant's cumulative cost reached its budget (HTTP 429).
+
+    Cache hits are still served — per tenant, the budget degrades service to
+    a cache, it does not go dark.
+
+    Attributes:
+        tenant: name of the budget-exhausted tenant.
+    """
+
+    def __init__(self, message: str, tenant: str) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Declaration of one serving tenant.
+
+    Attributes:
+        name: stable tenant identifier (metric label, ``/stats`` key).
+        api_key: the key presented in the ``X-API-Key`` request header.
+        requests_per_second: quota rate in submitted pairs per second;
+            ``None`` disables the quota bucket for this tenant.
+        burst: bucket capacity in pairs — how many requests may arrive back
+            to back before the rate cap bites (defaults to one second's worth
+            of quota, minimum 1).
+        cost_budget: optional per-tenant budget in dollars; once the tenant's
+            attributed cost reaches it, new uncached work is refused.
+    """
+
+    name: str
+    api_key: str
+    requests_per_second: float | None = None
+    burst: float | None = None
+    cost_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.api_key:
+            raise ValueError(f"tenant {self.name!r} needs a non-empty api_key")
+        if self.requests_per_second is not None and self.requests_per_second <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: requests_per_second must be > 0, "
+                f"got {self.requests_per_second}"
+            )
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: burst must be >= 1, got {self.burst}"
+            )
+        if self.cost_budget is not None and self.cost_budget <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: cost_budget must be > 0, "
+                f"got {self.cost_budget}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain-dict snapshot (JSON-serializable)."""
+        return {
+            "name": self.name,
+            "api_key": self.api_key,
+            "requests_per_second": self.requests_per_second,
+            "burst": self.burst,
+            "cost_budget": self.cost_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TenantConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot."""
+        known = {config_field.name for config_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown tenant config fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+class Tenant:
+    """Runtime state of one tenant: quota bucket, spend, counters.
+
+    Built by the :class:`TenantManager`; all counters are thread-safe, and
+    the quota bucket reads time through the injected clock, so tests drive
+    admission with a :class:`~repro.engines.faults.FakeClock`.
+    """
+
+    def __init__(self, config: TenantConfig, clock: Clock | None = None) -> None:
+        self.config = config
+        self._clock = clock or Clock()
+        rate = config.requests_per_second
+        self._bucket = (
+            TokenBucket(
+                rate,
+                capacity=config.burst if config.burst is not None else max(1.0, rate),
+                clock=self._clock,
+            )
+            if rate is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected_quota = 0
+        self._rejected_budget = 0
+        self._spent = 0.0
+
+    @property
+    def name(self) -> str:
+        """The tenant's stable identifier."""
+        return self.config.name
+
+    @property
+    def spent(self) -> float:
+        """Cost attributed to this tenant so far, in dollars."""
+        with self._lock:
+            return self._spent
+
+    def admit(self, units: int = 1) -> None:
+        """Pass one admission check of ``units`` submitted pairs.
+
+        Raises:
+            TenantQuotaExceeded: when the quota bucket cannot afford the
+                units right now (nothing is debited on refusal).
+        """
+        if self._bucket is not None:
+            wait = self._bucket.try_reserve(float(units))
+            if wait > 0:
+                with self._lock:
+                    self._rejected_quota += 1
+                raise TenantQuotaExceeded(
+                    f"tenant {self.name!r} exceeded its quota of "
+                    f"{self.config.requests_per_second:g} pairs/s; "
+                    f"retry in {wait:.3f}s",
+                    tenant=self.name,
+                    retry_after=wait,
+                )
+        with self._lock:
+            self._admitted += units
+
+    def check_budget(self) -> None:
+        """Refuse new uncached work once the tenant budget is spent.
+
+        Raises:
+            TenantBudgetExceeded: when ``cost_budget`` is set and reached.
+        """
+        budget = self.config.cost_budget
+        if budget is None:
+            return
+        with self._lock:
+            spent = self._spent
+        if spent >= budget:
+            with self._lock:
+                self._rejected_budget += 1
+            raise TenantBudgetExceeded(
+                f"tenant {self.name!r} spent ${spent:.4f} of its "
+                f"${budget:.4f} budget; only cached pairs are served",
+                tenant=self.name,
+            )
+
+    def charge(self, amount: float) -> None:
+        """Attribute ``amount`` dollars of resolution cost to this tenant."""
+        if amount <= 0:
+            return
+        with self._lock:
+            self._spent += amount
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-serializable snapshot for the ``/stats`` tenant block."""
+        with self._lock:
+            snapshot = {
+                "admitted": self._admitted,
+                "rejected_quota": self._rejected_quota,
+                "rejected_budget": self._rejected_budget,
+                "cost_spent": round(self._spent, 8),
+            }
+        snapshot["requests_per_second"] = self.config.requests_per_second
+        snapshot["cost_budget"] = self.config.cost_budget
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tenant(name={self.name!r}, "
+            f"rps={self.config.requests_per_second}, "
+            f"budget={self.config.cost_budget})"
+        )
+
+
+class TenantManager:
+    """Authenticates API keys and owns every tenant's runtime state.
+
+    Args:
+        configs: the declared tenants; duplicate names or API keys raise.
+        require_api_key: when true, :meth:`authenticate` refuses keyless or
+            unknown-key requests; when false they map to ``None`` (anonymous,
+            admitted without tenant limits).
+        clock: time source shared by every tenant's quota bucket.
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[TenantConfig] = (),
+        require_api_key: bool = False,
+        clock: Clock | None = None,
+    ) -> None:
+        clock = clock or Clock()
+        self._tenants: dict[str, Tenant] = {}
+        self._by_key: dict[str, Tenant] = {}
+        for config in configs:
+            if config.name in self._tenants:
+                raise ValueError(f"duplicate tenant name {config.name!r}")
+            if config.api_key in self._by_key:
+                raise ValueError(
+                    f"tenants {self._by_key[config.api_key].name!r} and "
+                    f"{config.name!r} share an API key"
+                )
+            tenant = Tenant(config, clock=clock)
+            self._tenants[config.name] = tenant
+            self._by_key[config.api_key] = tenant
+        self.require_api_key = require_api_key
+        if require_api_key and not self._tenants:
+            raise ValueError("require_api_key needs at least one configured tenant")
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Configured tenant names, declaration order."""
+        return tuple(self._tenants)
+
+    def authenticate(self, api_key: str | None) -> Tenant | None:
+        """Resolve an API key to its tenant.
+
+        Returns ``None`` for anonymous traffic when keys are optional.
+
+        Raises:
+            UnknownTenant: for a missing key when ``require_api_key`` is set,
+                or for a key that matches no tenant (always — presenting a
+                wrong key is an error even on an open service).
+        """
+        if api_key is None or api_key == "":
+            if self.require_api_key:
+                raise UnknownTenant(
+                    "this service requires an API key (X-API-Key header)"
+                )
+            return None
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise UnknownTenant("unknown API key")
+        return tenant
+
+    def get(self, name: str) -> Tenant | None:
+        """The named tenant, or ``None``."""
+        return self._tenants.get(name)
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant ``/stats`` blocks, keyed by tenant name."""
+        return {name: tenant.stats() for name, tenant in self._tenants.items()}

@@ -1,13 +1,15 @@
 """Tests for the stdlib HTTP front end and the repro-serve CLI plumbing."""
 
+import http.client
 import json
+import socket
 import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.core.config import BatcherConfig
-from repro.service import ResolutionService, ServiceConfig
+from repro.service import ResolutionService, ServiceConfig, TenantConfig
 from repro.service.cli import main as serve_main
 from repro.service.http import (
     MAX_BODY_BYTES,
@@ -245,6 +247,253 @@ class TestErrorPaths:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestHardening:
+    """Front-end hardening: HEAD probes, slowloris guard, keep-alive,
+    connection-close contract and the derived backpressure Retry-After."""
+
+    @pytest.mark.parametrize("path", ["/healthz", "/readyz", "/stats", "/metrics"])
+    def test_head_mirrors_get_without_body(self, http_server, path):
+        get = urllib.request.urlopen(http_server.address + path, timeout=10)
+        request = urllib.request.Request(http_server.address + path, method="HEAD")
+        head = urllib.request.urlopen(request, timeout=10)
+        assert head.status == get.status == 200
+        assert head.read() == b""
+        # HEAD advertises the length of the body a GET would have carried.
+        assert int(head.headers["Content-Length"]) > 0
+        assert head.headers["Content-Type"] == get.headers["Content-Type"]
+
+    def test_head_unknown_path_404(self, http_server):
+        request = urllib.request.Request(http_server.address + "/nope", method="HEAD")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+        assert excinfo.value.read() == b""
+
+    def test_half_sent_body_answered_408(self, http_server):
+        # Slowloris regression: promise 1000 bytes, deliver 20, stall.  The
+        # pre-fix handler blocked in rfile.read() forever; the fixed one
+        # answers 408 once the body read deadline expires.
+        server = ServiceHTTPServer(
+            http_server.service, port=0, body_read_timeout=0.3
+        ).serve_in_background()
+        try:
+            host, port = server.server_address[:2]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(
+                    b"POST /resolve HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 1000\r\n"
+                    b"\r\n"
+                    b'{"pairs": [{"left"'  # 20 of the promised 1000 bytes
+                )
+                sock.settimeout(10)
+                response = sock.recv(65536).decode("latin-1")
+            assert response.startswith("HTTP/1.1 408")
+            assert "stalled" in response
+            assert "Connection: close" in response
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_rejects_nonpositive_body_read_timeout(self, http_server):
+        with pytest.raises(ValueError, match="body_read_timeout"):
+            ServiceHTTPServer(http_server.service, port=0, body_read_timeout=0.0)
+
+    def test_keepalive_serves_sequential_requests_on_one_connection(
+        self, http_server
+    ):
+        host, port = http_server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("GET", "/healthz")
+            first = connection.getresponse()
+            assert first.status == 200 and json.loads(first.read())["live"] is True
+            sock = connection.sock
+            assert sock is not None
+            body = json.dumps(
+                {"pairs": [{"left": {"name": "ka"}, "right": {"name": "KA"}}]}
+            )
+            connection.request(
+                "POST", "/resolve", body, {"Content-Type": "application/json"}
+            )
+            second = connection.getresponse()
+            assert second.status == 200
+            assert len(json.loads(second.read())["resolutions"]) == 1
+            # Same socket object: the second request rode the first's
+            # keep-alive connection instead of reconnecting.
+            assert connection.sock is sock
+        finally:
+            connection.close()
+
+    def test_error_response_closes_connection(self, http_server):
+        host, port = http_server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/resolve",
+                '{"pairs": [broken',
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.headers["Connection"] == "close"
+            response.read()
+            assert response.will_close
+        finally:
+            connection.close()
+
+    def test_backpressure_retry_after_derived_from_backlog(self, beer_dataset):
+        # Eight queued pairs at one pair per 2s flush -> the client is told to
+        # come back in ~16s, not a flat second.
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            max_batch_size=1,
+            max_wait_seconds=2.0,
+            queue_capacity=8,
+            admission_timeout_seconds=0.01,
+        )
+        service = ResolutionService.from_dataset(beer_dataset, config)
+        server = ServiceHTTPServer(service, port=0).serve_in_background()
+        try:
+            for pair in list(beer_dataset.splits.test)[:8]:
+                service.submit(pair.without_label())
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    server,
+                    "/resolve",
+                    {"pairs": [{"left": {"name": "a"}, "right": {"name": "b"}}]},
+                )
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "16"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+
+class TestTenantsOverHTTP:
+    """The X-API-Key tenant layer exercised through the HTTP front end."""
+
+    @pytest.fixture()
+    def tenant_server(self, beer_dataset):
+        config = ServiceConfig(
+            batcher=BatcherConfig(seed=1),
+            max_batch_size=8,
+            max_wait_seconds=0.02,
+            tenants=(
+                TenantConfig(name="acme", api_key="k-acme"),
+                TenantConfig(
+                    name="throttled",
+                    api_key="k-throttled",
+                    requests_per_second=0.001,
+                    burst=1.0,
+                ),
+                TenantConfig(name="broke", api_key="k-broke", cost_budget=1e-9),
+            ),
+            require_api_key=True,
+        )
+        service = ResolutionService.from_dataset(beer_dataset, config).start()
+        server = ServiceHTTPServer(service, port=0).serve_in_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    PAYLOAD = {"pairs": [{"left": {"name": "lager"}, "right": {"name": "Lager"}}]}
+
+    def test_valid_key_resolves(self, tenant_server):
+        status, body = _post_raw(
+            tenant_server,
+            "/resolve",
+            json.dumps(self.PAYLOAD).encode(),
+            headers={"X-API-Key": "k-acme"},
+        )
+        assert status == 200
+        assert len(body["resolutions"]) == 1
+
+    def test_missing_key_401_when_required(self, tenant_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(tenant_server, "/resolve", self.PAYLOAD)
+        assert excinfo.value.code == 401
+
+    def test_wrong_key_401(self, tenant_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(
+                tenant_server,
+                "/resolve",
+                json.dumps(self.PAYLOAD).encode(),
+                headers={"X-API-Key": "k-wrong"},
+            )
+        assert excinfo.value.code == 401
+
+    def test_quota_exhausted_429_with_retry_after(self, tenant_server):
+        status, _ = _post_raw(
+            tenant_server,
+            "/resolve",
+            json.dumps(self.PAYLOAD).encode(),
+            headers={"X-API-Key": "k-throttled"},
+        )
+        assert status == 200
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(
+                tenant_server,
+                "/resolve",
+                json.dumps(self.PAYLOAD).encode(),
+                headers={"X-API-Key": "k-throttled"},
+            )
+        assert excinfo.value.code == 429
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        assert "quota" in json.loads(excinfo.value.read())["error"]
+
+    def test_tenant_budget_exhausted_429_but_cache_still_served(self, tenant_server):
+        # First (uncached) request is admitted and spends the tiny budget...
+        status, _ = _post_raw(
+            tenant_server,
+            "/resolve",
+            json.dumps(self.PAYLOAD).encode(),
+            headers={"X-API-Key": "k-broke"},
+        )
+        assert status == 200
+        # ...a new uncached pair is rejected 429...
+        fresh = {"pairs": [{"left": {"name": "saison"}, "right": {"name": "Gose"}}]}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(
+                tenant_server,
+                "/resolve",
+                json.dumps(fresh).encode(),
+                headers={"X-API-Key": "k-broke"},
+            )
+        assert excinfo.value.code == 429
+        assert "budget" in json.loads(excinfo.value.read())["error"]
+        # ...but the cached pair still resolves (degrade-to-cache).
+        status, _ = _post_raw(
+            tenant_server,
+            "/resolve",
+            json.dumps(self.PAYLOAD).encode(),
+            headers={"X-API-Key": "k-broke"},
+        )
+        assert status == 200
+
+    def test_stats_and_metrics_carry_tenant_breakdown(self, tenant_server):
+        _post_raw(
+            tenant_server,
+            "/resolve",
+            json.dumps(self.PAYLOAD).encode(),
+            headers={"X-API-Key": "k-acme"},
+        )
+        status, stats = _get(tenant_server, "/stats")
+        assert status == 200
+        assert "acme" in stats["tenants"]
+        assert stats["tenants"]["acme"]["admitted"] >= 1
+        with urllib.request.urlopen(
+            tenant_server.address + "/metrics", timeout=10
+        ) as response:
+            exposition = response.read().decode()
+        assert 'repro_service_requests_total{tenant="acme",status="200"}' in exposition
 
 
 class TestBulkEndpoint:
